@@ -1,0 +1,128 @@
+// Ablation 2 — hybrid naming scheme vs one-tree-per-property (§III.C).
+//
+// The naive scheme builds an independent aggregation tree for every
+// property value (brand, model, core size, ...), creating nested,
+// overlapping trees: every 'Intel CPU' node is also in the 'CPU' tree.
+// RBAY's hybrid scheme keeps trees only for major predicates and links
+// minor properties to them via the taxonomy.  We measure: number of trees
+// maintained, total join traffic, per-node subscription count, and the
+// query latency for a minor-property query under both schemes.
+
+#include "bench_common.hpp"
+
+using namespace rbay;
+
+namespace {
+
+struct SchemeResult {
+  std::size_t trees = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double subscriptions_per_node = 0;
+  double query_ms = 0;
+  bool satisfied = false;
+};
+
+SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed) {
+  const std::vector<std::string> brands = {"Intel", "AMD"};
+  const std::vector<std::string> models = {"i5", "i7", "Xeon", "Ryzen5", "Ryzen7", "Epyc"};
+  const std::vector<std::string> cores = {"2", "4", "8", "16"};
+
+  core::ClusterConfig config;
+  config.topology = net::Topology::uniform(2, 0.5, 80.0);
+  config.seed = seed;
+  config.node.scribe.aggregation_interval = util::SimTime::millis(250);
+  core::RBayCluster cluster{config};
+
+  if (hybrid) {
+    // One existence tree for the major attribute; minors link to it.
+    cluster.add_tree_spec(core::TreeSpec::existence("CPU"));
+    core::Taxonomy tax;
+    tax.add_major("CPU");
+    tax.link("CPU_brand", "CPU");
+    tax.link("CPU_model", "CPU_brand");
+    tax.link("CPU_cores", "CPU_model");
+    cluster.set_taxonomy(std::move(tax));
+  } else {
+    // Flat: a tree per property value, including the nested 'CPU' tree
+    // that contains members of every other tree.
+    cluster.add_tree_spec(core::TreeSpec::existence("CPU"));
+    for (const auto& b : brands) {
+      cluster.add_tree_spec(core::TreeSpec::from_predicate(
+          {"CPU_brand", query::CompareOp::Eq, store::AttributeValue{b}}));
+    }
+    for (const auto& m : models) {
+      cluster.add_tree_spec(core::TreeSpec::from_predicate(
+          {"CPU_model", query::CompareOp::Eq, store::AttributeValue{m}}));
+    }
+    for (const auto& c : cores) {
+      cluster.add_tree_spec(core::TreeSpec::from_predicate(
+          {"CPU_cores", query::CompareOp::Eq, store::AttributeValue{c}}));
+    }
+  }
+
+  cluster.populate(per_site);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& rng = cluster.engine().rng();
+    const auto& brand = brands[rng.uniform(brands.size())];
+    const auto& model = brand == "Intel" ? models[rng.uniform(3)] : models[3 + rng.uniform(3)];
+    (void)cluster.node(i).post("CPU", brand + " " + model);
+    (void)cluster.node(i).post("CPU_brand", brand);
+    (void)cluster.node(i).post("CPU_model", model);
+    (void)cluster.node(i).post("CPU_cores", cores[rng.uniform(cores.size())]);
+  }
+  cluster.network().reset_stats();
+  cluster.finalize();
+  cluster.run_for(util::SimTime::seconds(3));
+
+  SchemeResult result;
+  result.trees = cluster.tree_specs().size() * config.topology.site_count();
+  result.messages = cluster.network().stats().messages_sent;
+  result.bytes = cluster.network().stats().bytes_sent;
+  std::size_t subs = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for (const auto& spec : cluster.tree_specs()) {
+      if (cluster.node(i).subscribed_to(spec)) ++subs;
+    }
+  }
+  result.subscriptions_per_node = static_cast<double>(subs) / static_cast<double>(cluster.size());
+
+  // Query on a minor property.
+  core::QueryOutcome outcome;
+  cluster.node(1).query().execute_sql("SELECT 2 FROM * WHERE CPU_model = 'i7'",
+                                      [&](const core::QueryOutcome& o) { outcome = o; });
+  cluster.run();
+  result.query_ms = outcome.latency().as_millis();
+  result.satisfied = outcome.satisfied;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Ablation 2", "hybrid naming (taxonomy links) vs flat tree-per-property");
+
+  const std::size_t per_site = args.small ? 30 : 100;
+  const auto flat = run_scheme(false, per_site, args.seed);
+  const auto hybrid = run_scheme(true, per_site, args.seed);
+
+  std::printf("%-26s %14s %14s\n", "", "flat", "hybrid");
+  std::printf("%-26s %14zu %14zu\n", "trees maintained", flat.trees, hybrid.trees);
+  std::printf("%-26s %14llu %14llu\n", "setup messages",
+              static_cast<unsigned long long>(flat.messages),
+              static_cast<unsigned long long>(hybrid.messages));
+  std::printf("%-26s %11.2f MB %11.2f MB\n", "setup bytes",
+              static_cast<double>(flat.bytes) / 1e6, static_cast<double>(hybrid.bytes) / 1e6);
+  std::printf("%-26s %14.1f %14.1f\n", "subscriptions / node", flat.subscriptions_per_node,
+              hybrid.subscriptions_per_node);
+  std::printf("%-26s %11.1f ms %11.1f ms\n", "minor-property query", flat.query_ms,
+              hybrid.query_ms);
+  std::printf("%-26s %14s %14s\n", "query satisfied", flat.satisfied ? "yes" : "NO",
+              hybrid.satisfied ? "yes" : "NO");
+  std::printf(
+      "\nexpected shape: hybrid maintains ~1/10th the trees and joins while answering\n"
+      "the same minor-property query correctly; flat gets slightly faster queries\n"
+      "(dedicated tree) at a much higher maintenance cost — the paper's trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation 5 — history-based churn prediction for candidate selection
+// (implements the paper's §VI future work: "capture past and predict
+// future churn, based on history ... to better select appropriate
+// resources in response to user queries").
+//
+// A federation runs under churn where 30% of nodes are 15× flakier.  Each
+// node publishes its EWMA-predicted availability as a `reliability`
+// attribute.  We compare two selection policies over the same workload:
+//   * unranked  — `SELECT 3 ... ` (tree order), and
+//   * ranked    — `SELECT 3 ... GROUPBY reliability DESC`.
+// Metric: how often a selected node fails within the following lease
+// window, and how many of the flaky nodes each policy picked.
+
+#include "core/churn.hpp"
+#include "bench_common.hpp"
+
+using namespace rbay;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Ablation 5", "reliability-ranked selection under churn (§VI)");
+
+  core::ClusterConfig config;
+  config.topology = net::Topology::single_site();
+  config.seed = args.seed;
+  config.node.scribe.aggregation_interval = util::SimTime::millis(500);
+  config.node.scribe.heartbeat_interval = util::SimTime::millis(500);
+  config.node.query.max_attempts = 3;
+
+  core::RBayCluster cluster{config};
+  cluster.add_tree_spec(core::TreeSpec::from_predicate(
+      {"GPU", query::CompareOp::Eq, store::AttributeValue{true}}));
+  const std::size_t n = args.small ? 80 : 240;
+  for (std::size_t i = 0; i < n; ++i) cluster.add_node(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)cluster.node(i).post("GPU", true);
+    (void)cluster.node(i).post("reliability", 1.0);
+  }
+  cluster.finalize();
+
+  core::ChurnConfig churn_config;
+  churn_config.mean_uptime_s = 1200.0;
+  churn_config.mean_downtime_s = 10.0;
+  churn_config.churny_fraction = 0.30;
+  churn_config.churny_penalty = 20.0;  // churny nodes: ~60 s mean uptime
+  core::ChurnDriver churn{cluster, churn_config};
+  churn.start();
+
+  // Warm up so the trackers accumulate history.
+  cluster.run_for(util::SimTime::seconds(args.small ? 300 : 900));
+
+  const double lease_s = 45.0;
+  const int trials = args.small ? 20 : 60;
+
+  auto evaluate = [&](const char* label, const std::string& sql) {
+    int picked = 0, picked_churny = 0, failed_in_lease = 0, satisfied = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::size_t from;
+      do {
+        from = cluster.engine().rng().uniform(n);
+      } while (cluster.overlay().is_failed(from));
+      core::QueryOutcome outcome;
+      cluster.node(from).query().execute_sql(sql, [&](const core::QueryOutcome& o) {
+        outcome = o;
+      });
+      cluster.run();
+      if (!outcome.satisfied) {
+        cluster.run_for(util::SimTime::seconds(5));
+        continue;
+      }
+      ++satisfied;
+      std::vector<std::size_t> chosen;
+      for (const auto& c : outcome.nodes) chosen.push_back(cluster.index_of(c.node.id));
+      cluster.node(from).query().release(outcome);
+      // Watch the lease window; count picks that die inside it.
+      cluster.run_for(util::SimTime::seconds(lease_s));
+      for (const auto idx : chosen) {
+        ++picked;
+        if (churn.is_churny(idx)) ++picked_churny;
+        if (cluster.overlay().is_failed(idx)) ++failed_in_lease;
+      }
+    }
+    std::printf("%-10s %10d/%-3d %14.1f%% %18.1f%%\n", label, satisfied, trials,
+                picked > 0 ? 100.0 * picked_churny / picked : 0.0,
+                picked > 0 ? 100.0 * failed_in_lease / picked : 0.0);
+  };
+
+  std::printf("%-10s %14s %15s %19s\n", "policy", "satisfied", "flaky picked",
+              "failed in lease");
+  evaluate("unranked", "SELECT 3 FROM * WHERE GPU = true");
+  evaluate("ranked", "SELECT 3 FROM * WHERE GPU = true GROUPBY reliability DESC");
+
+  std::printf(
+      "\nexpected shape: ranked selection picks flaky nodes far less often and its\n"
+      "choices survive the lease window more — history-based prediction improves\n"
+      "the quality of results, as §VI anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#pragma once
+
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§IV) and prints the same rows/series the paper reports.
+// Latencies are VIRTUAL time from the discrete-event engine (driven by the
+// Table II RTT matrix), so the shapes — who wins, growth rates, plateaus —
+// are comparable to the paper even though the absolute testbed differs.
+// All benches accept `--seed N` and default to the documented workload
+// scale; `--small` shrinks the workload for smoke runs.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "util/stats.hpp"
+
+namespace rbay::bench {
+
+struct Args {
+  std::uint64_t seed = 42;
+  bool small = false;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--small") == 0) {
+        args.small = true;
+      }
+    }
+    return args;
+  }
+};
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+/// The 23 EC2 instance types the paper simulates (§IV.A footnote).
+inline const std::vector<std::string>& instance_types() {
+  static const std::vector<std::string> kTypes = {
+      "t2.micro",   "t2.small",   "t2.medium",  "m3.medium",  "m3.large",  "m3.xlarge",
+      "m3.2xlarge", "c3.large",   "c3.xlarge",  "c3.2xlarge", "c3.4xlarge", "c3.8xlarge",
+      "g2.2xlarge", "r3.large",   "r3.xlarge",  "r3.2xlarge", "r3.4xlarge", "r3.8xlarge",
+      "i2.xlarge",  "i2.2xlarge", "i2.4xlarge", "i2.8xlarge", "hs1.8xlarge"};
+  return kTypes;
+}
+
+/// Gaussian-weighted choice over instance types: center types get more
+/// members than edge types ("the tree size follows a Gaussian
+/// distribution", §IV.A).
+inline const std::string& gaussian_instance_type(util::Rng& rng) {
+  const auto& types = instance_types();
+  const double center = static_cast<double>(types.size() - 1) / 2.0;
+  for (;;) {
+    const double g = rng.gaussian(center, static_cast<double>(types.size()) / 5.0);
+    const auto idx = static_cast<long>(g + 0.5);
+    if (idx >= 0 && idx < static_cast<long>(types.size())) {
+      return types[static_cast<std::size_t>(idx)];
+    }
+  }
+}
+
+/// Builds the paper's evaluation federation: 8 EC2 sites, `per_site` nodes
+/// each, one aggregation tree per instance type per site, each node given
+/// a Gaussian-chosen instance type plus utilization/GPU attributes and the
+/// password onGet handler used during §IV runs.
+struct EvalFederation {
+  core::RBayCluster cluster;
+
+  EvalFederation(std::size_t per_site, std::uint64_t seed, bool with_password = true)
+      : cluster(make_config(seed)) {
+    for (const auto& type : instance_types()) {
+      cluster.add_tree_spec(core::TreeSpec::from_predicate(
+          {"instance", query::CompareOp::Eq, store::AttributeValue{type}}));
+    }
+    cluster.add_tree_spec(core::TreeSpec::from_predicate(
+        {"CPU_utilization", query::CompareOp::Less, store::AttributeValue{0.1}}));
+    cluster.add_tree_spec(core::TreeSpec::from_predicate(
+        {"GPU", query::CompareOp::Eq, store::AttributeValue{true}}));
+    cluster.populate(per_site);
+
+    // "The onGet handler is invoked for each query to return the NodeId
+    // list, only checking if the password matches or not" (§IV.A).
+    const std::string handler = R"(
+AA = {Password = "rbay"}
+function onGet(caller, payload)
+  if payload == AA.Password then return true end
+  return nil
+end)";
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      auto& rng = cluster.engine().rng();
+      auto& node = cluster.node(i);
+      (void)node.post("instance", gaussian_instance_type(rng),
+                      with_password ? handler : std::string{});
+      (void)node.post("CPU_utilization", rng.uniform_double());
+      (void)node.post("GPU", rng.chance(0.3));
+      (void)node.post("Matlab", rng.chance(0.5) ? "9.0" : "8.0");
+    }
+    cluster.finalize();
+    cluster.run_for(util::SimTime::seconds(3));  // aggregation warm-up
+  }
+
+  static core::ClusterConfig make_config(std::uint64_t seed) {
+    core::ClusterConfig config;
+    config.topology = net::Topology::ec2_eight_sites();
+    config.seed = seed;
+    config.node.scribe.aggregation_interval = util::SimTime::millis(250);
+    config.node.query.max_attempts = 4;
+    return config;
+  }
+
+  /// Runs one composite query and returns the outcome (releases holds).
+  core::QueryOutcome run_query(std::size_t from, const std::string& sql) {
+    core::QueryOutcome outcome;
+    cluster.node(from).query().execute_sql(sql,
+                                           [&](const core::QueryOutcome& o) { outcome = o; });
+    cluster.run();
+    if (outcome.satisfied) {
+      cluster.node(from).query().release(outcome);
+      cluster.run();
+    }
+    return outcome;
+  }
+};
+
+}  // namespace rbay::bench

@@ -1,0 +1,58 @@
+// Fig. 8c — Scale with #attributes: memory cost of Active Attributes.
+//
+// Paper workload (§IV.B.3): store an increasing number of attributes.
+// RBAY attributes carry an extra password onGet handler besides the
+// NodeId; Past entries store only the NodeId list.  Claims: at 1,000s of
+// attributes the difference is negligible (< 10 MB for both); at 10,000s
+// the AA overhead is ~55% over the baseline but the footprint stays
+// reasonable.
+
+#include "baseline/past_store.hpp"
+#include "bench_common.hpp"
+#include "store/attribute_store.hpp"
+#include "util/sha1.hpp"
+
+using namespace rbay;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Fig. 8c", "memory vs #attributes: RBAY Active Attributes vs Past");
+
+  const std::vector<std::size_t> counts = args.small
+                                              ? std::vector<std::size_t>{100, 1000}
+                                              : std::vector<std::size_t>{100, 1000, 5000, 10000, 20000};
+
+  // The paper's per-attribute extra: a password handler.
+  const std::string handler = R"(
+AA = {Password = "3053482032"}
+function onGet(caller, payload)
+  if payload == AA.Password then return AA.NodeId end
+  return nil
+end)";
+
+  std::printf("%10s %16s %16s %12s\n", "#attrs", "RBAY (AA) bytes", "Past bytes", "overhead");
+  for (const auto n : counts) {
+    store::AttributeStore rbay_store;
+    baseline::PastStore past_store;
+    const auto node_id = util::Sha1::hash128("node-0");
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string name = "attribute-" + std::to_string(i);
+      rbay_store.put(name, store::AttributeValue{true});
+      const auto attached = rbay_store.attach_handlers(name, handler);
+      if (!attached.ok()) {
+        std::fprintf(stderr, "handler failed: %s\n", attached.error().c_str());
+        return 1;
+      }
+      past_store.put(name, node_id);
+    }
+    const double rbay_bytes = static_cast<double>(rbay_store.memory_footprint());
+    const double past_bytes = static_cast<double>(past_store.memory_footprint());
+    std::printf("%10zu %13.2f MB %13.2f MB %11.1f%%\n", n, rbay_bytes / 1e6, past_bytes / 1e6,
+                (rbay_bytes / past_bytes - 1.0) * 100);
+  }
+  std::printf(
+      "\nexpected shape: both curves linear; RBAY sits a constant factor above Past\n"
+      "(the handler state), total footprint staying in the single-to-tens of MB range\n"
+      "even at 10k+ attributes — 'the total memory footprint is still reasonable'.\n");
+  return 0;
+}

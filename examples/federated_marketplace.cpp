@@ -1,0 +1,156 @@
+// Federated marketplace: the paper's Fig. 1 motivating scenario, runnable.
+//
+// Grace, James, and Kevin each administer a site with spare resources and
+// their own, mutually-incompatible sharing policies:
+//   * Grace  — time-gated: resources available only after 22:00;
+//   * James  — access control: customers must present the right password;
+//   * Kevin  — history-based: customers with bad reputation are refused.
+// Joe, an outside customer, queries the RBAY information plane for a
+// package of resources.  The example shows how each policy is an ordinary
+// AAL onGet/onSubscribe handler — no RBAY code changes needed.
+
+#include <cstdio>
+
+#include "core/cluster.hpp"
+
+using namespace rbay;
+
+namespace {
+
+// Grace's policy (§I): "only wants her resources to be available to others
+// after 10:00 PM".  The admin flips `after_hours` via onDeliver.
+constexpr const char* kGracePolicy = R"(
+after_hours = false
+function onSubscribe(caller, topic)
+  if after_hours then return topic end
+  return nil
+end
+function onUnsubscribe(caller, topic)
+  if after_hours then return nil end
+  return topic
+end
+function onDeliver(caller, payload)
+  after_hours = (payload == "night")
+  return nil
+end
+)";
+
+// James's policy: password-gated gets (the paper's Fig. 5 handler).
+constexpr const char* kJamesPolicy = R"(
+AA = {Password = "3053482032"}
+function onGet(caller, payload)
+  if payload == AA.Password then return true end
+  return nil
+end
+)";
+
+// Kevin's policy: "prefers users who have good history logs".  A small
+// reputation table lives inside the AA — per-caller deny list plus a
+// strike counter for callers who keep failing.
+constexpr const char* kKevinPolicy = R"(
+reputation = {joe = 5, mallory = -2}
+function onGet(caller, payload)
+  local score = reputation[caller]
+  if score == nil then score = 0 end
+  if score >= 0 then return true end
+  return nil
+end
+)";
+
+core::QueryOutcome run_query(core::RBayCluster& cluster, std::size_t from,
+                             const std::string& sql) {
+  core::QueryOutcome outcome;
+  cluster.node(from).query().execute_sql(sql, [&](const core::QueryOutcome& o) { outcome = o; });
+  cluster.run();
+  return outcome;
+}
+
+void report(const char* who, const core::RBayCluster& cluster,
+            const core::QueryOutcome& outcome) {
+  if (outcome.satisfied) {
+    std::printf("%-28s -> got %zu node(s) in %.1f ms:", who, outcome.nodes.size(),
+                outcome.latency().as_millis());
+    for (const auto& c : outcome.nodes) {
+      std::printf(" %s@%s", c.node.id.to_hex().substr(0, 8).c_str(),
+                  cluster.directory().site_names[c.node.site].c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("%-28s -> DENIED (%d attempts%s%s)\n", who, outcome.attempts,
+                outcome.error.empty() ? "" : ": ", outcome.error.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.topology = net::Topology{{{"Grace"}, {"James"}, {"Kevin"}},
+                                  {{0.5, 60.0, 90.0}, {60.0, 0.5, 75.0}, {90.0, 75.0, 0.5}}};
+  config.seed = 2017;
+  config.node.scribe.aggregation_interval = util::SimTime::millis(100);
+  config.node.query.max_attempts = 2;  // deny fast for the demo
+
+  core::RBayCluster cluster{config};
+  cluster.add_tree_spec(core::TreeSpec::from_predicate(
+      {"GPU", query::CompareOp::Eq, store::AttributeValue{true}}));
+  cluster.add_tree_spec(core::TreeSpec::from_predicate(
+      {"Matlab", query::CompareOp::Eq, store::AttributeValue{"8.0"}}));
+  cluster.populate(6);
+
+  // Provision each site per Fig. 1, attaching the admin's policy to the
+  // shared attributes.
+  for (const auto idx : cluster.nodes_in_site(0)) {  // Grace: GPUs + Matlab
+    (void)cluster.node(idx).post("GPU", true, kGracePolicy);
+    (void)cluster.node(idx).post("Matlab", "8.0");
+  }
+  for (const auto idx : cluster.nodes_in_site(1)) {  // James: GPUs behind a password
+    (void)cluster.node(idx).post("GPU", true, kJamesPolicy);
+  }
+  for (const auto idx : cluster.nodes_in_site(2)) {  // Kevin: GPUs behind reputation
+    (void)cluster.node(idx).post("GPU", true, kKevinPolicy);
+  }
+  cluster.finalize();
+  cluster.run_for(util::SimTime::seconds(2));
+
+  std::printf("== Daytime: Grace's site is closed ==\n");
+  report("Joe asks Grace for 2 GPUs",
+         cluster, run_query(cluster, cluster.nodes_in_site(2)[1],
+                            "SELECT 2 FROM Grace WHERE GPU = true"));
+
+  std::printf("\n== 22:00: Grace flips 'night' on her nodes (onDeliver) ==\n");
+  // Hidden resources are not in any tree yet, so the admin uses her
+  // site-local management channel: onDeliver on each of her own nodes.
+  // (Tree multicasts are for policies on already-exposed resources —
+  // see admin_deliver in the policy_admin example.)
+  for (const auto idx : cluster.nodes_in_site(0)) {
+    auto* gpu = cluster.node(idx).attributes().find("GPU");
+    (void)gpu->on_deliver("grace", aal::Value::string("night"));
+  }
+  cluster.resubscribe_all();
+  cluster.run_for(util::SimTime::seconds(2));
+
+  report("Joe asks Grace for 2 GPUs",
+         cluster, run_query(cluster, cluster.nodes_in_site(2)[1],
+                            "SELECT 2 FROM Grace WHERE GPU = true"));
+
+  std::printf("\n== James's site: password required ==\n");
+  report("Joe, wrong password",
+         cluster, run_query(cluster, cluster.nodes_in_site(0)[1],
+                            "SELECT 1 FROM James WHERE GPU = true WITH \"letmein\""));
+  report("Joe, correct password",
+         cluster, run_query(cluster, cluster.nodes_in_site(0)[1],
+                            "SELECT 1 FROM James WHERE GPU = true WITH \"3053482032\""));
+
+  std::printf("\n== Kevin's site: reputation check (caller id is the query id) ==\n");
+  std::printf("(Kevin's handler scores unknown query-ids 0 -> allowed)\n");
+  report("Joe asks Kevin for 3 GPUs",
+         cluster, run_query(cluster, cluster.nodes_in_site(1)[2],
+                            "SELECT 3 FROM Kevin WHERE GPU = true"));
+
+  std::printf("\n== Composite cross-site package ==\n");
+  report("Joe: 4 GPUs from anywhere",
+         cluster, run_query(cluster, cluster.nodes_in_site(2)[0],
+                            "SELECT 4 FROM * WHERE GPU = true WITH \"3053482032\""));
+  return 0;
+}

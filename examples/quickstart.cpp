@@ -1,0 +1,69 @@
+// Quickstart: a minimal RBAY federation in ~60 lines of user code.
+//
+// Builds a two-site federation, posts spare resources on every node,
+// and runs one composite SQL query — the whole public API surface in
+// one sitting:  RBayCluster → post() → execute_sql() → commit().
+
+#include <cstdio>
+
+#include "core/cluster.hpp"
+
+using namespace rbay;
+
+int main() {
+  // 1. Describe the federation: two sites, 10 nodes each.
+  core::ClusterConfig config;
+  config.topology = net::Topology::uniform(/*sites=*/2, /*intra rtt ms=*/0.5,
+                                           /*cross rtt ms=*/80.0);
+  config.seed = 7;
+  config.node.scribe.aggregation_interval = util::SimTime::millis(100);
+
+  core::RBayCluster cluster{config};
+
+  // 2. Register the aggregation trees the federation will maintain —
+  //    one per shareable predicate (these are the paper's attribute trees).
+  cluster.add_tree_spec(core::TreeSpec::from_predicate(
+      {"GPU", query::CompareOp::Eq, store::AttributeValue{true}}));
+  cluster.add_tree_spec(core::TreeSpec::from_predicate(
+      {"CPU_utilization", query::CompareOp::Less, store::AttributeValue{0.1}}));
+
+  // 3. Create nodes and post their spare resources.
+  cluster.populate(/*per_site=*/10);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& node = cluster.node(i);
+    (void)node.post("GPU", i % 3 == 0);              // every third node has a GPU
+    (void)node.post("CPU_utilization", i % 2 ? 0.05 : 0.6);  // half are idle
+  }
+
+  // 4. Wire the federation together (routing tables, gateways, tree joins)
+  //    and let the aggregation warm up.
+  cluster.finalize();
+  cluster.run_for(util::SimTime::seconds(2));
+
+  // 5. A customer asks for two idle GPU servers anywhere in the federation.
+  core::QueryOutcome outcome;
+  cluster.node(0).query().execute_sql(
+      "SELECT 2 FROM * WHERE GPU = true AND CPU_utilization < 10% "
+      "GROUPBY CPU_utilization ASC",
+      [&](const core::QueryOutcome& o) { outcome = o; });
+  cluster.run();
+
+  if (!outcome.satisfied) {
+    std::printf("query failed after %d attempts: %s\n", outcome.attempts,
+                outcome.error.c_str());
+    return 1;
+  }
+
+  std::printf("query satisfied in %.1f ms (virtual) after %d attempt(s):\n",
+              outcome.latency().as_millis(), outcome.attempts);
+  for (const auto& c : outcome.nodes) {
+    std::printf("  node %s  site=%s  CPU=%.0f%%\n", c.node.id.to_hex().substr(0, 12).c_str(),
+                cluster.directory().site_names[c.node.site].c_str(), c.sort_value * 100);
+  }
+
+  // 6. Take them.
+  cluster.node(0).query().commit(outcome);
+  cluster.run();
+  std::printf("committed %zu reservations\n", outcome.nodes.size());
+  return 0;
+}

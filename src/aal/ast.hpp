@@ -1,0 +1,99 @@
+#pragma once
+
+// AAL abstract syntax tree.  The parser produces a Block; the interpreter
+// walks it.  Function bodies are shared_ptr so closures can share them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rbay::aal {
+
+struct Expr;
+struct Stat;
+using ExprPtr = std::unique_ptr<Expr>;
+using StatPtr = std::unique_ptr<Stat>;
+
+struct Block {
+  std::vector<StatPtr> stats;
+};
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod, Pow, Concat,
+  Eq, NotEq, Less, LessEq, Greater, GreaterEq,
+  And, Or,
+};
+
+enum class UnOp { Negate, Not, Length };
+
+struct FuncBody {
+  std::vector<std::string> params;
+  Block body;
+};
+
+enum class ExprKind {
+  Nil, True, False, Number, String,
+  Name,        // str = identifier
+  Index,       // a[b]  (a.b is sugar with b = string literal)
+  Call,        // a(list...)
+  MethodCall,  // a:str(list...)
+  Table,       // fields
+  Function,    // func
+  Binary,      // bin_op, a, b
+  Unary,       // un_op, a
+};
+
+struct TableField {
+  ExprPtr key;  // null for positional fields (array part)
+  ExprPtr value;
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  double number = 0.0;
+  std::string str;
+  BinOp bin_op = BinOp::Add;
+  UnOp un_op = UnOp::Not;
+  ExprPtr a;
+  ExprPtr b;
+  std::vector<ExprPtr> list;
+  std::vector<TableField> fields;
+  std::shared_ptr<FuncBody> func;
+};
+
+enum class StatKind {
+  Expr,        // exprs[0] — call used as a statement
+  Local,       // names = exprs
+  Assign,      // lhs = exprs
+  If,          // clauses, else_body (has_else)
+  While,       // a = condition, body
+  Repeat,      // body, a = until-condition
+  NumericFor,  // names[0], a = from, b = to, c = step, body
+  GenericFor,  // names, exprs, body
+  Return,      // exprs
+  Break,
+  Do,          // body
+};
+
+struct IfClause {
+  ExprPtr cond;
+  Block body;
+};
+
+struct Stat {
+  StatKind kind;
+  int line = 0;
+  std::vector<std::string> names;
+  std::vector<ExprPtr> lhs;
+  std::vector<ExprPtr> exprs;
+  std::vector<IfClause> clauses;
+  Block else_body;
+  bool has_else = false;
+  Block body;
+  ExprPtr a;
+  ExprPtr b;
+  ExprPtr c;
+};
+
+}  // namespace rbay::aal

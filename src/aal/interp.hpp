@@ -1,0 +1,72 @@
+#pragma once
+
+// AAL tree-walking interpreter with sandbox enforcement.
+//
+// Enforcement mirrors the paper's modified Lua interpreter (§III.B):
+//   * a strict step budget per invocation — exceeding it terminates the
+//     handler immediately;
+//   * a recursion-depth limit;
+//   * no kernel / filesystem / network libraries: the base environment
+//     contains only math, string and table manipulation plus a handful of
+//     basic functions (type, tostring, tonumber, pairs, ipairs, error).
+//   * print() is captured to an in-memory buffer the host can inspect.
+
+#include <string>
+#include <vector>
+
+#include "aal/ast.hpp"
+#include "aal/value.hpp"
+
+namespace rbay::aal {
+
+struct SandboxLimits {
+  /// Max interpreter steps per invocation (paper: bytecode instruction cap).
+  int max_steps = 10'000;
+  int max_recursion_depth = 64;
+};
+
+class Interp {
+ public:
+  explicit Interp(SandboxLimits limits) : limits_(limits) {}
+
+  /// Fresh global environment pre-loaded with the restricted stdlib.
+  [[nodiscard]] EnvPtr make_globals();
+
+  /// Runs a chunk in `env`.  Budget applies to the whole run.
+  /// Throws RuntimeError on script errors (including budget exhaustion).
+  void run_chunk(const Block& block, const EnvPtr& env);
+
+  /// Calls a callable value with `args`.
+  std::vector<Value> call_value(const Value& fn, std::vector<Value> args, int line);
+
+  /// Resets the step budget (host does this before each handler call).
+  void reset_budget() { steps_used_ = 0; }
+  [[nodiscard]] int steps_used() const { return steps_used_; }
+  [[nodiscard]] const SandboxLimits& limits() const { return limits_; }
+
+  /// Output captured from print().
+  [[nodiscard]] const std::vector<std::string>& output() const { return output_; }
+  void clear_output() { output_.clear(); }
+  void capture_print(std::string line) { output_.push_back(std::move(line)); }
+
+ private:
+  friend class Executor;
+
+  void step(int line) {
+    if (++steps_used_ > limits_.max_steps) {
+      throw RuntimeError{"instruction budget exceeded (" + std::to_string(limits_.max_steps) +
+                             " steps); handler terminated",
+                         line};
+    }
+  }
+
+  SandboxLimits limits_;
+  int steps_used_ = 0;
+  int depth_ = 0;
+  std::vector<std::string> output_;
+};
+
+/// Installs the restricted stdlib into `env` (exposed for tests).
+void install_stdlib(Env& env);
+
+}  // namespace rbay::aal

@@ -1,0 +1,263 @@
+#include "aal/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace rbay::aal {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::Name: return "name";
+    case TokenKind::KwAnd: return "'and'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwDo: return "'do'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwElseif: return "'elseif'";
+    case TokenKind::KwEnd: return "'end'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwFunction: return "'function'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwIn: return "'in'";
+    case TokenKind::KwLocal: return "'local'";
+    case TokenKind::KwNil: return "'nil'";
+    case TokenKind::KwNot: return "'not'";
+    case TokenKind::KwOr: return "'or'";
+    case TokenKind::KwRepeat: return "'repeat'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwThen: return "'then'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwUntil: return "'until'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Hash: return "'#'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'~='";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::Eof: return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& keywords() {
+  static const std::unordered_map<std::string, TokenKind> kw = {
+      {"and", TokenKind::KwAnd},       {"break", TokenKind::KwBreak},
+      {"do", TokenKind::KwDo},         {"else", TokenKind::KwElse},
+      {"elseif", TokenKind::KwElseif}, {"end", TokenKind::KwEnd},
+      {"false", TokenKind::KwFalse},   {"for", TokenKind::KwFor},
+      {"function", TokenKind::KwFunction},
+      {"if", TokenKind::KwIf},         {"in", TokenKind::KwIn},
+      {"local", TokenKind::KwLocal},   {"nil", TokenKind::KwNil},
+      {"not", TokenKind::KwNot},       {"or", TokenKind::KwOr},
+      {"repeat", TokenKind::KwRepeat}, {"return", TokenKind::KwReturn},
+      {"then", TokenKind::KwThen},     {"true", TokenKind::KwTrue},
+      {"until", TokenKind::KwUntil},   {"while", TokenKind::KwWhile},
+  };
+  return kw;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  bool match(char c) {
+    if (peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+util::Result<std::vector<Token>> lex(const std::string& source) {
+  std::vector<Token> out;
+  Cursor cur{source};
+
+  auto error_at = [](int line, const std::string& what) {
+    return util::make_error("lex error at line " + std::to_string(line) + ": " + what);
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && cur.peek(1) == '-') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      std::string num;
+      bool hex = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        hex = true;
+        num += cur.advance();
+        num += cur.advance();
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) num += cur.advance();
+        if (num.size() == 2) return error_at(line, "malformed hex number");
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) num += cur.advance();
+        if (cur.peek() == '.') {
+          num += cur.advance();
+          while (std::isdigit(static_cast<unsigned char>(cur.peek()))) num += cur.advance();
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          num += cur.advance();
+          if (cur.peek() == '+' || cur.peek() == '-') num += cur.advance();
+          if (!std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            return error_at(line, "malformed exponent");
+          }
+          while (std::isdigit(static_cast<unsigned char>(cur.peek()))) num += cur.advance();
+        }
+      }
+      Token t;
+      t.kind = TokenKind::Number;
+      t.number = hex ? static_cast<double>(std::strtoull(num.c_str() + 2, nullptr, 16))
+                     : std::strtod(num.c_str(), nullptr);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_') {
+        name += cur.advance();
+      }
+      Token t;
+      t.line = line;
+      auto it = keywords().find(name);
+      if (it != keywords().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = TokenKind::Name;
+        t.text = std::move(name);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = cur.advance();
+      std::string s;
+      for (;;) {
+        if (cur.done()) return error_at(line, "unterminated string");
+        const char ch = cur.advance();
+        if (ch == quote) break;
+        if (ch == '\n') return error_at(line, "unterminated string");
+        if (ch == '\\') {
+          if (cur.done()) return error_at(line, "unterminated escape");
+          const char esc = cur.advance();
+          switch (esc) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case 'r': s += '\r'; break;
+            case '\\': s += '\\'; break;
+            case '"': s += '"'; break;
+            case '\'': s += '\''; break;
+            case '0': s += '\0'; break;
+            default: return error_at(line, std::string("bad escape '\\") + esc + "'");
+          }
+        } else {
+          s += ch;
+        }
+      }
+      Token t;
+      t.kind = TokenKind::String;
+      t.text = std::move(s);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    cur.advance();
+    Token t;
+    t.line = line;
+    switch (c) {
+      case '+': t.kind = TokenKind::Plus; break;
+      case '-': t.kind = TokenKind::Minus; break;
+      case '*': t.kind = TokenKind::Star; break;
+      case '/': t.kind = TokenKind::Slash; break;
+      case '%': t.kind = TokenKind::Percent; break;
+      case '^': t.kind = TokenKind::Caret; break;
+      case '#': t.kind = TokenKind::Hash; break;
+      case '(': t.kind = TokenKind::LParen; break;
+      case ')': t.kind = TokenKind::RParen; break;
+      case '{': t.kind = TokenKind::LBrace; break;
+      case '}': t.kind = TokenKind::RBrace; break;
+      case '[': t.kind = TokenKind::LBracket; break;
+      case ']': t.kind = TokenKind::RBracket; break;
+      case ';': t.kind = TokenKind::Semicolon; break;
+      case ':': t.kind = TokenKind::Colon; break;
+      case ',': t.kind = TokenKind::Comma; break;
+      case '.':
+        t.kind = cur.match('.') ? TokenKind::DotDot : TokenKind::Dot;
+        break;
+      case '=': t.kind = cur.match('=') ? TokenKind::EqEq : TokenKind::Assign; break;
+      case '~':
+        if (!cur.match('=')) return error_at(line, "expected '=' after '~'");
+        t.kind = TokenKind::NotEq;
+        break;
+      case '<': t.kind = cur.match('=') ? TokenKind::LessEq : TokenKind::Less; break;
+      case '>': t.kind = cur.match('=') ? TokenKind::GreaterEq : TokenKind::Greater; break;
+      default: return error_at(line, std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::Eof;
+  eof.line = cur.line();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace rbay::aal

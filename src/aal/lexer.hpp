@@ -1,0 +1,18 @@
+#pragma once
+
+// AAL lexer: source text → token stream.  Supports Lua-style comments
+// (`--` to end of line), decimal/hex numbers, and quoted strings with the
+// common escape sequences.
+
+#include <string>
+#include <vector>
+
+#include "aal/token.hpp"
+#include "util/result.hpp"
+
+namespace rbay::aal {
+
+/// Tokenizes `source`; the error message includes the offending line.
+util::Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace rbay::aal

@@ -1,0 +1,465 @@
+#include "aal/parser.hpp"
+
+#include <utility>
+
+#include "aal/lexer.hpp"
+
+namespace rbay::aal {
+
+namespace {
+
+struct ParseError {
+  std::string message;
+  int line;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Block parse_chunk() {
+    Block block = parse_block();
+    expect(TokenKind::Eof);
+    return block;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const auto idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(TokenKind kind) {
+    if (!check(kind)) {
+      throw ParseError{std::string("expected ") + token_kind_name(kind) + ", got " +
+                           token_kind_name(peek().kind),
+                       peek().line};
+    }
+    return tokens_[pos_++];
+  }
+
+  [[nodiscard]] static bool block_ends(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::KwEnd:
+      case TokenKind::KwElse:
+      case TokenKind::KwElseif:
+      case TokenKind::KwUntil:
+      case TokenKind::Eof: return true;
+      default: return false;
+    }
+  }
+
+  Block parse_block() {
+    Block block;
+    while (!block_ends(peek().kind)) {
+      if (match(TokenKind::Semicolon)) continue;
+      auto stat = parse_statement();
+      const bool is_return = stat->kind == StatKind::Return;
+      block.stats.push_back(std::move(stat));
+      if (is_return) break;  // return ends a block
+    }
+    return block;
+  }
+
+  StatPtr parse_statement() {
+    const int line = peek().line;
+    switch (peek().kind) {
+      case TokenKind::KwLocal: return parse_local();
+      case TokenKind::KwIf: return parse_if();
+      case TokenKind::KwWhile: return parse_while();
+      case TokenKind::KwRepeat: return parse_repeat();
+      case TokenKind::KwFor: return parse_for();
+      case TokenKind::KwFunction: return parse_function_stat();
+      case TokenKind::KwReturn: return parse_return();
+      case TokenKind::KwDo: {
+        advance();
+        auto stat = make_stat(StatKind::Do, line);
+        stat->body = parse_block();
+        expect(TokenKind::KwEnd);
+        return stat;
+      }
+      case TokenKind::KwBreak: {
+        advance();
+        return make_stat(StatKind::Break, line);
+      }
+      default: return parse_expr_statement();
+    }
+  }
+
+  static StatPtr make_stat(StatKind kind, int line) {
+    auto stat = std::make_unique<Stat>();
+    stat->kind = kind;
+    stat->line = line;
+    return stat;
+  }
+  static ExprPtr make_expr(ExprKind kind, int line) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = kind;
+    expr->line = line;
+    return expr;
+  }
+
+  StatPtr parse_local() {
+    const int line = expect(TokenKind::KwLocal).line;
+    if (match(TokenKind::KwFunction)) {
+      // local function Name funcbody  ≡  local Name = function ... end
+      const std::string name = expect(TokenKind::Name).text;
+      auto stat = make_stat(StatKind::Local, line);
+      stat->names.push_back(name);
+      stat->exprs.push_back(parse_function_literal(line, /*implicit_self=*/false));
+      return stat;
+    }
+    auto stat = make_stat(StatKind::Local, line);
+    stat->names.push_back(expect(TokenKind::Name).text);
+    while (match(TokenKind::Comma)) stat->names.push_back(expect(TokenKind::Name).text);
+    if (match(TokenKind::Assign)) stat->exprs = parse_expr_list();
+    return stat;
+  }
+
+  StatPtr parse_if() {
+    const int line = expect(TokenKind::KwIf).line;
+    auto stat = make_stat(StatKind::If, line);
+    IfClause first;
+    first.cond = parse_expr();
+    expect(TokenKind::KwThen);
+    first.body = parse_block();
+    stat->clauses.push_back(std::move(first));
+    while (match(TokenKind::KwElseif)) {
+      IfClause clause;
+      clause.cond = parse_expr();
+      expect(TokenKind::KwThen);
+      clause.body = parse_block();
+      stat->clauses.push_back(std::move(clause));
+    }
+    if (match(TokenKind::KwElse)) {
+      stat->has_else = true;
+      stat->else_body = parse_block();
+    }
+    expect(TokenKind::KwEnd);
+    return stat;
+  }
+
+  StatPtr parse_while() {
+    const int line = expect(TokenKind::KwWhile).line;
+    auto stat = make_stat(StatKind::While, line);
+    stat->a = parse_expr();
+    expect(TokenKind::KwDo);
+    stat->body = parse_block();
+    expect(TokenKind::KwEnd);
+    return stat;
+  }
+
+  StatPtr parse_repeat() {
+    const int line = expect(TokenKind::KwRepeat).line;
+    auto stat = make_stat(StatKind::Repeat, line);
+    stat->body = parse_block();
+    expect(TokenKind::KwUntil);
+    stat->a = parse_expr();
+    return stat;
+  }
+
+  StatPtr parse_for() {
+    const int line = expect(TokenKind::KwFor).line;
+    std::vector<std::string> names;
+    names.push_back(expect(TokenKind::Name).text);
+    if (check(TokenKind::Assign) && names.size() == 1) {
+      advance();
+      auto stat = make_stat(StatKind::NumericFor, line);
+      stat->names = std::move(names);
+      stat->a = parse_expr();
+      expect(TokenKind::Comma);
+      stat->b = parse_expr();
+      if (match(TokenKind::Comma)) stat->c = parse_expr();
+      expect(TokenKind::KwDo);
+      stat->body = parse_block();
+      expect(TokenKind::KwEnd);
+      return stat;
+    }
+    while (match(TokenKind::Comma)) names.push_back(expect(TokenKind::Name).text);
+    expect(TokenKind::KwIn);
+    auto stat = make_stat(StatKind::GenericFor, line);
+    stat->names = std::move(names);
+    stat->exprs = parse_expr_list();
+    expect(TokenKind::KwDo);
+    stat->body = parse_block();
+    expect(TokenKind::KwEnd);
+    return stat;
+  }
+
+  // function Name{.Name}[:Name] funcbody  → assignment statement
+  StatPtr parse_function_stat() {
+    const int line = expect(TokenKind::KwFunction).line;
+    ExprPtr target = make_expr(ExprKind::Name, line);
+    target->str = expect(TokenKind::Name).text;
+    bool method = false;
+    while (check(TokenKind::Dot) || check(TokenKind::Colon)) {
+      const bool colon = check(TokenKind::Colon);
+      advance();
+      auto key = make_expr(ExprKind::String, peek().line);
+      key->str = expect(TokenKind::Name).text;
+      auto index = make_expr(ExprKind::Index, key->line);
+      index->a = std::move(target);
+      index->b = std::move(key);
+      target = std::move(index);
+      if (colon) {
+        method = true;
+        break;
+      }
+    }
+    auto stat = make_stat(StatKind::Assign, line);
+    stat->lhs.push_back(std::move(target));
+    stat->exprs.push_back(parse_function_literal(line, method));
+    return stat;
+  }
+
+  StatPtr parse_return() {
+    const int line = expect(TokenKind::KwReturn).line;
+    auto stat = make_stat(StatKind::Return, line);
+    if (!block_ends(peek().kind) && !check(TokenKind::Semicolon)) {
+      stat->exprs = parse_expr_list();
+    }
+    match(TokenKind::Semicolon);
+    return stat;
+  }
+
+  StatPtr parse_expr_statement() {
+    const int line = peek().line;
+    ExprPtr first = parse_suffixed();
+    if (check(TokenKind::Assign) || check(TokenKind::Comma)) {
+      auto stat = make_stat(StatKind::Assign, line);
+      validate_assign_target(*first);
+      stat->lhs.push_back(std::move(first));
+      while (match(TokenKind::Comma)) {
+        auto target = parse_suffixed();
+        validate_assign_target(*target);
+        stat->lhs.push_back(std::move(target));
+      }
+      expect(TokenKind::Assign);
+      stat->exprs = parse_expr_list();
+      return stat;
+    }
+    if (first->kind != ExprKind::Call && first->kind != ExprKind::MethodCall) {
+      throw ParseError{"expression statement must be a call", line};
+    }
+    auto stat = make_stat(StatKind::Expr, line);
+    stat->exprs.push_back(std::move(first));
+    return stat;
+  }
+
+  static void validate_assign_target(const Expr& e) {
+    if (e.kind != ExprKind::Name && e.kind != ExprKind::Index) {
+      throw ParseError{"cannot assign to this expression", e.line};
+    }
+  }
+
+  std::vector<ExprPtr> parse_expr_list() {
+    std::vector<ExprPtr> list;
+    list.push_back(parse_expr());
+    while (match(TokenKind::Comma)) list.push_back(parse_expr());
+    return list;
+  }
+
+  // Precedence-climbing expression parser.
+  struct OpInfo {
+    BinOp op;
+    int left;
+    int right;  // right < left → right-associative
+  };
+
+  static bool binary_op(TokenKind kind, OpInfo& out) {
+    switch (kind) {
+      case TokenKind::KwOr: out = {BinOp::Or, 1, 2}; return true;
+      case TokenKind::KwAnd: out = {BinOp::And, 3, 4}; return true;
+      case TokenKind::Less: out = {BinOp::Less, 5, 6}; return true;
+      case TokenKind::Greater: out = {BinOp::Greater, 5, 6}; return true;
+      case TokenKind::LessEq: out = {BinOp::LessEq, 5, 6}; return true;
+      case TokenKind::GreaterEq: out = {BinOp::GreaterEq, 5, 6}; return true;
+      case TokenKind::EqEq: out = {BinOp::Eq, 5, 6}; return true;
+      case TokenKind::NotEq: out = {BinOp::NotEq, 5, 6}; return true;
+      case TokenKind::DotDot: out = {BinOp::Concat, 9, 8}; return true;  // right-assoc
+      case TokenKind::Plus: out = {BinOp::Add, 10, 11}; return true;
+      case TokenKind::Minus: out = {BinOp::Sub, 10, 11}; return true;
+      case TokenKind::Star: out = {BinOp::Mul, 12, 13}; return true;
+      case TokenKind::Slash: out = {BinOp::Div, 12, 13}; return true;
+      case TokenKind::Percent: out = {BinOp::Mod, 12, 13}; return true;
+      case TokenKind::Caret: out = {BinOp::Pow, 17, 16}; return true;  // right-assoc
+      default: return false;
+    }
+  }
+
+  static constexpr int kUnaryPrec = 14;
+
+  ExprPtr parse_expr(int min_prec = 0) {
+    ExprPtr left;
+    const int line = peek().line;
+    if (check(TokenKind::KwNot) || check(TokenKind::Minus) || check(TokenKind::Hash)) {
+      const TokenKind kind = advance().kind;
+      auto unary = make_expr(ExprKind::Unary, line);
+      unary->un_op = kind == TokenKind::KwNot  ? UnOp::Not
+                     : kind == TokenKind::Minus ? UnOp::Negate
+                                                : UnOp::Length;
+      unary->a = parse_expr(kUnaryPrec);
+      left = std::move(unary);
+    } else {
+      left = parse_simple();
+    }
+
+    OpInfo info;
+    while (binary_op(peek().kind, info) && info.left > min_prec) {
+      advance();
+      auto bin = make_expr(ExprKind::Binary, line);
+      bin->bin_op = info.op;
+      bin->a = std::move(left);
+      bin->b = parse_expr(info.right);
+      left = std::move(bin);
+    }
+    return left;
+  }
+
+  ExprPtr parse_simple() {
+    const int line = peek().line;
+    switch (peek().kind) {
+      case TokenKind::KwNil: advance(); return make_expr(ExprKind::Nil, line);
+      case TokenKind::KwTrue: advance(); return make_expr(ExprKind::True, line);
+      case TokenKind::KwFalse: advance(); return make_expr(ExprKind::False, line);
+      case TokenKind::Number: {
+        auto e = make_expr(ExprKind::Number, line);
+        e->number = advance().number;
+        return e;
+      }
+      case TokenKind::String: {
+        auto e = make_expr(ExprKind::String, line);
+        e->str = advance().text;
+        return e;
+      }
+      case TokenKind::KwFunction: {
+        advance();
+        return parse_function_literal(line, /*implicit_self=*/false);
+      }
+      case TokenKind::LBrace: return parse_table(line);
+      default: return parse_suffixed();
+    }
+  }
+
+  ExprPtr parse_function_literal(int line, bool implicit_self) {
+    auto e = make_expr(ExprKind::Function, line);
+    e->func = std::make_shared<FuncBody>();
+    if (implicit_self) e->func->params.push_back("self");
+    expect(TokenKind::LParen);
+    if (!check(TokenKind::RParen)) {
+      e->func->params.push_back(expect(TokenKind::Name).text);
+      while (match(TokenKind::Comma)) e->func->params.push_back(expect(TokenKind::Name).text);
+    }
+    expect(TokenKind::RParen);
+    e->func->body = parse_block();
+    expect(TokenKind::KwEnd);
+    return e;
+  }
+
+  ExprPtr parse_table(int line) {
+    expect(TokenKind::LBrace);
+    auto e = make_expr(ExprKind::Table, line);
+    while (!check(TokenKind::RBrace)) {
+      TableField field;
+      if (check(TokenKind::LBracket)) {
+        advance();
+        field.key = parse_expr();
+        expect(TokenKind::RBracket);
+        expect(TokenKind::Assign);
+        field.value = parse_expr();
+      } else if (check(TokenKind::Name) && peek(1).kind == TokenKind::Assign) {
+        auto key = make_expr(ExprKind::String, peek().line);
+        key->str = advance().text;
+        advance();  // '='
+        field.key = std::move(key);
+        field.value = parse_expr();
+      } else {
+        field.value = parse_expr();
+      }
+      e->fields.push_back(std::move(field));
+      if (!match(TokenKind::Comma) && !match(TokenKind::Semicolon)) break;
+    }
+    expect(TokenKind::RBrace);
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    const int line = peek().line;
+    if (check(TokenKind::Name)) {
+      auto e = make_expr(ExprKind::Name, line);
+      e->str = advance().text;
+      return e;
+    }
+    if (match(TokenKind::LParen)) {
+      auto inner = parse_expr();
+      expect(TokenKind::RParen);
+      return inner;
+    }
+    throw ParseError{std::string("unexpected token ") + token_kind_name(peek().kind), line};
+  }
+
+  ExprPtr parse_suffixed() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      const int line = peek().line;
+      if (match(TokenKind::Dot)) {
+        auto key = make_expr(ExprKind::String, line);
+        key->str = expect(TokenKind::Name).text;
+        auto index = make_expr(ExprKind::Index, line);
+        index->a = std::move(e);
+        index->b = std::move(key);
+        e = std::move(index);
+      } else if (match(TokenKind::LBracket)) {
+        auto index = make_expr(ExprKind::Index, line);
+        index->a = std::move(e);
+        index->b = parse_expr();
+        expect(TokenKind::RBracket);
+        e = std::move(index);
+      } else if (check(TokenKind::LParen)) {
+        advance();
+        auto call = make_expr(ExprKind::Call, line);
+        call->a = std::move(e);
+        if (!check(TokenKind::RParen)) call->list = parse_expr_list();
+        expect(TokenKind::RParen);
+        e = std::move(call);
+      } else if (check(TokenKind::Colon)) {
+        advance();
+        auto call = make_expr(ExprKind::MethodCall, line);
+        call->str = expect(TokenKind::Name).text;
+        call->a = std::move(e);
+        expect(TokenKind::LParen);
+        if (!check(TokenKind::RParen)) call->list = parse_expr_list();
+        expect(TokenKind::RParen);
+        e = std::move(call);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Block> parse(const std::string& source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return util::make_error(tokens.error());
+  try {
+    Parser parser{tokens.take()};
+    return parser.parse_chunk();
+  } catch (const ParseError& e) {
+    return util::make_error("parse error at line " + std::to_string(e.line) + ": " + e.message);
+  }
+}
+
+}  // namespace rbay::aal

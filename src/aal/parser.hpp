@@ -1,0 +1,15 @@
+#pragma once
+
+// AAL recursive-descent parser: tokens → Block (AST).
+
+#include <string>
+
+#include "aal/ast.hpp"
+#include "util/result.hpp"
+
+namespace rbay::aal {
+
+/// Parses an AAL chunk.  Errors carry line numbers.
+util::Result<Block> parse(const std::string& source);
+
+}  // namespace rbay::aal

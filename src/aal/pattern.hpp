@@ -1,0 +1,65 @@
+#pragma once
+
+// Lua pattern matching for the AAL sandbox.
+//
+// Implements the core of Lua 5.x patterns: character classes (%a %d %s %w
+// %u %l %p %c %x and their uppercase complements), '.' wildcard, sets
+// ([abc], [a-z], [^...], classes inside sets), quantifiers (* + - ?),
+// anchors (^ $), captures (up to 9) and back-references (%1..%9).
+// Deliberately omitted (rarely used in policies, documented): balanced
+// match %b, frontier %f, and position captures ().
+//
+// Matching is bounded: the engine counts elementary steps and aborts past
+// a limit, so a pathological pattern cannot stall the sandbox any more
+// than a runaway loop can.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rbay::aal {
+
+struct PatternError {
+  std::string message;
+};
+
+struct MatchResult {
+  /// Byte offsets into the subject: [start, end).
+  std::size_t start = 0;
+  std::size_t end = 0;
+  /// Captured substrings, in order of their opening parentheses.
+  std::vector<std::string> captures;
+};
+
+class Pattern {
+ public:
+  /// Throws PatternError on malformed patterns.
+  static Pattern compile(std::string_view pattern);
+
+  /// Finds the first match at or after `init` (0-based byte offset).
+  /// Steps are capped; exceeding the cap counts as no match plus an error.
+  [[nodiscard]] std::optional<MatchResult> find(std::string_view subject,
+                                                std::size_t init = 0) const;
+
+  /// gsub: replaces up to `max_replacements` matches (SIZE_MAX = all) with
+  /// `replacement`, where %0 is the whole match and %1..%9 are captures
+  /// (%% a literal percent).  Returns (result, replacement count).
+  [[nodiscard]] std::pair<std::string, int> gsub(std::string_view subject,
+                                                 std::string_view replacement,
+                                                 std::size_t max_replacements) const;
+
+  [[nodiscard]] bool anchored() const { return anchored_; }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+ private:
+  explicit Pattern(std::string source);
+
+  struct Matcher;
+
+  std::string source_;
+  std::string body_;  // pattern with the leading '^' stripped
+  bool anchored_ = false;
+};
+
+}  // namespace rbay::aal

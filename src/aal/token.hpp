@@ -1,0 +1,37 @@
+#pragma once
+
+// Tokens of the Active Attribute Language (AAL), RBAY's sandboxed Lua
+// subset (§III.B).  Admin-written handlers — onGet, onSubscribe,
+// onUnsubscribe, onDeliver, onTimer — are written in this language.
+
+#include <string>
+
+namespace rbay::aal {
+
+enum class TokenKind {
+  // literals / names
+  Number,
+  String,
+  Name,
+  // keywords
+  KwAnd, KwBreak, KwDo, KwElse, KwElseif, KwEnd, KwFalse, KwFor, KwFunction,
+  KwIf, KwIn, KwLocal, KwNil, KwNot, KwOr, KwRepeat, KwReturn, KwThen,
+  KwTrue, KwUntil, KwWhile,
+  // symbols
+  Plus, Minus, Star, Slash, Percent, Caret, Hash,
+  EqEq, NotEq, LessEq, GreaterEq, Less, Greater, Assign,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Colon, Comma, Dot, DotDot,
+  Eof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;    // name / string contents
+  double number = 0.0; // numeric literal value
+  int line = 0;
+};
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace rbay::aal

@@ -1,0 +1,110 @@
+#include "aal/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "aal/ast.hpp"
+
+namespace rbay::aal {
+
+Value Value::native(NativeFn fn) {
+  return Value{Storage{std::make_shared<NativeFn>(std::move(fn))}};
+}
+
+const char* Value::type_name() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return "boolean";
+  if (is_number()) return "number";
+  if (is_string()) return "string";
+  if (is_table()) return "table";
+  return "function";
+}
+
+bool Value::equals(const Value& o) const {
+  if (v_.index() != o.v_.index()) return false;
+  if (is_nil()) return true;
+  if (is_bool()) return as_bool() == o.as_bool();
+  if (is_number()) return as_number() == o.as_number();
+  if (is_string()) return as_string() == o.as_string();
+  if (is_table()) return as_table() == o.as_table();
+  if (is_closure()) return as_closure() == o.as_closure();
+  return as_native() == o.as_native();
+}
+
+std::string number_to_string(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.14g", d);
+  return buf;
+}
+
+std::string Value::to_display_string() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_number()) return number_to_string(as_number());
+  if (is_string()) return as_string();
+  char buf[32];
+  if (is_table()) {
+    std::snprintf(buf, sizeof buf, "table: %p", static_cast<const void*>(as_table().get()));
+  } else if (is_closure()) {
+    std::snprintf(buf, sizeof buf, "function: %p", static_cast<const void*>(as_closure().get()));
+  } else {
+    std::snprintf(buf, sizeof buf, "function: builtin");
+  }
+  return buf;
+}
+
+std::size_t Table::sequence_length() const {
+  std::size_t n = 0;
+  while (entries.count(TableKey{static_cast<double>(n + 1)}) != 0) ++n;
+  return n;
+}
+
+namespace {
+std::size_t key_footprint(const TableKey& k) {
+  if (const auto* s = std::get_if<std::string>(&k)) return 32 + s->size();
+  return 16;
+}
+}  // namespace
+
+std::size_t Value::footprint_inner(std::unordered_set<const void*>& seen) const {
+  constexpr std::size_t kBase = 16;  // tagged value slot
+  if (is_string()) return kBase + 16 + as_string().size();
+  if (is_table()) {
+    const auto* raw = static_cast<const void*>(as_table().get());
+    if (!seen.insert(raw).second) return kBase;  // already counted
+    std::size_t total = kBase + 48;
+    for (const auto& [k, v] : as_table()->entries) {
+      total += key_footprint(k) + v.footprint_inner(seen);
+    }
+    return total;
+  }
+  if (is_closure()) {
+    const auto* raw = static_cast<const void*>(as_closure().get());
+    if (!seen.insert(raw).second) return kBase;
+    // Closure header only: the captured environment is shared state that
+    // is accounted at its owner (walking it from every closure would count
+    // the whole global scope once per handler).
+    return kBase + 64;
+  }
+  if (is_native()) return kBase + 32;
+  return kBase;
+}
+
+std::size_t Value::footprint() const {
+  std::unordered_set<const void*> seen;
+  return footprint_inner(seen);
+}
+
+TableKey to_key(const Value& v, int line) {
+  if (v.is_bool()) return TableKey{v.as_bool()};
+  if (v.is_number()) return TableKey{v.as_number()};
+  if (v.is_string()) return TableKey{v.as_string()};
+  throw RuntimeError{std::string("invalid table key of type ") + v.type_name(), line};
+}
+
+}  // namespace rbay::aal

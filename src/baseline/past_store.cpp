@@ -1,0 +1,34 @@
+#include "baseline/past_store.hpp"
+
+#include <algorithm>
+
+namespace rbay::baseline {
+
+void PastStore::put(const std::string& key, const pastry::NodeId& node) {
+  auto& list = entries_[key];
+  if (std::find(list.begin(), list.end(), node) == list.end()) list.push_back(node);
+}
+
+std::vector<pastry::NodeId> PastStore::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::vector<pastry::NodeId>{} : it->second;
+}
+
+bool PastStore::remove(const std::string& key, const pastry::NodeId& node) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  const auto before = it->second.size();
+  std::erase(it->second, node);
+  if (it->second.empty()) entries_.erase(it);
+  return before > 0;
+}
+
+std::size_t PastStore::memory_footprint() const {
+  std::size_t total = 48;
+  for (const auto& [key, list] : entries_) {
+    total += 32 + key.size() + 24 + list.size() * 16;
+  }
+  return total;
+}
+
+}  // namespace rbay::baseline

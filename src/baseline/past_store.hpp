@@ -1,0 +1,35 @@
+#pragma once
+
+// Past-like key-value baseline (Rowstron & Druschel, SOSP'01), as used in
+// the paper's Fig. 8c memory comparison: "for Past nodes, only the NodeId
+// is saved, which returns the same list of NodeIds upon a get request."
+// No handlers, no policy — just attribute → NodeId list.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pastry/node_id.hpp"
+
+namespace rbay::baseline {
+
+class PastStore {
+ public:
+  /// Registers `node` under attribute `key`.
+  void put(const std::string& key, const pastry::NodeId& node);
+
+  /// All NodeIds registered under `key` (empty if none).
+  [[nodiscard]] std::vector<pastry::NodeId> get(const std::string& key) const;
+
+  [[nodiscard]] bool remove(const std::string& key, const pastry::NodeId& node);
+
+  [[nodiscard]] std::size_t key_count() const { return entries_.size(); }
+
+  /// Approximate resident bytes — the Fig. 8c baseline curve.
+  [[nodiscard]] std::size_t memory_footprint() const;
+
+ private:
+  std::map<std::string, std::vector<pastry::NodeId>> entries_;
+};
+
+}  // namespace rbay::baseline

@@ -1,0 +1,75 @@
+#include "core/cluster.hpp"
+
+namespace rbay::core {
+
+RBayCluster::RBayCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      engine_(config_.seed),
+      overlay_(engine_, config_.topology, config_.pastry),
+      tree_specs_(std::make_shared<std::vector<TreeSpec>>()),
+      taxonomy_(std::make_shared<Taxonomy>()) {}
+
+RBayNode& RBayCluster::add_node(net::SiteId site, const std::string& admin) {
+  RBAY_REQUIRE(!finalized_, "add_node after finalize");
+  nodes_.push_back(std::make_unique<RBayNode>(overlay_, site, admin, config_.node));
+  return *nodes_.back();
+}
+
+void RBayCluster::populate(std::size_t per_site) {
+  for (net::SiteId s = 0; s < config_.topology.site_count(); ++s) {
+    for (std::size_t i = 0; i < per_site; ++i) {
+      add_node(s, config_.topology.site(s).name + "-admin");
+    }
+  }
+}
+
+void RBayCluster::add_tree_spec(TreeSpec spec) {
+  RBAY_REQUIRE(!finalized_, "add_tree_spec after finalize");
+  tree_specs_->push_back(std::move(spec));
+}
+
+void RBayCluster::set_taxonomy(Taxonomy taxonomy) {
+  RBAY_REQUIRE(!finalized_, "set_taxonomy after finalize");
+  *taxonomy_ = std::move(taxonomy);
+}
+
+std::vector<std::size_t> RBayCluster::nodes_in_site(net::SiteId site) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->site() == site) out.push_back(i);
+  }
+  return out;
+}
+
+void RBayCluster::finalize() {
+  RBAY_REQUIRE(!finalized_, "finalize called twice");
+  RBAY_REQUIRE(!nodes_.empty(), "finalize with no nodes");
+  finalized_ = true;
+
+  overlay_.build_static();
+
+  // Designate the first node of each site as its gateway ("border router").
+  auto directory = std::make_shared<Directory>();
+  for (net::SiteId s = 0; s < config_.topology.site_count(); ++s) {
+    directory->site_names.push_back(config_.topology.site(s).name);
+    const auto members = nodes_in_site(s);
+    RBAY_REQUIRE(!members.empty(), "every site needs at least one node");
+    directory->gateways.push_back(nodes_[members.front()]->self());
+  }
+  directory_ = std::move(directory);
+
+  for (auto& node : nodes_) {
+    node->set_tree_specs(tree_specs_);
+    node->set_taxonomy(taxonomy_);
+    node->set_directory(directory_);
+  }
+
+  resubscribe_all();
+  engine_.run();  // drain the join traffic
+}
+
+void RBayCluster::resubscribe_all() {
+  for (auto& node : nodes_) node->reevaluate_subscriptions();
+}
+
+}  // namespace rbay::core

@@ -1,0 +1,101 @@
+#pragma once
+
+// RBAY core wire messages: the anycast candidate buffer (Fig. 7, step 3-4)
+// and the cross-site query protocol spoken between query interfaces and
+// site gateways ("border routers").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pastry/messages.hpp"
+#include "query/sql.hpp"
+#include "scribe/messages.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::core {
+
+/// One discovered (and reserved) resource node.
+struct Candidate {
+  pastry::NodeRef node;
+  double sort_value = 0.0;  // value of the GROUPBY attribute, if any
+};
+
+/// The anycast payload: "this anycast message has a buffer of k empty
+/// entries" (§III.D step 3).  Members fill entries as the DFS visits them.
+struct CandidatePayload final : scribe::AnycastPayload {
+  std::string query_id;  // reservation holder identity
+  int k = 1;
+  std::string get_payload;  // forwarded to onGet (e.g. password)
+  std::vector<query::Predicate> predicates;
+  std::optional<std::string> group_by;
+  util::SimTime hold = util::SimTime::millis(500);
+  std::vector<Candidate> found;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t size = 64 + get_payload.size() + found.size() * 32;
+    for (const auto& p : predicates) size += 24 + p.attribute.size() + p.literal.wire_size();
+    return size;
+  }
+};
+
+/// Query interface → remote site gateway: run this query inside your site.
+struct SiteQueryRequest final : pastry::AppMessage {
+  std::uint64_t request_id = 0;
+  int attempt = 0;
+  pastry::NodeRef origin;
+  std::string query_id;
+  bool count_only = false;
+  int k = 1;
+  std::string get_payload;
+  std::vector<query::Predicate> predicates;
+  std::optional<std::string> group_by;
+  util::SimTime hold = util::SimTime::millis(500);
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t size = 96 + get_payload.size();
+    for (const auto& p : predicates) size += 24 + p.attribute.size() + p.literal.wire_size();
+    return size;
+  }
+  [[nodiscard]] const char* type_name() const override { return "rbay.SiteQueryRequest"; }
+};
+
+/// Gateway → query interface: candidates found in my site.
+struct SiteQueryReply final : pastry::AppMessage {
+  std::uint64_t request_id = 0;
+  int attempt = 0;
+  net::SiteId site = 0;
+  int members_visited = 0;
+  double count = 0.0;  // for count-only queries
+  std::vector<Candidate> candidates;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 32 + candidates.size() * 32;
+  }
+  [[nodiscard]] const char* type_name() const override { return "rbay.SiteQueryReply"; }
+};
+
+/// Customer decision on a reserved node (Fig. 7, step 5).  `lease` bounds
+/// the tenancy (zero = indefinite).
+struct CommitMsg final : pastry::AppMessage {
+  std::string query_id;
+  util::SimTime lease = util::SimTime::zero();
+  [[nodiscard]] std::size_t wire_size() const override { return 24 + query_id.size(); }
+  [[nodiscard]] const char* type_name() const override { return "rbay.Commit"; }
+};
+
+/// Tenant extends its lease before expiry.
+struct RenewMsg final : pastry::AppMessage {
+  std::string query_id;
+  util::SimTime lease = util::SimTime::zero();
+  [[nodiscard]] std::size_t wire_size() const override { return 24 + query_id.size(); }
+  [[nodiscard]] const char* type_name() const override { return "rbay.Renew"; }
+};
+
+struct ReleaseMsg final : pastry::AppMessage {
+  std::string query_id;
+  [[nodiscard]] std::size_t wire_size() const override { return 16 + query_id.size(); }
+  [[nodiscard]] const char* type_name() const override { return "rbay.Release"; }
+};
+
+}  // namespace rbay::core

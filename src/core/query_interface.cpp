@@ -1,0 +1,431 @@
+#include "core/query_interface.hpp"
+
+#include <algorithm>
+
+#include "core/rbay_node.hpp"
+#include "util/log.hpp"
+
+namespace rbay::core {
+
+QueryInterface::QueryInterface(RBayNode& owner, QueryConfig config)
+    : owner_(owner), config_(config) {
+  owner_.pastry().register_app(kAppName, this);
+}
+
+void QueryInterface::execute_sql(const std::string& sql, Callback callback) {
+  auto parsed = query::parse_query(sql);
+  if (!parsed.ok()) {
+    QueryOutcome outcome;
+    outcome.error = parsed.error();
+    outcome.started = outcome.finished = owner_.engine().now();
+    callback(outcome);
+    return;
+  }
+  execute(parsed.take(), std::move(callback));
+}
+
+void QueryInterface::execute(query::Query query, Callback callback) {
+  const auto id = next_id_++;
+  Pending pending;
+  pending.query = std::move(query);
+  pending.callback = std::move(callback);
+  pending.outcome.query_id = owner_.self().id.to_hex().substr(0, 12) + "#" + std::to_string(id);
+  pending.outcome.started = owner_.engine().now();
+  pending_.emplace(id, std::move(pending));
+  attempt(id);
+}
+
+std::vector<net::SiteId> QueryInterface::resolve_sites(const query::Query& q,
+                                                       std::string& error) const {
+  const auto* dir = owner_.directory();
+  std::vector<net::SiteId> sites;
+  if (q.sites.empty()) {
+    if (dir == nullptr) {
+      sites.push_back(owner_.site());  // standalone node: own site only
+      return sites;
+    }
+    for (net::SiteId s = 0; s < dir->site_names.size(); ++s) sites.push_back(s);
+    return sites;
+  }
+  if (dir == nullptr) {
+    error = "no federation directory: cannot resolve site names";
+    return sites;
+  }
+  for (const auto& name : q.sites) {
+    const auto site = dir->site_by_name(name);
+    if (!site) {
+      error = "unknown site: " + name;
+      return {};
+    }
+    sites.push_back(*site);
+  }
+  return sites;
+}
+
+void QueryInterface::attempt(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  auto& p = it->second;
+  ++p.outcome.attempts;
+  p.gathered.clear();
+  p.count_total = 0.0;
+
+  std::string error;
+  auto sites = resolve_sites(p.query, error);
+  if (!error.empty() || sites.empty()) {
+    p.outcome.error = error.empty() ? "no sites to query" : error;
+    finish_attempt(id);
+    return;
+  }
+  p.outcome.sites_queried = static_cast<int>(sites.size());
+  p.waiting_sites = static_cast<int>(sites.size());
+
+  SiteJob job;
+  job.query_id = p.outcome.query_id;
+  job.count_only = p.query.count_only;
+  job.k = p.query.group_by ? p.query.k * std::max(1, config_.groupby_oversample) : p.query.k;
+  job.get_payload = p.query.payload;
+  job.predicates = p.query.predicates;
+  job.group_by = p.query.group_by;
+  job.hold = config_.reservation_hold;
+
+  const int attempt_no = p.outcome.attempts;
+  // Sites that never answer (lost messages under churn, dead tree nodes)
+  // must not hang the query: treat them as empty at the deadline.
+  p.timeout.cancel();
+  p.timeout = owner_.engine().schedule(config_.site_timeout, [this, id, attempt_no]() {
+    auto tit = pending_.find(id);
+    if (tit == pending_.end()) return;
+    auto& tp = tit->second;
+    if (tp.outcome.attempts != attempt_no || tp.waiting_sites <= 0) return;
+    tp.outcome.sites_timed_out += tp.waiting_sites;
+    tp.waiting_sites = 0;
+    finish_attempt(id);
+  });
+  for (const auto site : sites) {
+    if (site == owner_.site()) {
+      // Local part runs on this very node's query interface.
+      run_site_query(job, [this, id, attempt_no](std::vector<Candidate> cands, int visited,
+                                                 double count) {
+        auto pit = pending_.find(id);
+        if (pit == pending_.end() || pit->second.outcome.attempts != attempt_no) return;
+        site_done(id, std::move(cands), visited, count);
+      });
+    } else {
+      const auto* dir = owner_.directory();
+      RBAY_REQUIRE(dir != nullptr && site < dir->gateways.size(),
+                   "cross-site query without gateway directory");
+      auto req = std::make_unique<SiteQueryRequest>();
+      req->request_id = id;
+      req->attempt = attempt_no;
+      req->origin = owner_.self();
+      req->query_id = job.query_id;
+      req->count_only = job.count_only;
+      req->k = job.k;
+      req->get_payload = job.get_payload;
+      req->predicates = job.predicates;
+      req->group_by = job.group_by;
+      req->hold = job.hold;
+      owner_.pastry().send_direct(dir->gateways[site], std::move(req), kAppName);
+    }
+  }
+}
+
+void QueryInterface::site_done(std::uint64_t id, std::vector<Candidate> candidates,
+                               int visited, double count) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  auto& p = it->second;
+  p.outcome.members_visited += visited;
+  p.count_total += count;
+  for (auto& c : candidates) p.gathered.push_back(std::move(c));
+  if (--p.waiting_sites == 0) finish_attempt(id);
+}
+
+void QueryInterface::finish_attempt(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  auto& p = it->second;
+
+  p.timeout.cancel();
+  if (!p.outcome.error.empty()) {
+    p.outcome.satisfied = false;
+    p.outcome.finished = owner_.engine().now();
+    auto cb = std::move(p.callback);
+    auto outcome = std::move(p.outcome);
+    pending_.erase(it);
+    cb(outcome);
+    return;
+  }
+
+  if (p.query.count_only) {
+    // Aggregate answer: no reservations, no retries.
+    p.outcome.count = p.count_total;
+    p.outcome.satisfied = true;
+    p.outcome.finished = owner_.engine().now();
+    auto cb = std::move(p.callback);
+    auto outcome = std::move(p.outcome);
+    pending_.erase(it);
+    cb(outcome);
+    return;
+  }
+
+  // Deterministic candidate order: GROUPBY value, ties by node id.
+  const bool desc = p.query.descending;
+  std::sort(p.gathered.begin(), p.gathered.end(), [&](const Candidate& a, const Candidate& b) {
+    if (a.sort_value != b.sort_value) {
+      return desc ? a.sort_value > b.sort_value : a.sort_value < b.sort_value;
+    }
+    return a.node.id < b.node.id;
+  });
+
+  const auto want = static_cast<std::size_t>(p.query.k);
+  if (p.gathered.size() >= want) {
+    p.outcome.nodes.assign(p.gathered.begin(), p.gathered.begin() + static_cast<long>(want));
+    // Release the surplus reservations immediately.
+    for (std::size_t i = want; i < p.gathered.size(); ++i) {
+      auto release = std::make_unique<ReleaseMsg>();
+      release->query_id = p.outcome.query_id;
+      owner_.pastry().send_direct(p.gathered[i].node, std::move(release), kAppName);
+    }
+    p.outcome.satisfied = true;
+    p.outcome.finished = owner_.engine().now();
+    auto cb = std::move(p.callback);
+    auto outcome = std::move(p.outcome);
+    pending_.erase(it);
+    cb(outcome);
+    return;
+  }
+
+  // Not enough: release everything and retry after truncated exponential
+  // backoff, or give up after max_attempts.
+  for (const auto& c : p.gathered) {
+    auto release = std::make_unique<ReleaseMsg>();
+    release->query_id = p.outcome.query_id;
+    owner_.pastry().send_direct(c.node, std::move(release), kAppName);
+  }
+  p.gathered.clear();
+
+  if (p.outcome.attempts >= config_.max_attempts) {
+    p.outcome.satisfied = false;
+    p.outcome.finished = owner_.engine().now();
+    auto cb = std::move(p.callback);
+    auto outcome = std::move(p.outcome);
+    pending_.erase(it);
+    cb(outcome);
+    return;
+  }
+
+  const query::Backoff backoff{config_.backoff_slot};
+  const auto delay = backoff.delay_after(p.outcome.attempts, owner_.engine().rng());
+  owner_.engine().schedule(delay, [this, id]() { attempt(id); });
+}
+
+// --- site-local execution (five steps of Fig. 7) ---------------------------------
+
+std::vector<std::optional<std::string>> QueryInterface::tree_canonicals(
+    const std::vector<query::Predicate>& predicates) const {
+  std::vector<std::optional<std::string>> out;
+  const auto& specs = owner_.tree_specs();
+  auto has_spec = [&](const std::string& canonical) {
+    return std::any_of(specs.begin(), specs.end(),
+                       [&](const TreeSpec& s) { return s.canonical == canonical; });
+  };
+  for (const auto& pred : predicates) {
+    const auto canonical = pred.canonical();
+    if (has_spec(canonical)) {
+      out.emplace_back(canonical);
+      continue;
+    }
+    // Hybrid naming: resolve a minor attribute to its major's existence
+    // tree ("link this new attribute to certain major tree", §III.C).
+    if (const auto* taxonomy = owner_.taxonomy()) {
+      if (auto major = taxonomy->major_of(pred.attribute)) {
+        const auto existence = "has:" + *major;
+        if (has_spec(existence)) {
+          out.emplace_back(existence);
+          continue;
+        }
+      }
+    }
+    out.emplace_back(std::nullopt);
+  }
+  return out;
+}
+
+void QueryInterface::run_site_query(
+    SiteJob job, std::function<void(std::vector<Candidate>, int visited, double count)> done) {
+  const auto canonicals = tree_canonicals(job.predicates);
+  std::vector<std::string> trees;
+  for (const auto& c : canonicals) {
+    if (c && std::find(trees.begin(), trees.end(), *c) == trees.end()) trees.push_back(*c);
+  }
+  if (trees.empty()) {
+    done({}, 0, 0.0);
+    return;
+  }
+
+  const std::string site_name =
+      owner_.directory() && owner_.site() < owner_.directory()->site_names.size()
+          ? owner_.directory()->site_names[owner_.site()]
+          : "site" + std::to_string(owner_.site());
+
+  struct ProbeState {
+    SiteJob job;
+    std::vector<std::string> trees;
+    std::vector<scribe::TopicId> topics;
+    std::vector<double> sizes;
+    std::size_t remaining = 0;
+    std::function<void(std::vector<Candidate>, int, double)> done;
+  };
+  auto state = std::make_shared<ProbeState>();
+  state->job = std::move(job);
+  state->trees = trees;
+  state->done = std::move(done);
+  state->sizes.assign(trees.size(), 0.0);
+  state->remaining = trees.size();
+  for (const auto& tree : trees) state->topics.push_back(site_topic(tree, site_name));
+
+  auto anycast_smallest = [this, state]() {
+    // Step 3: "choose the tree with smaller size to send another anycast".
+    std::size_t best = SIZE_MAX;
+    for (std::size_t i = 0; i < state->sizes.size(); ++i) {
+      if (state->sizes[i] <= 0.0) continue;
+      if (best == SIZE_MAX || state->sizes[i] < state->sizes[best]) best = i;
+    }
+    if (best == SIZE_MAX) {
+      state->done({}, 0, 0.0);  // no tree has members: nothing matches here
+      return;
+    }
+    if (state->job.count_only) {
+      // SELECT COUNT stops after steps 1-2: the root's aggregate IS the
+      // answer (exact for a single tree-backed predicate; the smallest
+      // tree's size is the tight upper bound for conjunctions).
+      state->done({}, 0, state->sizes[best]);
+      return;
+    }
+    auto payload = std::make_unique<CandidatePayload>();
+    payload->query_id = state->job.query_id;
+    payload->k = state->job.k;
+    payload->get_payload = state->job.get_payload;
+    payload->predicates = state->job.predicates;
+    payload->group_by = state->job.group_by;
+    payload->hold = state->job.hold;
+    owner_.scribe().anycast(
+        state->topics[best], std::move(payload),
+        [state](bool /*satisfied*/, int visited, scribe::AnycastPayload& result) {
+          auto& filled = dynamic_cast<CandidatePayload&>(result);
+          state->done(std::move(filled.found), visited, 0.0);
+        },
+        pastry::Scope::Site);
+  };
+
+  // Steps 1-2: probe every predicate tree's size in parallel.
+  for (std::size_t i = 0; i < state->topics.size(); ++i) {
+    owner_.scribe().probe_size(
+        state->topics[i],
+        [state, i, anycast_smallest](double size) {
+          state->sizes[i] = size;
+          if (--state->remaining == 0) anycast_smallest();
+        },
+        pastry::Scope::Site);
+  }
+}
+
+// --- commit / release ---------------------------------------------------------
+
+void QueryInterface::commit(const QueryOutcome& outcome, util::SimTime lease) {
+  for (const auto& c : outcome.nodes) {
+    auto msg = std::make_unique<CommitMsg>();
+    msg->query_id = outcome.query_id;
+    msg->lease = lease;
+    owner_.pastry().send_direct(c.node, std::move(msg), kAppName);
+  }
+}
+
+void QueryInterface::renew(const QueryOutcome& outcome, util::SimTime lease) {
+  for (const auto& c : outcome.nodes) {
+    auto msg = std::make_unique<RenewMsg>();
+    msg->query_id = outcome.query_id;
+    msg->lease = lease;
+    owner_.pastry().send_direct(c.node, std::move(msg), kAppName);
+  }
+}
+
+void QueryInterface::release(const QueryOutcome& outcome) {
+  for (const auto& c : outcome.nodes) {
+    auto msg = std::make_unique<ReleaseMsg>();
+    msg->query_id = outcome.query_id;
+    owner_.pastry().send_direct(c.node, std::move(msg), kAppName);
+  }
+}
+
+// --- message handling ------------------------------------------------------------
+
+void QueryInterface::deliver(const pastry::NodeId& /*key*/, pastry::AppMessage& msg,
+                             int /*hops*/) {
+  RBAY_WARN("rbay.query", "unexpected routed message " << msg.type_name());
+}
+
+void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& msg) {
+  if (auto* req = dynamic_cast<SiteQueryRequest*>(&msg)) {
+    // Gateway role: run the query inside our site and reply to the origin.
+    SiteJob job;
+    job.query_id = req->query_id;
+    job.count_only = req->count_only;
+    job.k = req->k;
+    job.get_payload = req->get_payload;
+    job.predicates = req->predicates;
+    job.group_by = req->group_by;
+    job.hold = req->hold;
+    const auto request_id = req->request_id;
+    const auto attempt_no = req->attempt;
+    const auto origin = req->origin;
+    run_site_query(std::move(job),
+                   [this, request_id, attempt_no, origin](std::vector<Candidate> cands,
+                                                          int visited, double count) {
+                     auto reply = std::make_unique<SiteQueryReply>();
+                     reply->request_id = request_id;
+                     reply->attempt = attempt_no;
+                     reply->site = owner_.site();
+                     reply->members_visited = visited;
+                     reply->count = count;
+                     reply->candidates = std::move(cands);
+                     owner_.pastry().send_direct(origin, std::move(reply), kAppName);
+                   });
+    return;
+  }
+  if (auto* reply = dynamic_cast<SiteQueryReply*>(&msg)) {
+    auto it = pending_.find(reply->request_id);
+    if (it == pending_.end() || it->second.outcome.attempts != reply->attempt) {
+      // Stale reply from an earlier attempt: release its reservations.
+      for (const auto& c : reply->candidates) {
+        auto release = std::make_unique<ReleaseMsg>();
+        release->query_id = it == pending_.end() ? "" : it->second.outcome.query_id;
+        if (!release->query_id.empty()) {
+          owner_.pastry().send_direct(c.node, std::move(release), kAppName);
+        }
+      }
+      return;
+    }
+    site_done(reply->request_id, std::move(reply->candidates), reply->members_visited,
+              reply->count);
+    return;
+  }
+  if (auto* commit = dynamic_cast<CommitMsg*>(&msg)) {
+    owner_.lock().commit(commit->query_id, owner_.engine().now(), commit->lease);
+    return;
+  }
+  if (auto* renew = dynamic_cast<RenewMsg*>(&msg)) {
+    owner_.lock().renew(renew->query_id, owner_.engine().now(), renew->lease);
+    return;
+  }
+  if (auto* release = dynamic_cast<ReleaseMsg*>(&msg)) {
+    owner_.lock().release(release->query_id, owner_.engine().now());
+    return;
+  }
+  RBAY_WARN("rbay.query", "unhandled direct message " << msg.type_name() << " from "
+                                                      << from.id.to_hex());
+}
+
+}  // namespace rbay::core

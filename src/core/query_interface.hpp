@@ -1,0 +1,126 @@
+#pragma once
+
+// QueryInterface: executes composite SQL queries over the federation.
+//
+// Implements the paper's five-step protocol (Fig. 7) per site:
+//   1. probe the size of every predicate tree (empty message to the
+//      TreeId roots),
+//   2. roots answer with their aggregated tree sizes,
+//   3. anycast a k-slot buffer into the smallest tree,
+//   4. members check the remaining predicates + run onGet authorization +
+//      reserve themselves + fill slots,
+//   5. the interface commits or releases the reservations.
+// Cross-site queries fan out in parallel to each requested site's gateway
+// ("border router", §III.E); conflicts trigger re-query after a truncated
+// exponential backoff.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "core/naming.hpp"
+#include "core/query_config.hpp"
+#include "pastry/node.hpp"
+#include "query/reservation.hpp"
+#include "query/sql.hpp"
+
+namespace rbay::core {
+
+class RBayNode;
+
+/// Final result of a composite query.
+struct QueryOutcome {
+  bool satisfied = false;
+  std::string error;  // non-empty on planner-level failure
+  std::string query_id;
+  std::vector<Candidate> nodes;  // reserved candidates (k best)
+  int attempts = 0;
+  int sites_queried = 0;
+  int sites_timed_out = 0;
+  int members_visited = 0;
+  /// SELECT COUNT result: matching members across the queried sites, read
+  /// from the tree roots' aggregates (no anycast, no reservations).
+  double count = 0.0;
+  util::SimTime started = util::SimTime::zero();
+  util::SimTime finished = util::SimTime::zero();
+
+  [[nodiscard]] util::SimTime latency() const { return finished - started; }
+};
+
+class QueryInterface final : public pastry::PastryApp {
+ public:
+  QueryInterface(RBayNode& owner, QueryConfig config = {});
+
+  using Callback = std::function<void(const QueryOutcome&)>;
+
+  /// Parses and executes SQL text ("each query interface works
+  /// independently to look up resources for its nearby customers").
+  void execute_sql(const std::string& sql, Callback callback);
+
+  void execute(query::Query query, Callback callback);
+
+  /// Customer decision on the outcome's reservations.  A non-zero `lease`
+  /// bounds the tenancy; expired leases return nodes to the pool unless
+  /// renewed.
+  void commit(const QueryOutcome& outcome, util::SimTime lease = util::SimTime::zero());
+  void renew(const QueryOutcome& outcome, util::SimTime lease);
+  void release(const QueryOutcome& outcome);
+
+  // PastryApp (direct messages: site queries, commits, releases).
+  void deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int hops) override;
+  void receive(const pastry::NodeRef& from, pastry::AppMessage& msg) override;
+
+  static constexpr const char* kAppName = "rbay.query";
+
+ private:
+  struct SiteJob {
+    std::string query_id;
+    bool count_only = false;
+    int k = 1;
+    std::string get_payload;
+    std::vector<query::Predicate> predicates;
+    std::optional<std::string> group_by;
+    util::SimTime hold;
+  };
+
+  struct Pending {
+    query::Query query;
+    Callback callback;
+    QueryOutcome outcome;
+    int waiting_sites = 0;
+    double count_total = 0.0;
+    std::vector<Candidate> gathered;
+    sim::Timer timeout;
+  };
+
+  void attempt(std::uint64_t id);
+  void site_done(std::uint64_t id, std::vector<Candidate> candidates, int visited,
+                 double count);
+  void finish_attempt(std::uint64_t id);
+
+  /// Runs the 5-step protocol inside this node's own site; used both for
+  /// the local part of a query and when acting as a gateway for a remote
+  /// query interface.  For count-only jobs, stops after steps 1-2 (size
+  /// probes) and reports the smallest tree's aggregate.
+  void run_site_query(SiteJob job,
+                      std::function<void(std::vector<Candidate>, int visited, double count)> done);
+
+  [[nodiscard]] std::vector<net::SiteId> resolve_sites(const query::Query& q,
+                                                       std::string& error) const;
+
+  /// Trees (canonicals) available for these predicates in this site, in
+  /// predicate order; empty optional entries mean "no tree" (minor
+  /// attribute — resolved through the taxonomy or skipped).
+  [[nodiscard]] std::vector<std::optional<std::string>> tree_canonicals(
+      const std::vector<query::Predicate>& predicates) const;
+
+  RBayNode& owner_;
+  QueryConfig config_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace rbay::core

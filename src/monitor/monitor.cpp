@@ -1,0 +1,64 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+
+namespace rbay::monitor {
+
+void ResourceMonitor::add_metric(MetricSpec spec) {
+  MetricState state;
+  state.spec = std::move(spec);
+  if (const auto* walk = std::get_if<RandomWalk>(&state.spec.model)) {
+    state.walk_value = walk->initial;
+    store_.update_value(state.spec.attribute, walk->initial);
+  } else if (const auto* constant = std::get_if<Constant>(&state.spec.model)) {
+    store_.update_value(state.spec.attribute, constant->value);
+  } else if (const auto* flip = std::get_if<Flip>(&state.spec.model)) {
+    state.flip_value = flip->initial;
+    store_.update_value(state.spec.attribute, flip->initial);
+  } else if (const auto* noisy = std::get_if<Noisy>(&state.spec.model)) {
+    const double v = std::clamp(rng_.gaussian(noisy->mean, noisy->stddev), noisy->min, noisy->max);
+    state.walk_value = v;
+    store_.update_value(state.spec.attribute, v);
+  }
+  metrics_.push_back(std::move(state));
+}
+
+void ResourceMonitor::apply(MetricState& m) {
+  if (const auto* walk = std::get_if<RandomWalk>(&m.spec.model)) {
+    const double delta = (rng_.uniform_double() * 2.0 - 1.0) * walk->step;
+    m.walk_value = std::clamp(m.walk_value + delta, walk->min, walk->max);
+    store_.update_value(m.spec.attribute, m.walk_value);
+  } else if (std::get_if<Constant>(&m.spec.model) != nullptr) {
+    // Constants never change; nothing to write.
+  } else if (const auto* flip = std::get_if<Flip>(&m.spec.model)) {
+    if (rng_.chance(flip->flip_probability)) {
+      m.flip_value = !m.flip_value;
+      store_.update_value(m.spec.attribute, m.flip_value);
+    }
+  } else if (const auto* noisy = std::get_if<Noisy>(&m.spec.model)) {
+    m.walk_value = std::clamp(rng_.gaussian(noisy->mean, noisy->stddev), noisy->min, noisy->max);
+    store_.update_value(m.spec.attribute, m.walk_value);
+  }
+}
+
+void ResourceMonitor::tick() {
+  ++ticks_;
+  for (auto& m : metrics_) apply(m);
+  if (on_tick) on_tick();
+}
+
+void ResourceMonitor::start(sim::Engine& engine, util::SimTime interval) {
+  stop();
+  timer_ = engine.schedule_periodic(interval, [this]() { tick(); });
+}
+
+std::vector<MetricSpec> standard_node_metrics(util::Rng& rng) {
+  std::vector<MetricSpec> specs;
+  specs.push_back({"CPU_utilization", RandomWalk{rng.uniform_double(), 0.0, 1.0, 0.05}});
+  specs.push_back({"Mem_free_gb", Noisy{3.75, 0.5, 0.0, 4.0}});
+  specs.push_back({"GPU", Flip{rng.chance(0.3), 0.002}});
+  specs.push_back({"Matlab", Constant{store::AttributeValue{rng.chance(0.5) ? "9.0" : "8.0"}}});
+  return specs;
+}
+
+}  // namespace rbay::monitor

@@ -1,0 +1,51 @@
+#include "monitor/reliability.hpp"
+
+#include <algorithm>
+
+namespace rbay::monitor {
+
+void ReliabilityTracker::fold(double& ewma, double sample_s) const {
+  ewma = ewma <= 0.0 ? sample_s : alpha_ * sample_s + (1.0 - alpha_) * ewma;
+}
+
+void ReliabilityTracker::record_up(util::SimTime now) {
+  if (observed_ && !up_) {
+    fold(ewma_down_s_, (now - last_transition_).as_seconds());
+    ++down_sessions_;
+    ++sessions_;
+  }
+  up_ = true;
+  observed_ = true;
+  last_transition_ = now;
+}
+
+void ReliabilityTracker::record_down(util::SimTime now) {
+  if (observed_ && up_) {
+    fold(ewma_up_s_, (now - last_transition_).as_seconds());
+    ++up_sessions_;
+    ++sessions_;
+  }
+  up_ = false;
+  observed_ = true;
+  last_transition_ = now;
+}
+
+double ReliabilityTracker::predicted_availability(util::SimTime now) const {
+  if (!observed_) return prior_;
+
+  double up_s = ewma_up_s_;
+  double down_s = ewma_down_s_;
+  // Fold the ongoing session in once it outgrows its EWMA: a node that has
+  // stayed up far longer than its history suggests deserves credit now,
+  // not only at the next transition.
+  const double elapsed_s = (now - last_transition_).as_seconds();
+  if (up_ && elapsed_s > up_s) up_s = elapsed_s;
+  if (!up_ && elapsed_s > down_s) down_s = elapsed_s;
+
+  if (up_s <= 0.0 && down_s <= 0.0) return up_ ? prior_ : 0.0;
+  if (down_s <= 0.0) return 1.0;
+  if (up_s <= 0.0) return 0.0;
+  return up_s / (up_s + down_s);
+}
+
+}  // namespace rbay::monitor

@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace rbay::net {
+
+EndpointId Network::add_endpoint(SiteId site, Handler handler) {
+  RBAY_REQUIRE(site < topology_.site_count(), "Network::add_endpoint: unknown site");
+  RBAY_REQUIRE(handler != nullptr, "Network::add_endpoint: handler required");
+  endpoints_.push_back(Endpoint{site, std::move(handler), false, {}});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+util::SimTime Network::expected_delay(EndpointId a, EndpointId b) const {
+  return topology_.one_way(endpoints_.at(a).site, endpoints_.at(b).site);
+}
+
+bool Network::partitioned(SiteId a, SiteId b) const {
+  return std::any_of(partitions_.begin(), partitions_.end(), [&](const auto& p) {
+    return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+  });
+}
+
+void Network::set_partitioned(SiteId a, SiteId b, bool on) {
+  if (on) {
+    if (!partitioned(a, b)) partitions_.emplace_back(a, b);
+  } else {
+    std::erase_if(partitions_, [&](const auto& p) {
+      return (p.first == a && p.second == b) || (p.first == b && p.second == a);
+    });
+  }
+}
+
+void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payload) {
+  RBAY_REQUIRE(from < endpoints_.size(), "Network::send: unknown sender");
+  RBAY_REQUIRE(to < endpoints_.size(), "Network::send: unknown receiver");
+  RBAY_REQUIRE(payload != nullptr, "Network::send: payload required");
+
+  auto& src = endpoints_[from];
+  if (src.down) {
+    // A dead node does not speak: its timers may still fire in the
+    // simulation, but nothing leaves the machine.
+    ++stats_.messages_dropped;
+    return;
+  }
+  const std::size_t size = payload->wire_size();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += size;
+  ++src.stats.sent;
+  src.stats.bytes_sent += size;
+
+  const SiteId sa = src.site;
+  const SiteId sb = endpoints_[to].site;
+  if (partitioned(sa, sb) || (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  util::SimTime delay = topology_.one_way(sa, sb);
+  if (from == to) delay = util::SimTime::micros(10);  // local dispatch
+  if (jitter_ > 0.0) {
+    const double factor = 1.0 + jitter_ * engine_.rng().uniform_double();
+    delay = util::SimTime::micros(
+        static_cast<std::int64_t>(static_cast<double>(delay.as_micros()) * factor));
+  }
+
+  // std::function requires copyable callables, so the unique_ptr travels
+  // inside a shared box and is moved out exactly once at delivery.
+  auto box = std::make_shared<std::unique_ptr<Payload>>(std::move(payload));
+  engine_.schedule(delay, [this, from, to, box, size]() {
+    auto& dst = endpoints_[to];
+    if (dst.down) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    ++dst.stats.received;
+    dst.stats.bytes_received += size;
+    dst.handler(Envelope{from, to, std::move(*box)});
+  });
+}
+
+void Network::reset_stats() {
+  stats_ = {};
+  for (auto& ep : endpoints_) ep.stats = {};
+}
+
+}  // namespace rbay::net

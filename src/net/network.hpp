@@ -1,0 +1,122 @@
+#pragma once
+
+// Simulated message-passing network over the discrete-event engine.
+//
+// Endpoints register a delivery handler and get a dense EndpointId.  send()
+// samples a one-way delay from the topology (RTT/2 × jitter) and schedules
+// delivery.  The network also does byte accounting (for the bandwidth
+// ablations) and supports failure injection: endpoint down/up, message drop
+// probability, and site partitions.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/contract.hpp"
+
+namespace rbay::net {
+
+using EndpointId = std::uint32_t;
+constexpr EndpointId kInvalidEndpoint = static_cast<EndpointId>(-1);
+
+/// Polymorphic message payload.  Concrete protocol messages (Pastry JOIN,
+/// Scribe ANYCAST, query probes, ...) derive from this and report their
+/// approximate wire size for bandwidth accounting.
+struct Payload {
+  virtual ~Payload() = default;
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  [[nodiscard]] virtual const char* type_name() const = 0;
+};
+
+struct Envelope {
+  EndpointId from = kInvalidEndpoint;
+  EndpointId to = kInvalidEndpoint;
+  std::unique_ptr<Payload> payload;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+struct EndpointStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Envelope)>;
+
+  Network(sim::Engine& engine, Topology topology)
+      : engine_(engine), topology_(std::move(topology)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers an endpoint at `site`; the handler runs on each delivery.
+  EndpointId add_endpoint(SiteId site, Handler handler);
+
+  [[nodiscard]] SiteId site_of(EndpointId ep) const { return endpoints_.at(ep).site; }
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// Sends `payload` from → to; delivery is scheduled after the sampled
+  /// one-way delay.  Loopback (from == to) is delivered after a tiny local
+  /// dispatch delay.
+  void send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payload);
+
+  /// Expected one-way delay between two endpoints (no jitter) — used by
+  /// proximity-aware routing decisions.
+  [[nodiscard]] util::SimTime expected_delay(EndpointId a, EndpointId b) const;
+
+  // --- failure injection -------------------------------------------------
+  void set_endpoint_down(EndpointId ep, bool down) { endpoints_.at(ep).down = down; }
+  [[nodiscard]] bool is_down(EndpointId ep) const { return endpoints_.at(ep).down; }
+  void set_drop_probability(double p) {
+    RBAY_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability must be in [0, 1]");
+    drop_probability_ = p;
+  }
+  /// Severs (or heals) all links between two sites.
+  void set_partitioned(SiteId a, SiteId b, bool partitioned);
+
+  /// Multiplies every sampled delay by `1 + jitter × U(0,1)`.
+  void set_jitter(double jitter) {
+    RBAY_REQUIRE(jitter >= 0.0, "jitter must be non-negative");
+    jitter_ = jitter;
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const EndpointStats& endpoint_stats(EndpointId ep) const {
+    return endpoints_.at(ep).stats;
+  }
+  void reset_stats();
+
+ private:
+  struct Endpoint {
+    SiteId site;
+    Handler handler;
+    bool down = false;
+    EndpointStats stats;
+  };
+
+  [[nodiscard]] bool partitioned(SiteId a, SiteId b) const;
+
+  sim::Engine& engine_;
+  Topology topology_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::pair<SiteId, SiteId>> partitions_;
+  double drop_probability_ = 0.0;
+  double jitter_ = 0.1;
+  NetworkStats stats_;
+};
+
+}  // namespace rbay::net

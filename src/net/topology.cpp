@@ -1,0 +1,61 @@
+#include "net/topology.hpp"
+
+namespace rbay::net {
+
+Topology::Topology(std::vector<Site> sites, std::vector<std::vector<double>> rtt_ms)
+    : sites_(std::move(sites)), rtt_ms_(std::move(rtt_ms)) {
+  RBAY_REQUIRE(!sites_.empty(), "Topology: at least one site required");
+  RBAY_REQUIRE(rtt_ms_.size() == sites_.size(), "Topology: RTT matrix row count mismatch");
+  for (const auto& row : rtt_ms_) {
+    RBAY_REQUIRE(row.size() == sites_.size(), "Topology: RTT matrix column count mismatch");
+  }
+}
+
+SiteId Topology::site_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == name) return static_cast<SiteId>(i);
+  }
+  RBAY_REQUIRE(false, "Topology::site_by_name: unknown site");
+  return 0;  // unreachable
+}
+
+Topology Topology::ec2_eight_sites() {
+  std::vector<Site> sites{{"Virginia"}, {"Oregon"},    {"California"}, {"Ireland"},
+                          {"Singapore"}, {"Tokyo"},    {"Sydney"},     {"SaoPaulo"}};
+  // Upper triangle from the paper's Table II (ms); mirrored below.
+  std::vector<std::vector<double>> m(8, std::vector<double>(8, 0.0));
+  const double t[8][8] = {
+      // Vir      Ore      Cal      Ire      Sin      Tok      Syd      SP
+      {0.559, 60.018, 83.407, 87.407, 275.549, 191.601, 239.897, 123.966},   // Virginia
+      {0.0, 0.576, 20.441, 166.223, 200.296, 133.825, 190.985, 205.493},     // Oregon
+      {0.0, 0.0, 0.489, 163.944, 174.701, 132.695, 186.027, 195.109},        // California
+      {0.0, 0.0, 0.0, 0.513, 194.371, 274.962, 322.284, 325.274},            // Ireland
+      {0.0, 0.0, 0.0, 0.0, 0.540, 92.850, 184.894, 396.856},                 // Singapore
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.435, 127.156, 374.363},                    // Tokyo
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.565, 323.613},                        // Sydney
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.436},                            // Sao Paulo
+  };
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i; j < 8; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = t[i][j];
+      m[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = t[i][j];
+    }
+  }
+  return Topology{std::move(sites), std::move(m)};
+}
+
+Topology Topology::single_site(double intra_rtt_ms) {
+  return Topology{{{"Local"}}, {{intra_rtt_ms}}};
+}
+
+Topology Topology::uniform(std::size_t k, double intra_rtt_ms, double cross_rtt_ms) {
+  RBAY_REQUIRE(k > 0, "Topology::uniform: k must be positive");
+  std::vector<Site> sites;
+  sites.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) sites.push_back({"Site" + std::to_string(i)});
+  std::vector<std::vector<double>> m(k, std::vector<double>(k, cross_rtt_ms));
+  for (std::size_t i = 0; i < k; ++i) m[i][i] = intra_rtt_ms;
+  return Topology{std::move(sites), std::move(m)};
+}
+
+}  // namespace rbay::net

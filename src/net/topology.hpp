@@ -1,0 +1,58 @@
+#pragma once
+
+// Geographic topology: federated sites and the inter-site latency model.
+//
+// The canonical instance is the paper's Table II — average round-trip
+// latencies between the eight Amazon EC2 regions the RBAY evaluation ran
+// on.  One-way message delay = RTT / 2, plus multiplicative jitter.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::net {
+
+using SiteId = std::uint32_t;
+
+struct Site {
+  std::string name;
+};
+
+class Topology {
+ public:
+  /// `rtt_ms[i][j]` is the round-trip time between sites i and j in
+  /// milliseconds; the diagonal is the intra-site RTT.
+  Topology(std::vector<Site> sites, std::vector<std::vector<double>> rtt_ms);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const Site& site(SiteId id) const { return sites_.at(id); }
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+
+  /// Site id by name; requires the name to exist.
+  [[nodiscard]] SiteId site_by_name(const std::string& name) const;
+
+  [[nodiscard]] double rtt_ms(SiteId a, SiteId b) const { return rtt_ms_.at(a).at(b); }
+  [[nodiscard]] util::SimTime one_way(SiteId a, SiteId b) const {
+    return util::SimTime::millis(rtt_ms(a, b) / 2.0);
+  }
+
+  /// The paper's Table II: Virginia, Oregon, California, Ireland,
+  /// Singapore, Tokyo, Sydney, Sao Paulo.
+  static Topology ec2_eight_sites();
+
+  /// A single-site topology for microbenchmarks (§IV.B runs in one site).
+  static Topology single_site(double intra_rtt_ms = 0.5);
+
+  /// A synthetic k-site topology with uniform cross-site RTT (for
+  /// scalability sweeps beyond eight sites).
+  static Topology uniform(std::size_t k, double intra_rtt_ms, double cross_rtt_ms);
+
+ private:
+  std::vector<Site> sites_;
+  std::vector<std::vector<double>> rtt_ms_;
+};
+
+}  // namespace rbay::net

@@ -1,0 +1,87 @@
+#include "pastry/leaf_set.hpp"
+
+#include <algorithm>
+
+namespace rbay::pastry {
+
+namespace {
+/// Inserts into a side kept sorted by `dist(owner, x)`, truncating to half.
+bool insert_side(std::vector<NodeRef>& side, const NodeRef& candidate, const NodeId& owner,
+                 int half, bool clockwise) {
+  auto dist = [&](const NodeRef& r) {
+    return clockwise ? owner.cw_distance(r.id) : r.id.cw_distance(owner);
+  };
+  for (const auto& r : side) {
+    if (r.id == candidate.id) return false;
+  }
+  auto pos = std::find_if(side.begin(), side.end(),
+                          [&](const NodeRef& r) { return dist(candidate) < dist(r); });
+  side.insert(pos, candidate);
+  if (static_cast<int>(side.size()) > half) {
+    side.pop_back();
+    // If the candidate itself fell off, nothing changed logically.
+  }
+  return std::any_of(side.begin(), side.end(),
+                     [&](const NodeRef& r) { return r.id == candidate.id; });
+}
+}  // namespace
+
+bool LeafSet::consider(const NodeRef& candidate) {
+  if (candidate.id == owner_.id) return false;
+  // A node can qualify on both sides in tiny overlays; try both.
+  const bool a = insert_side(cw_, candidate, owner_.id, half_, /*clockwise=*/true);
+  const bool b = insert_side(ccw_, candidate, owner_.id, half_, /*clockwise=*/false);
+  return a || b;
+}
+
+void LeafSet::remove(const NodeId& id) {
+  std::erase_if(cw_, [&](const NodeRef& r) { return r.id == id; });
+  std::erase_if(ccw_, [&](const NodeRef& r) { return r.id == id; });
+}
+
+bool LeafSet::covers(const NodeId& key) const {
+  if (key == owner_.id) return true;
+  // Incomplete sides mean we know of no farther node in that direction, so
+  // the set covers that whole side.
+  const bool cw_full = static_cast<int>(cw_.size()) >= half_;
+  const bool ccw_full = static_cast<int>(ccw_.size()) >= half_;
+  const auto cw_dist = owner_.id.cw_distance(key);
+  const auto ccw_dist = key.cw_distance(owner_.id);
+  // Take the nearer direction to decide which boundary applies.
+  if (cw_dist <= ccw_dist) {
+    if (!cw_full) return true;
+    return cw_dist <= owner_.id.cw_distance(cw_.back().id);
+  }
+  if (!ccw_full) return true;
+  return ccw_dist <= ccw_.back().id.cw_distance(owner_.id);
+}
+
+NodeRef LeafSet::closest(const NodeId& key) const {
+  NodeRef best = owner_;
+  for (const auto& r : cw_) {
+    if (closer_to(key, r.id, best.id)) best = r;
+  }
+  for (const auto& r : ccw_) {
+    if (closer_to(key, r.id, best.id)) best = r;
+  }
+  return best;
+}
+
+std::vector<NodeRef> LeafSet::all() const {
+  std::vector<NodeRef> out = cw_;
+  for (const auto& r : ccw_) {
+    if (std::none_of(out.begin(), out.end(), [&](const NodeRef& o) { return o.id == r.id; })) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+bool LeafSet::contains(const NodeId& id) const {
+  auto has = [&](const std::vector<NodeRef>& v) {
+    return std::any_of(v.begin(), v.end(), [&](const NodeRef& r) { return r.id == id; });
+  };
+  return has(cw_) || has(ccw_);
+}
+
+}  // namespace rbay::pastry

@@ -1,0 +1,82 @@
+#pragma once
+
+// Wire-level Pastry messages.
+//
+// Applications (Scribe, the RBAY query plane) talk in AppMessage subclasses;
+// Pastry wraps them in RouteEnvelope for key-based routing or DirectEnvelope
+// for point-to-point sends between nodes that already know each other (tree
+// parent/child links).  Join uses its own envelope pair.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pastry/routing_table.hpp"
+
+namespace rbay::pastry {
+
+/// Routing scope: Global crosses site boundaries, Site implements RBAY's
+/// administrative isolation (§III.E) — the message converges within the
+/// sender's site.
+enum class Scope { Global, Site };
+
+/// Base class for application-level messages carried over Pastry.
+struct AppMessage {
+  virtual ~AppMessage() = default;
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  [[nodiscard]] virtual const char* type_name() const = 0;
+};
+
+struct RouteEnvelope final : net::Payload {
+  NodeId key;
+  Scope scope = Scope::Global;
+  int hops = 0;
+  std::string app;
+  std::unique_ptr<AppMessage> msg;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 /*key*/ + 8 /*header*/ + app.size() + (msg ? msg->wire_size() : 0);
+  }
+  [[nodiscard]] const char* type_name() const override { return "RouteEnvelope"; }
+};
+
+struct DirectEnvelope final : net::Payload {
+  NodeRef sender;
+  std::string app;
+  std::unique_ptr<AppMessage> msg;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 24 /*sender*/ + app.size() + (msg ? msg->wire_size() : 0);
+  }
+  [[nodiscard]] const char* type_name() const override { return "DirectEnvelope"; }
+};
+
+/// Routed toward the joiner's NodeId; every hop appends routing state.
+struct JoinRequest final : net::Payload {
+  NodeRef joiner;
+  int hops = 0;
+  std::vector<NodeRef> collected;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 28 + collected.size() * 24; }
+  [[nodiscard]] const char* type_name() const override { return "JoinRequest"; }
+};
+
+/// Sent by the joiner's root back to the joiner with accumulated state.
+struct JoinReply final : net::Payload {
+  std::vector<NodeRef> state;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 8 + state.size() * 24; }
+  [[nodiscard]] const char* type_name() const override { return "JoinReply"; }
+};
+
+/// Joiner announces itself to the nodes it learned about, so they can add
+/// it to their own routing state.
+struct StateAnnounce final : net::Payload {
+  NodeRef node;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+  [[nodiscard]] const char* type_name() const override { return "StateAnnounce"; }
+};
+
+}  // namespace rbay::pastry

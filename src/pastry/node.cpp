@@ -1,0 +1,223 @@
+#include "pastry/node.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rbay::pastry {
+
+PastryNode::PastryNode(net::Network& network, net::SiteId site, std::string ip,
+                       PastryConfig config)
+    : network_(network),
+      ip_(std::move(ip)),
+      self_{node_id_from_ip(ip_), net::kInvalidEndpoint, site},
+      config_(config),
+      leaves_(self_, config.leaf_half_size),
+      table_(self_),
+      site_leaves_(self_, config.leaf_half_size),
+      site_table_(self_) {
+  self_.endpoint = network_.add_endpoint(site, [this](net::Envelope env) {
+    on_envelope(std::move(env));
+  });
+  // The constructors above captured a NodeRef without the endpoint; rebuild
+  // the owner-dependent structures now that it is known.
+  leaves_ = LeafSet{self_, config.leaf_half_size};
+  table_ = RoutingTable{self_};
+  site_leaves_ = LeafSet{self_, config.leaf_half_size};
+  site_table_ = RoutingTable{self_};
+}
+
+void PastryNode::register_app(const std::string& app_name, PastryApp* app) {
+  RBAY_REQUIRE(app != nullptr, "register_app: app required");
+  apps_[app_name] = app;
+}
+
+PastryApp* PastryNode::find_app(const std::string& name) {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : it->second;
+}
+
+std::int64_t PastryNode::proximity_to(const NodeRef& other) const {
+  return network_.expected_delay(self_.endpoint, other.endpoint).as_micros();
+}
+
+void PastryNode::learn(const NodeRef& other) {
+  if (other.id == self_.id) return;
+  const auto prox = proximity_to(other);
+  leaves_.consider(other);
+  table_.consider(other, prox);
+  if (other.site == self_.site) {
+    site_leaves_.consider(other);
+    site_table_.consider(other, prox);
+  }
+  joined_ = true;
+}
+
+void PastryNode::forget(const NodeId& id) {
+  leaves_.remove(id);
+  table_.remove(id);
+  site_leaves_.remove(id);
+  site_table_.remove(id);
+}
+
+std::optional<NodeRef> PastryNode::rare_case_hop(const NodeId& key, Scope scope) const {
+  // Pastry's rare case: no routing-table entry; pick any known node that is
+  // (a) at least as prefix-close to the key as we are and (b) numerically
+  // closer.  If none exists we are the root.
+  const auto& ls = scope == Scope::Global ? leaves_ : site_leaves_;
+  const auto& rt = scope == Scope::Global ? table_ : site_table_;
+  const int own_prefix = self_.id.shared_prefix_digits(key, kBitsPerDigit);
+
+  std::optional<NodeRef> best;
+  auto try_candidate = [&](const NodeRef& r) {
+    if (scope == Scope::Site && r.site != self_.site) return;
+    if (r.id.shared_prefix_digits(key, kBitsPerDigit) < own_prefix) return;
+    if (!closer_to(key, r.id, best ? best->id : self_.id)) return;
+    best = r;
+  };
+  for (const auto& r : ls.all()) try_candidate(r);
+  for (const auto& r : rt.entries()) try_candidate(r);
+  return best;
+}
+
+std::optional<NodeRef> PastryNode::next_hop(const NodeId& key, Scope scope) const {
+  const auto& ls = scope == Scope::Global ? leaves_ : site_leaves_;
+  const auto& rt = scope == Scope::Global ? table_ : site_table_;
+
+  if (key == self_.id) return std::nullopt;
+
+  if (ls.covers(key)) {
+    const NodeRef best = ls.closest(key);
+    if (best.id == self_.id) return std::nullopt;
+    return best;
+  }
+  if (auto entry = rt.lookup(key)) {
+    return entry;
+  }
+  return rare_case_hop(key, scope);
+}
+
+void PastryNode::route(const NodeId& key, std::unique_ptr<AppMessage> msg,
+                       const std::string& app_name, Scope scope) {
+  RBAY_REQUIRE(msg != nullptr, "route: message required");
+  const auto hop = next_hop(key, scope);
+  if (!hop) {
+    deliver_local(key, app_name, std::move(msg), 0);
+    return;
+  }
+  if (auto* app = find_app(app_name)) {
+    if (!app->forward(key, *msg, *hop)) return;
+  }
+  auto env = std::make_unique<RouteEnvelope>();
+  env->key = key;
+  env->scope = scope;
+  env->hops = 1;
+  env->app = app_name;
+  env->msg = std::move(msg);
+  network_.send(self_.endpoint, hop->endpoint, std::move(env));
+}
+
+void PastryNode::send_direct(const NodeRef& target, std::unique_ptr<AppMessage> msg,
+                             const std::string& app_name) {
+  RBAY_REQUIRE(msg != nullptr, "send_direct: message required");
+  auto env = std::make_unique<DirectEnvelope>();
+  env->sender = self_;
+  env->app = app_name;
+  env->msg = std::move(msg);
+  network_.send(self_.endpoint, target.endpoint, std::move(env));
+}
+
+void PastryNode::join(const NodeRef& bootstrap) {
+  auto req = std::make_unique<JoinRequest>();
+  req->joiner = self_;
+  network_.send(self_.endpoint, bootstrap.endpoint, std::move(req));
+}
+
+void PastryNode::deliver_local(const NodeId& key, const std::string& app_name,
+                               std::unique_ptr<AppMessage> msg, int hops) {
+  if (auto* app = find_app(app_name)) {
+    app->deliver(key, *msg, hops);
+  } else {
+    RBAY_WARN("pastry", "no app '" << app_name << "' registered on " << self_.id.to_hex());
+  }
+}
+
+void PastryNode::handle_route(net::EndpointId /*from*/, RouteEnvelope& env) {
+  const auto hop = next_hop(env.key, env.scope);
+  if (!hop) {
+    deliver_local(env.key, env.app, std::move(env.msg), env.hops);
+    return;
+  }
+  ++forward_count_;
+  if (auto* app = find_app(env.app)) {
+    if (!app->forward(env.key, *env.msg, *hop)) return;
+  }
+  auto next = std::make_unique<RouteEnvelope>();
+  next->key = env.key;
+  next->scope = env.scope;
+  next->hops = env.hops + 1;
+  next->app = env.app;
+  next->msg = std::move(env.msg);
+  network_.send(self_.endpoint, hop->endpoint, std::move(next));
+}
+
+void PastryNode::handle_join_request(JoinRequest& req) {
+  // Contribute own state: self, the routing rows useful to the joiner, and
+  // (at the root) the leaf set.
+  req.collected.push_back(self_);
+  const int shared = self_.id.shared_prefix_digits(req.joiner.id, kBitsPerDigit);
+  for (int row = 0; row <= std::min(shared, kDigits - 1); ++row) {
+    for (const auto& r : table_.row_entries(row)) req.collected.push_back(r);
+  }
+
+  // Compute the next hop before learning the joiner, otherwise the joiner
+  // itself becomes the numerically-closest candidate for its own id.
+  const auto hop = next_hop(req.joiner.id, Scope::Global);
+  learn(req.joiner);
+
+  if (!hop) {
+    // We are the joiner's root: our leaf set seeds theirs.
+    auto reply = std::make_unique<JoinReply>();
+    reply->state = std::move(req.collected);
+    for (const auto& r : leaves_.all()) reply->state.push_back(r);
+    network_.send(self_.endpoint, req.joiner.endpoint, std::move(reply));
+    return;
+  }
+  auto fwd = std::make_unique<JoinRequest>();
+  fwd->joiner = req.joiner;
+  fwd->hops = req.hops + 1;
+  fwd->collected = std::move(req.collected);
+  network_.send(self_.endpoint, hop->endpoint, std::move(fwd));
+}
+
+void PastryNode::handle_join_reply(const JoinReply& reply) {
+  for (const auto& r : reply.state) {
+    learn(r);
+    // Announce ourselves so existing members add us symmetrically.
+    auto ann = std::make_unique<StateAnnounce>();
+    ann->node = self_;
+    network_.send(self_.endpoint, r.endpoint, std::move(ann));
+  }
+  joined_ = true;
+  if (on_joined) on_joined();
+}
+
+void PastryNode::on_envelope(net::Envelope env) {
+  if (auto* route = dynamic_cast<RouteEnvelope*>(env.payload.get())) {
+    handle_route(env.from, *route);
+  } else if (auto* direct = dynamic_cast<DirectEnvelope*>(env.payload.get())) {
+    if (auto* app = find_app(direct->app)) {
+      app->receive(direct->sender, *direct->msg);
+    }
+  } else if (auto* join_req = dynamic_cast<JoinRequest*>(env.payload.get())) {
+    handle_join_request(*join_req);
+  } else if (auto* join_reply = dynamic_cast<JoinReply*>(env.payload.get())) {
+    handle_join_reply(*join_reply);
+  } else if (auto* ann = dynamic_cast<StateAnnounce*>(env.payload.get())) {
+    learn(ann->node);
+  } else {
+    RBAY_WARN("pastry", "unknown payload type " << env.payload->type_name());
+  }
+}
+
+}  // namespace rbay::pastry

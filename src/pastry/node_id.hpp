@@ -1,0 +1,47 @@
+#pragma once
+
+// Pastry identifiers.
+//
+// NodeIds are 128-bit values interpreted as 32 hexadecimal digits (b = 4,
+// the paper's "typical value").  RBAY derives a NodeId from SHA-1 of the
+// node's IP address and a TreeId from SHA-1 of the attribute's textual name
+// concatenated with its creator's name (§II.B).
+
+#include <string>
+#include <string_view>
+
+#include "util/sha1.hpp"
+#include "util/u128.hpp"
+
+namespace rbay::pastry {
+
+using NodeId = util::U128;
+
+/// Bits per routing digit; b = 4 gives hexadecimal digits and 32 rows.
+constexpr int kBitsPerDigit = 4;
+constexpr int kDigits = util::U128::kBits / kBitsPerDigit;           // 32
+constexpr int kDigitValues = 1 << kBitsPerDigit;                     // 16
+
+/// NodeId = SHA-1(ip) truncated to 128 bits (§II.B.1).
+inline NodeId node_id_from_ip(std::string_view ip) { return util::Sha1::hash128(ip); }
+
+/// TreeId = SHA-1(attribute name ‖ creator) (§II.B.2).
+inline NodeId tree_id(std::string_view attribute, std::string_view creator) {
+  std::string s;
+  s.reserve(attribute.size() + 1 + creator.size());
+  s.append(attribute);
+  s.push_back('|');
+  s.append(creator);
+  return util::Sha1::hash128(s);
+}
+
+/// True if `candidate` is numerically closer to `key` than `current` on the
+/// ring (ties broken toward the smaller id, so the relation is total).
+inline bool closer_to(const NodeId& key, const NodeId& candidate, const NodeId& current) {
+  const auto dc = candidate.ring_distance(key);
+  const auto dn = current.ring_distance(key);
+  if (dc != dn) return dc < dn;
+  return candidate < current;
+}
+
+}  // namespace rbay::pastry

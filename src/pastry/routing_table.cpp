@@ -1,0 +1,84 @@
+#include "pastry/routing_table.hpp"
+
+namespace rbay::pastry {
+
+RoutingTable::Row& RoutingTable::row_for(int row) {
+  auto& ptr = rows_[static_cast<std::size_t>(row)];
+  if (!ptr) ptr = std::make_unique<Row>();
+  return *ptr;
+}
+
+std::optional<NodeRef> RoutingTable::entry(int row, int col) const {
+  const auto& ptr = rows_.at(static_cast<std::size_t>(row));
+  if (!ptr) return std::nullopt;
+  const auto& e = (*ptr)[static_cast<std::size_t>(col)];
+  return e ? std::optional<NodeRef>(e->ref) : std::nullopt;
+}
+
+bool RoutingTable::consider(const NodeRef& candidate, std::int64_t proximity_us) {
+  if (candidate.id == owner_.id) return false;
+  const int row = owner_.id.shared_prefix_digits(candidate.id, kBitsPerDigit);
+  if (row >= kDigits) return false;  // identical ids are rejected above
+  const auto col = candidate.id.digit(row, kBitsPerDigit);
+  auto& slot = row_for(row)[col];
+  if (!slot || proximity_us < slot->proximity_us ||
+      (slot->ref.endpoint == candidate.endpoint && slot->ref.id == candidate.id)) {
+    slot = Slot{candidate, proximity_us};
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeRef> RoutingTable::lookup(const NodeId& key) const {
+  const int row = owner_.id.shared_prefix_digits(key, kBitsPerDigit);
+  if (row >= kDigits) return std::nullopt;  // key == owner id
+  const auto col = key.digit(row, kBitsPerDigit);
+  const auto& ptr = rows_[static_cast<std::size_t>(row)];
+  if (!ptr) return std::nullopt;
+  const auto& slot = (*ptr)[col];
+  if (!slot) return std::nullopt;
+  return slot->ref;
+}
+
+void RoutingTable::remove(const NodeId& id) {
+  for (auto& row : rows_) {
+    if (!row) continue;
+    for (auto& slot : *row) {
+      if (slot && slot->ref.id == id) slot.reset();
+    }
+  }
+}
+
+std::vector<NodeRef> RoutingTable::entries() const {
+  std::vector<NodeRef> out;
+  for (const auto& row : rows_) {
+    if (!row) continue;
+    for (const auto& slot : *row) {
+      if (slot) out.push_back(slot->ref);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeRef> RoutingTable::row_entries(int row) const {
+  std::vector<NodeRef> out;
+  const auto& ptr = rows_.at(static_cast<std::size_t>(row));
+  if (!ptr) return out;
+  for (const auto& slot : *ptr) {
+    if (slot) out.push_back(slot->ref);
+  }
+  return out;
+}
+
+std::size_t RoutingTable::size() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row) continue;
+    for (const auto& slot : *row) {
+      if (slot) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace rbay::pastry

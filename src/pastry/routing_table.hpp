@@ -1,0 +1,69 @@
+#pragma once
+
+// Pastry routing table: kDigits rows × kDigitValues columns.
+//
+// Row r holds nodes sharing exactly r leading digits with the owner; column
+// c is the value of digit r.  When several candidates compete for a slot the
+// proximity-aware variant keeps the lowest-latency one (Pastry §2.5).
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pastry/node_id.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::pastry {
+
+struct NodeRef {
+  NodeId id;
+  net::EndpointId endpoint = net::kInvalidEndpoint;
+  net::SiteId site = 0;
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+};
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(NodeRef owner) : owner_(owner), rows_(kDigits) {}
+
+  [[nodiscard]] const NodeRef& owner() const { return owner_; }
+
+  /// Considers `candidate` for its slot; keeps it if the slot is empty or
+  /// if `proximity_us` improves on the incumbent's.  Returns true if stored.
+  bool consider(const NodeRef& candidate, std::int64_t proximity_us);
+
+  /// Entry for routing `key` from a node sharing `row` digits: the node
+  /// whose next digit matches the key's.
+  [[nodiscard]] std::optional<NodeRef> lookup(const NodeId& key) const;
+
+  [[nodiscard]] std::optional<NodeRef> entry(int row, int col) const;
+
+  void remove(const NodeId& id);
+
+  /// All populated entries (for join replies and rare-case routing scans).
+  [[nodiscard]] std::vector<NodeRef> entries() const;
+
+  /// Entries of a single row (join protocol sends row-by-row).
+  [[nodiscard]] std::vector<NodeRef> row_entries(int row) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Slot {
+    NodeRef ref;
+    std::int64_t proximity_us;
+  };
+  using Row = std::array<std::optional<Slot>, kDigitValues>;
+
+  /// Rows allocate lazily: a populated table touches only ~log16(N) of its
+  /// 32 rows, and overlays of 10k+ simulated nodes cannot afford the rest.
+  Row& row_for(int row);
+
+  NodeRef owner_;
+  std::vector<std::unique_ptr<Row>> rows_;
+};
+
+}  // namespace rbay::pastry

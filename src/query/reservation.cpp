@@ -1,0 +1,79 @@
+#include "query/reservation.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace rbay::query {
+
+bool ReservationLock::committed(util::SimTime now) const {
+  if (!committed_) return false;
+  if (lease_bounded_ && now >= lease_expiry_) return false;  // lease ran out
+  return true;
+}
+
+bool ReservationLock::reserved(util::SimTime now) const {
+  return committed(now) || (!committed_ && !holder_.empty() && now < expiry_);
+}
+
+bool ReservationLock::try_reserve(const std::string& holder, util::SimTime now,
+                                  util::SimTime hold) {
+  RBAY_REQUIRE(!holder.empty(), "reservation holder must be named");
+  if (committed(now)) return false;
+  if (committed_) {
+    // Previous tenancy's lease expired: the node is back in the pool.
+    committed_ = false;
+    lease_bounded_ = false;
+    holder_.clear();
+  }
+  if (reserved(now) && holder_ != holder) return false;
+  holder_ = holder;
+  expiry_ = now + hold;
+  return true;
+}
+
+bool ReservationLock::commit(const std::string& holder, util::SimTime now,
+                             util::SimTime lease) {
+  if (committed(now)) return false;
+  if (!reserved(now) || holder_ != holder) return false;
+  committed_ = true;
+  lease_bounded_ = lease > util::SimTime::zero();
+  lease_expiry_ = lease_bounded_ ? now + lease : util::SimTime::zero();
+  return true;
+}
+
+bool ReservationLock::renew(const std::string& holder, util::SimTime now,
+                            util::SimTime lease) {
+  RBAY_REQUIRE(lease > util::SimTime::zero(), "renewal needs a positive lease");
+  if (!committed(now) || holder_ != holder) return false;
+  if (!lease_bounded_) return true;  // indefinite tenancy needs no renewal
+  lease_expiry_ = now + lease;
+  return true;
+}
+
+void ReservationLock::release(const std::string& holder, util::SimTime now) {
+  if (holder_ != holder) return;
+  if (committed_ && committed(now)) {
+    // The tenant returns the node.
+    committed_ = false;
+    lease_bounded_ = false;
+    lease_expiry_ = util::SimTime::zero();
+    holder_.clear();
+    expiry_ = util::SimTime::zero();
+    return;
+  }
+  if (!committed_) {
+    holder_.clear();
+    expiry_ = util::SimTime::zero();
+  }
+}
+
+util::SimTime Backoff::delay_after(int failures, util::Rng& rng) const {
+  RBAY_REQUIRE(failures >= 1, "delay_after requires at least one failure");
+  const int c = std::min(failures, max_exponent_);
+  const std::uint64_t slots = (1ull << c);  // 2^c possibilities: 0..2^c-1
+  const std::uint64_t chosen = rng.uniform(slots);
+  return slot_ * static_cast<std::int64_t>(chosen);
+}
+
+}  // namespace rbay::query

@@ -1,0 +1,75 @@
+#pragma once
+
+// Node reservations and conflict backoff (§III.D, step 4-5).
+//
+// When an anycast visits a node and the checks pass, "this receipt will
+// reserve the node for the query"; if the customer does not commit, "the
+// locks on those reserved nodes will be released after a short time
+// window."  Concurrent customers that fail re-query after a truncated
+// exponential backoff: after c failures, a random number of slot times
+// between 0 and 2^c − 1.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::query {
+
+/// Per-node reservation lock with expiry (lives on the resource node).
+///
+/// Lifecycle: try_reserve (short anycast hold) → commit (the customer
+/// takes the node, optionally under a lease) → renew (extend the lease)
+/// or release / lease expiry (the node returns to the pool).
+class ReservationLock {
+ public:
+  /// Attempts to reserve for `holder` until `now + hold`.  Fails if an
+  /// unexpired reservation by another holder exists.
+  bool try_reserve(const std::string& holder, util::SimTime now, util::SimTime hold);
+
+  /// Commits the reservation (the customer took the node).  Only the
+  /// current holder may commit.  `lease` bounds the tenancy; zero means
+  /// indefinitely.
+  bool commit(const std::string& holder, util::SimTime now,
+              util::SimTime lease = util::SimTime::zero());
+
+  /// Extends a live lease by the current holder to `now + lease`.
+  bool renew(const std::string& holder, util::SimTime now, util::SimTime lease);
+
+  /// Explicitly releases `holder`'s reservation or committed lease.
+  void release(const std::string& holder, util::SimTime now);
+
+  [[nodiscard]] bool reserved(util::SimTime now) const;
+  [[nodiscard]] bool committed(util::SimTime now) const;
+  [[nodiscard]] const std::string& holder() const { return holder_; }
+  /// Lease end (zero = indefinite / not committed).
+  [[nodiscard]] util::SimTime lease_expiry() const { return lease_expiry_; }
+
+ private:
+  std::string holder_;
+  util::SimTime expiry_ = util::SimTime::zero();
+  bool committed_ = false;
+  bool lease_bounded_ = false;
+  util::SimTime lease_expiry_ = util::SimTime::zero();
+};
+
+/// Truncated exponential backoff schedule for failed customers.
+class Backoff {
+ public:
+  Backoff(util::SimTime slot, int max_exponent = 10)
+      : slot_(slot), max_exponent_(max_exponent) {}
+
+  /// Delay before the next re-query after the `failures`-th failure
+  /// (failures ≥ 1): uniform in [0, 2^c − 1] slots, exponent truncated.
+  util::SimTime delay_after(int failures, util::Rng& rng) const;
+
+  [[nodiscard]] util::SimTime slot() const { return slot_; }
+
+ private:
+  util::SimTime slot_;
+  int max_exponent_;
+};
+
+}  // namespace rbay::query

@@ -1,0 +1,330 @@
+#include "query/sql.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace rbay::query {
+
+const char* compare_op_name(CompareOp op) {
+  switch (op) {
+    case CompareOp::Eq: return "=";
+    case CompareOp::NotEq: return "!=";
+    case CompareOp::Less: return "<";
+    case CompareOp::LessEq: return "<=";
+    case CompareOp::Greater: return ">";
+    case CompareOp::GreaterEq: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+int compare_values(const store::AttributeValue& a, const store::AttributeValue& b, bool& ok) {
+  ok = true;
+  double na = 0, nb = 0;
+  if (a.numeric(na) && b.numeric(nb)) {
+    return na < nb ? -1 : (na > nb ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  ok = false;
+  return 0;
+}
+}  // namespace
+
+bool Predicate::matches(const store::AttributeValue& value) const {
+  bool comparable = false;
+  const int cmp = compare_values(value, literal, comparable);
+  if (!comparable) {
+    // Type-incompatible values only satisfy "not equal".
+    return op == CompareOp::NotEq;
+  }
+  switch (op) {
+    case CompareOp::Eq: return cmp == 0;
+    case CompareOp::NotEq: return cmp != 0;
+    case CompareOp::Less: return cmp < 0;
+    case CompareOp::LessEq: return cmp <= 0;
+    case CompareOp::Greater: return cmp > 0;
+    case CompareOp::GreaterEq: return cmp >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::canonical() const {
+  return attribute + compare_op_name(op) + literal.to_string();
+}
+
+std::string Query::to_string() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (count_only) {
+    os << "COUNT";
+  } else {
+    os << k;
+  }
+  os << " FROM ";
+  if (sites.empty()) {
+    os << "*";
+  } else {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << sites[i];
+    }
+  }
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    os << (i == 0 ? " WHERE " : " AND ") << predicates[i].attribute << " "
+       << compare_op_name(predicates[i].op) << " " << predicates[i].literal.to_string();
+  }
+  if (group_by) os << " GROUPBY " << *group_by << (descending ? " DESC" : " ASC");
+  return os.str();
+}
+
+namespace {
+
+struct SqlToken {
+  enum Kind { Word, Number, String, Op, Star, Comma, Semicolon, Percent, End } kind = End;
+  std::string text;
+  double number = 0.0;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(const std::string& src) : src_(src) {}
+
+  util::Result<std::vector<SqlToken>> run() {
+    std::vector<SqlToken> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_' ||
+                src_[pos_] == '.')) {
+          word += src_[pos_++];
+        }
+        out.push_back({SqlToken::Word, word, 0});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        std::string num;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.')) {
+          num += src_[pos_++];
+        }
+        out.push_back({SqlToken::Number, num, std::strtod(num.c_str(), nullptr)});
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos_;
+        std::string s;
+        while (pos_ < src_.size() && src_[pos_] != quote) s += src_[pos_++];
+        if (pos_ >= src_.size()) return util::make_error("unterminated string in query");
+        ++pos_;
+        out.push_back({SqlToken::String, s, 0});
+        continue;
+      }
+      switch (c) {
+        case '*': out.push_back({SqlToken::Star, "*", 0}); ++pos_; break;
+        case ',': out.push_back({SqlToken::Comma, ",", 0}); ++pos_; break;
+        case ';': out.push_back({SqlToken::Semicolon, ";", 0}); ++pos_; break;
+        case '%': out.push_back({SqlToken::Percent, "%", 0}); ++pos_; break;
+        case '=': out.push_back({SqlToken::Op, "=", 0}); ++pos_; break;
+        case '!':
+          if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+            out.push_back({SqlToken::Op, "!=", 0});
+            pos_ += 2;
+          } else {
+            return util::make_error("unexpected '!' in query");
+          }
+          break;
+        case '<':
+        case '>': {
+          std::string op(1, c);
+          ++pos_;
+          if (pos_ < src_.size() && src_[pos_] == '=') {
+            op += '=';
+            ++pos_;
+          } else if (c == '<' && pos_ < src_.size() && src_[pos_] == '>') {
+            op = "!=";
+            ++pos_;
+          }
+          out.push_back({SqlToken::Op, op, 0});
+          break;
+        }
+        default:
+          return util::make_error(std::string("unexpected character '") + c + "' in query");
+      }
+    }
+    out.push_back({SqlToken::End, "", 0});
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<Query> run() {
+    Query q;
+    if (!keyword("SELECT")) return util::make_error("query must start with SELECT");
+
+    if (peek().kind == SqlToken::Number) {
+      q.k = static_cast<int>(next().number);
+      if (q.k < 1) return util::make_error("SELECT count must be >= 1");
+    } else if (peek().kind == SqlToken::Word && upper(peek().text) == "COUNT") {
+      // SELECT COUNT — answered from the tree roots' aggregates, no anycast.
+      next();
+      q.count_only = true;
+    } else if (peek().kind == SqlToken::Star || peek().kind == SqlToken::Word) {
+      // `SELECT NodeId` / `SELECT *` both mean "one server".
+      next();
+      q.k = 1;
+    } else {
+      return util::make_error("expected count, column, or * after SELECT");
+    }
+
+    if (!keyword("FROM")) return util::make_error("expected FROM");
+    if (peek().kind == SqlToken::Star) {
+      next();
+    } else if (peek().kind == SqlToken::Word || peek().kind == SqlToken::String) {
+      q.sites.push_back(next().text);
+      while (peek().kind == SqlToken::Comma) {
+        next();
+        if (peek().kind != SqlToken::Word && peek().kind != SqlToken::String) {
+          return util::make_error("expected site name after ','");
+        }
+        q.sites.push_back(next().text);
+      }
+    } else {
+      return util::make_error("expected * or site list after FROM");
+    }
+
+    if (keyword("WHERE")) {
+      for (;;) {
+        auto pred = parse_predicate();
+        if (!pred.ok()) return util::make_error(pred.error());
+        q.predicates.push_back(pred.take());
+        if (!keyword("AND")) break;
+      }
+    }
+
+    bool has_group = keyword("GROUPBY");
+    if (!has_group && keyword("GROUP")) {
+      if (!keyword("BY")) return util::make_error("expected BY after GROUP");
+      has_group = true;
+    }
+    if (has_group) {
+      if (peek().kind != SqlToken::Word) return util::make_error("expected attribute after GROUPBY");
+      q.group_by = next().text;
+      if (keyword("DESC")) {
+        q.descending = true;
+      } else if (keyword("ASC")) {
+        q.descending = false;
+      }
+    }
+
+    if (keyword("WITH")) {
+      if (peek().kind != SqlToken::String) return util::make_error("expected string after WITH");
+      q.payload = next().text;
+    }
+
+    while (peek().kind == SqlToken::Semicolon) next();
+    if (peek().kind != SqlToken::End) {
+      return util::make_error("unexpected trailing token '" + peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  const SqlToken& peek() const { return tokens_[pos_]; }
+  const SqlToken& next() { return tokens_[pos_++]; }
+
+  bool keyword(const std::string& kw) {
+    if (peek().kind == SqlToken::Word && upper(peek().text) == kw) {
+      next();
+      return true;
+    }
+    return false;
+  }
+
+  util::Result<Predicate> parse_predicate() {
+    if (peek().kind != SqlToken::Word) return util::make_error("expected attribute name");
+    Predicate p;
+    p.attribute = next().text;
+    if (peek().kind != SqlToken::Op) return util::make_error("expected comparison operator");
+    const std::string op = next().text;
+    if (op == "=") {
+      p.op = CompareOp::Eq;
+    } else if (op == "!=") {
+      p.op = CompareOp::NotEq;
+    } else if (op == "<") {
+      p.op = CompareOp::Less;
+    } else if (op == "<=") {
+      p.op = CompareOp::LessEq;
+    } else if (op == ">") {
+      p.op = CompareOp::Greater;
+    } else {
+      p.op = CompareOp::GreaterEq;
+    }
+    // Literal: number (optionally a percentage), string, or boolean word.
+    if (peek().kind == SqlToken::Number) {
+      double v = next().number;
+      if (peek().kind == SqlToken::Percent) {
+        next();
+        v /= 100.0;  // `10%` → 0.1, matching CPU_utilization's [0, 1] scale
+      }
+      p.literal = store::AttributeValue{v};
+    } else if (peek().kind == SqlToken::String) {
+      p.literal = store::AttributeValue{next().text};
+    } else if (peek().kind == SqlToken::Word) {
+      const std::string w = upper(peek().text);
+      if (w == "TRUE") {
+        next();
+        p.literal = store::AttributeValue{true};
+      } else if (w == "FALSE") {
+        next();
+        p.literal = store::AttributeValue{false};
+      } else {
+        // Bare word literal, e.g. WHERE OS = Ubuntu
+        p.literal = store::AttributeValue{next().text};
+      }
+    } else {
+      return util::make_error("expected literal after operator");
+    }
+    return p;
+  }
+
+  std::vector<SqlToken> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Query> parse_query(const std::string& sql) {
+  SqlLexer lexer{sql};
+  auto tokens = lexer.run();
+  if (!tokens.ok()) return util::make_error(tokens.error());
+  SqlParser parser{tokens.take()};
+  return parser.run();
+}
+
+}  // namespace rbay::query

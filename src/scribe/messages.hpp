@@ -1,0 +1,147 @@
+#pragma once
+
+// Scribe wire messages (carried as Pastry AppMessages under app "scribe").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pastry/messages.hpp"
+
+namespace rbay::scribe {
+
+using TopicId = pastry::NodeId;
+using pastry::NodeRef;
+
+/// Mutable payload carried by an anycast as it walks the tree.  Concrete
+/// payloads (e.g. the query plane's k-slot candidate buffer) subclass this;
+/// member handlers mutate it in place.
+struct AnycastPayload {
+  virtual ~AnycastPayload() = default;
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+};
+
+/// Routed toward the TopicId; absorbed by the first tree node on the path.
+struct JoinMsg final : pastry::AppMessage {
+  TopicId topic;
+  NodeRef child;
+  pastry::Scope scope = pastry::Scope::Global;
+  /// Repair joins travel all the way to the rendezvous root instead of
+  /// being absorbed at the first tree node: two orphans repairing
+  /// concurrently must not adopt each other and form a detached cycle.
+  bool repair = false;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16 + 24; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Join"; }
+};
+
+/// Parent→child acknowledgment carrying the parent's identity.
+struct JoinAckMsg final : pastry::AppMessage {
+  TopicId topic;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.JoinAck"; }
+};
+
+/// Child→parent: drop me (and prune upward if the parent empties).
+struct LeaveMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::NodeId child;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Leave"; }
+};
+
+/// Routed to the rendezvous root, then disseminated down the tree.
+struct MulticastMsg final : pastry::AppMessage {
+  TopicId topic;
+  std::string data;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16 + data.size(); }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Multicast"; }
+};
+
+/// Distributed depth-first search over the tree.  `visited` and `stack`
+/// travel with the message; `payload` accumulates the answer.
+struct AnycastMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::Scope scope = pastry::Scope::Global;
+  std::uint64_t request_id = 0;
+  NodeRef originator;
+  int members_visited = 0;
+  /// Times the DFS exhausted a detached fragment and re-routed toward the
+  /// rendezvous root (tree-repair windows under churn).
+  int reroutes = 0;
+  std::vector<pastry::NodeId> visited;
+  std::vector<NodeRef> stack;
+  std::unique_ptr<AnycastPayload> payload;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 48 + visited.size() * 16 + stack.size() * 24 + (payload ? payload->wire_size() : 0);
+  }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Anycast"; }
+};
+
+/// Final answer delivered directly to the anycast originator.
+struct AnycastResultMsg final : pastry::AppMessage {
+  TopicId topic;
+  std::uint64_t request_id = 0;
+  bool satisfied = false;
+  int members_visited = 0;
+  std::unique_ptr<AnycastPayload> payload;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 32 + (payload ? payload->wire_size() : 0);
+  }
+  [[nodiscard]] const char* type_name() const override { return "scribe.AnycastResult"; }
+};
+
+/// Child→parent periodic aggregation report (the paper's `aggregate`
+/// extension, §II.B.3).
+struct AggReportMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::NodeId child;
+  double value = 0.0;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 40; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.AggReport"; }
+};
+
+/// Routed probe asking the root for its aggregated view (e.g. tree size —
+/// Step 1/2 of the paper's query protocol, Fig. 7).
+struct SizeProbeMsg final : pastry::AppMessage {
+  TopicId topic;
+  std::uint64_t request_id = 0;
+  NodeRef originator;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 48; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.SizeProbe"; }
+};
+
+struct SizeReplyMsg final : pastry::AppMessage {
+  TopicId topic;
+  std::uint64_t request_id = 0;
+  double size = 0.0;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.SizeReply"; }
+};
+
+/// Parent→child liveness beacon for tree repair.
+struct HeartbeatMsg final : pastry::AppMessage {
+  TopicId topic;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Heartbeat"; }
+};
+
+/// Child→parent liveness response; lets parents prune dead children (and
+/// stop counting their stale aggregate reports).
+struct HeartbeatAckMsg final : pastry::AppMessage {
+  TopicId topic;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.HeartbeatAck"; }
+};
+
+}  // namespace rbay::scribe

@@ -1,0 +1,579 @@
+#include "scribe/scribe.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace rbay::scribe {
+
+namespace {
+/// Moves an in-flight anycast out of a borrowed message reference.
+std::unique_ptr<AnycastMsg> take_anycast(AnycastMsg& msg) {
+  auto owned = std::make_unique<AnycastMsg>();
+  owned->topic = msg.topic;
+  owned->scope = msg.scope;
+  owned->request_id = msg.request_id;
+  owned->originator = msg.originator;
+  owned->members_visited = msg.members_visited;
+  owned->reroutes = msg.reroutes;
+  owned->visited = std::move(msg.visited);
+  owned->stack = std::move(msg.stack);
+  owned->payload = std::move(msg.payload);
+  return owned;
+}
+
+double identity(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::Count:
+    case AggregateKind::Sum: return 0.0;
+    case AggregateKind::Min: return std::numeric_limits<double>::infinity();
+    case AggregateKind::Max: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+}  // namespace
+
+double combine(AggregateKind kind, double a, double b) {
+  switch (kind) {
+    case AggregateKind::Count:
+    case AggregateKind::Sum: return a + b;
+    case AggregateKind::Min: return std::min(a, b);
+    case AggregateKind::Max: return std::max(a, b);
+  }
+  return a;
+}
+
+Scribe::Scribe(pastry::PastryNode& node, ScribeConfig config) : node_(node), config_(config) {
+  node_.register_app(kAppName, this);
+  auto& engine = node_.network().engine();
+  if (config_.aggregation_interval > util::SimTime::zero()) {
+    agg_timer_ = engine.schedule_periodic(config_.aggregation_interval,
+                                          [this]() { aggregation_round(); });
+  }
+  if (config_.heartbeat_interval > util::SimTime::zero()) {
+    beat_timer_ = engine.schedule_periodic(config_.heartbeat_interval, [this]() {
+      heartbeat_round();
+      check_parents();
+    });
+  }
+}
+
+Scribe::~Scribe() {
+  agg_timer_.cancel();
+  beat_timer_.cancel();
+}
+
+Scribe::TopicState& Scribe::topic_state(const TopicId& topic) { return topics_[topic]; }
+
+const Scribe::TopicState* Scribe::find_topic(const TopicId& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+Scribe::TopicState* Scribe::find_topic(const TopicId& topic) {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+bool Scribe::subscribed(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st != nullptr && st->member;
+}
+
+void Scribe::add_child(TopicState& st, const NodeRef& child) {
+  const auto now = node_.network().engine().now();
+  for (auto& c : st.children) {
+    if (c.ref.id == child.id) {
+      c.last_seen = now;
+      return;
+    }
+  }
+  st.children.push_back(ChildState{child, 0.0, false, now});
+}
+
+void Scribe::subscribe(const TopicId& topic, TopicMember* member,
+                       std::function<void()> on_joined, pastry::Scope scope) {
+  RBAY_REQUIRE(member != nullptr, "Scribe::subscribe: member handler required");
+  auto& st = topic_state(topic);
+  st.handler = member;
+  st.scope = scope;
+  if (st.member || st.parent || st.root) {
+    // Already attached (as member or forwarder); upgrading to member needs
+    // no protocol traffic.
+    st.member = true;
+    if (on_joined) on_joined();
+    return;
+  }
+  st.member = true;
+  st.on_joined = std::move(on_joined);
+  auto join = std::make_unique<JoinMsg>();
+  join->topic = topic;
+  join->child = node_.self();
+  join->scope = scope;
+  node_.route(topic, std::move(join), kAppName, scope);
+}
+
+void Scribe::unsubscribe(const TopicId& topic) {
+  auto* st = find_topic(topic);
+  if (st == nullptr || !st->member) return;
+  st->member = false;
+  st->handler = nullptr;
+  maybe_prune(topic);
+}
+
+void Scribe::maybe_prune(const TopicId& topic) {
+  auto* st = find_topic(topic);
+  if (st == nullptr) return;
+  if (st->member || !st->children.empty()) return;
+  if (st->parent) {
+    auto leave = std::make_unique<LeaveMsg>();
+    leave->topic = topic;
+    leave->child = node_.self().id;
+    node_.send_direct(*st->parent, std::move(leave), kAppName);
+  }
+  topics_.erase(topic);
+}
+
+// --- join handling ----------------------------------------------------------
+
+bool Scribe::forward(const pastry::NodeId& /*key*/, pastry::AppMessage& msg,
+                     const NodeRef& /*next_hop*/) {
+  if (auto* join = dynamic_cast<JoinMsg*>(&msg)) {
+    if (join->child.id == node_.self().id) return true;  // our own fresh join
+    if (join->repair) return true;  // repair joins attach only at the root
+    topic_state(join->topic).scope = join->scope;
+    handle_join(*join, /*at_root=*/false);
+    auto* st = find_topic(join->topic);
+    if (st != nullptr && (st->parent || st->root || st->member)) {
+      // Already attached upstream (or the root): absorb the join here.
+      return false;
+    }
+    // Newly created forwarder: keep routing so we get attached ourselves.
+    join->child = node_.self();
+    return true;
+  }
+  if (auto* anycast = dynamic_cast<AnycastMsg*>(&msg)) {
+    const bool already_visited =
+        std::find(anycast->visited.begin(), anycast->visited.end(), node_.self().id) !=
+        anycast->visited.end();
+    if (!already_visited && find_topic(anycast->topic) != nullptr) {
+      // First tree node on the path: start the DFS here (anycast reaches a
+      // member near the sender thanks to Pastry route convergence).
+      // Already-visited nodes let rerouted anycasts pass toward the root.
+      continue_anycast(take_anycast(*anycast));
+      return false;
+    }
+    return true;
+  }
+  return true;
+}
+
+void Scribe::handle_join(JoinMsg& join, bool at_root) {
+  auto& st = topic_state(join.topic);
+  if (join.child.id == node_.self().id) {
+    // Our own join delivered back to us: we are the rendezvous root.
+    st.root = true;
+    if (st.on_joined) {
+      auto cb = std::move(st.on_joined);
+      st.on_joined = nullptr;
+      cb();
+    }
+    return;
+  }
+  add_child(st, join.child);
+  if (at_root && !st.parent) st.root = true;
+  auto ack = std::make_unique<JoinAckMsg>();
+  ack->topic = join.topic;
+  node_.send_direct(join.child, std::move(ack), kAppName);
+}
+
+// --- multicast ---------------------------------------------------------------
+
+void Scribe::multicast(const TopicId& topic, std::string data, pastry::Scope scope) {
+  auto msg = std::make_unique<MulticastMsg>();
+  msg->topic = topic;
+  msg->data = std::move(data);
+  node_.route(topic, std::move(msg), kAppName, scope);
+}
+
+void Scribe::handle_multicast_down(const TopicId& topic, const std::string& data) {
+  auto* st = find_topic(topic);
+  if (st == nullptr) return;
+  if (st->member && st->handler != nullptr) st->handler->on_multicast(topic, data);
+  for (const auto& child : st->children) {
+    auto msg = std::make_unique<MulticastMsg>();
+    msg->topic = topic;
+    msg->data = data;
+    node_.send_direct(child.ref, std::move(msg), kAppName);
+  }
+}
+
+// --- anycast -----------------------------------------------------------------
+
+
+void Scribe::anycast(const TopicId& topic, std::unique_ptr<AnycastPayload> payload,
+                     AnycastCallback callback, pastry::Scope scope) {
+  RBAY_REQUIRE(payload != nullptr, "Scribe::anycast: payload required");
+  const auto id = next_request_id_++;
+  anycast_waiters_[id] = std::move(callback);
+  auto msg = std::make_unique<AnycastMsg>();
+  msg->topic = topic;
+  msg->scope = scope;
+  msg->request_id = id;
+  msg->originator = node_.self();
+  msg->payload = std::move(payload);
+  node_.route(topic, std::move(msg), kAppName, scope);
+}
+
+void Scribe::continue_anycast(std::unique_ptr<AnycastMsg> msg) {
+  auto* st = find_topic(msg->topic);
+  if (st == nullptr) {
+    // Entry node has no tree state: the topic has no members.
+    finish_anycast(*msg, /*satisfied=*/false);
+    return;
+  }
+
+  const auto& self_id = node_.self().id;
+  const bool fresh =
+      std::find(msg->visited.begin(), msg->visited.end(), self_id) == msg->visited.end();
+  if (fresh) {
+    msg->visited.push_back(self_id);
+    msg->stack.push_back(node_.self());
+    if (st->member && st->handler != nullptr) {
+      ++msg->members_visited;
+      if (st->handler->on_anycast(msg->topic, *msg->payload)) {
+        finish_anycast(*msg, /*satisfied=*/true);
+        return;
+      }
+    }
+  }
+
+  // Depth-first: nearest unvisited tree neighbor (children, then parent).
+  std::optional<NodeRef> next;
+  std::int64_t best_delay = 0;
+  auto consider = [&](const NodeRef& r) {
+    if (std::find(msg->visited.begin(), msg->visited.end(), r.id) != msg->visited.end()) return;
+    const auto d =
+        node_.network().expected_delay(node_.self().endpoint, r.endpoint).as_micros();
+    if (!next || d < best_delay) {
+      next = r;
+      best_delay = d;
+    }
+  };
+  for (const auto& child : st->children) consider(child.ref);
+  if (st->parent) consider(*st->parent);
+
+  if (next) {
+    node_.send_direct(*next, std::move(msg), kAppName);
+    return;
+  }
+
+  // Dead end: backtrack along the stack.
+  if (!msg->stack.empty() && msg->stack.back().id == self_id) msg->stack.pop_back();
+  if (!msg->stack.empty()) {
+    const NodeRef back = msg->stack.back();
+    node_.send_direct(back, std::move(msg), kAppName);
+    return;
+  }
+  // Fragment exhausted.  During tree-repair windows the entry fragment may
+  // be detached from the main tree; keep routing toward the rendezvous
+  // root (visited nodes pass the message through instead of intercepting).
+  const auto onward = node_.next_hop(msg->topic, msg->scope);
+  if (onward && msg->reroutes < 4) {
+    ++msg->reroutes;
+    const auto topic = msg->topic;
+    const auto scope = msg->scope;
+    node_.route(topic, std::move(msg), kAppName, scope);
+    return;
+  }
+  finish_anycast(*msg, /*satisfied=*/false);
+}
+
+void Scribe::finish_anycast(AnycastMsg& msg, bool satisfied) {
+  auto result = std::make_unique<AnycastResultMsg>();
+  result->topic = msg.topic;
+  result->request_id = msg.request_id;
+  result->satisfied = satisfied;
+  result->members_visited = msg.members_visited;
+  result->payload = std::move(msg.payload);
+  if (msg.originator.id == node_.self().id) {
+    // Local shortcut: invoke the waiter without a network round-trip.
+    auto it = anycast_waiters_.find(result->request_id);
+    if (it != anycast_waiters_.end()) {
+      auto cb = std::move(it->second);
+      anycast_waiters_.erase(it);
+      cb(result->satisfied, result->members_visited, *result->payload);
+    }
+    return;
+  }
+  node_.send_direct(msg.originator, std::move(result), kAppName);
+}
+
+// --- aggregation ---------------------------------------------------------------
+
+void Scribe::set_aggregation(const TopicId& topic, AggregateKind kind) {
+  topic_state(topic).agg_kind = kind;
+}
+
+double Scribe::subtree_value(const TopicId& topic, const TopicState& st) const {
+  double acc = identity(st.agg_kind);
+  if (st.member) {
+    const double own =
+        st.handler != nullptr ? st.handler->aggregate_contribution(topic) : 1.0;
+    acc = combine(st.agg_kind, acc, own);
+  }
+  for (const auto& child : st.children) {
+    if (child.has_report) acc = combine(st.agg_kind, acc, child.last_report);
+  }
+  return acc;
+}
+
+double Scribe::aggregate_value(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st == nullptr ? 0.0 : subtree_value(topic, *st);
+}
+
+void Scribe::aggregation_round() {
+  for (auto& [topic, st] : topics_) {
+    if (!st.parent) continue;
+    auto report = std::make_unique<AggReportMsg>();
+    report->topic = topic;
+    report->child = node_.self().id;
+    report->value = subtree_value(topic, st);
+    node_.send_direct(*st.parent, std::move(report), kAppName);
+  }
+}
+
+void Scribe::probe_size(const TopicId& topic, SizeCallback callback, pastry::Scope scope) {
+  const auto id = next_request_id_++;
+  size_waiters_[id] = std::move(callback);
+  auto probe = std::make_unique<SizeProbeMsg>();
+  probe->topic = topic;
+  probe->request_id = id;
+  probe->originator = node_.self();
+  node_.route(topic, std::move(probe), kAppName, scope);
+}
+
+// --- repair ---------------------------------------------------------------------
+
+void Scribe::heartbeat_round() {
+  const auto now = node_.network().engine().now();
+  const auto limit =
+      config_.heartbeat_interval * static_cast<std::int64_t>(config_.heartbeat_misses + 1);
+  std::vector<TopicId> emptied;
+  for (auto& [topic, st] : topics_) {
+    // Prune children that stopped acking: they died or re-attached
+    // elsewhere; keeping them would poison multicast and the aggregate.
+    std::erase_if(st.children, [&](const ChildState& c) {
+      return c.last_seen > util::SimTime::zero() && now - c.last_seen > limit;
+    });
+    if (!st.member && st.children.empty()) emptied.push_back(topic);
+    for (const auto& child : st.children) {
+      auto beat = std::make_unique<HeartbeatMsg>();
+      beat->topic = topic;
+      node_.send_direct(child.ref, std::move(beat), kAppName);
+    }
+  }
+  for (const auto& topic : emptied) maybe_prune(topic);
+}
+
+void Scribe::check_parents() {
+  const auto now = node_.network().engine().now();
+  const auto limit =
+      config_.heartbeat_interval * static_cast<std::int64_t>(config_.heartbeat_misses);
+  std::vector<TopicId> to_rejoin;
+  for (auto& [topic, st] : topics_) {
+    if (!st.parent) {
+      if (st.root) {
+        // Split-brain guard: a node that believes it is the rendezvous
+        // root must verify it still is.  A recovered ex-root (or a root
+        // beaten by a newly joined closer node) re-attaches, bringing its
+        // subtree.
+        if (node_.next_hop(topic, st.scope).has_value()) {
+          st.root = false;
+          to_rejoin.push_back(topic);
+        }
+        continue;
+      }
+      // Disconnected non-root state (lost JOIN, recovery from downtime):
+      // keep retrying the join, throttled to the repair window.
+      if ((st.member || !st.children.empty()) &&
+          (st.last_parent_beat == util::SimTime::zero() ||
+           now - st.last_parent_beat > limit)) {
+        to_rejoin.push_back(topic);
+      }
+      continue;
+    }
+    if (st.last_parent_beat == util::SimTime::zero()) {
+      st.last_parent_beat = now;  // grace period from repair activation
+      continue;
+    }
+    if (now - st.last_parent_beat > limit) to_rejoin.push_back(topic);
+  }
+  for (const auto& topic : to_rejoin) rejoin(topic);
+}
+
+void Scribe::rejoin(const TopicId& topic) {
+  auto* st = find_topic(topic);
+  if (st == nullptr) return;
+  if (st->parent) node_.forget(st->parent->id);
+  st->parent.reset();
+  // Marks the join attempt time: if no JoinAck resets this, check_parents
+  // retries after the repair window.
+  st->last_parent_beat = node_.network().engine().now();
+  if (!st->member && st->children.empty()) {
+    topics_.erase(topic);
+    return;
+  }
+  auto join = std::make_unique<JoinMsg>();
+  join->topic = topic;
+  join->child = node_.self();
+  join->scope = st->scope;
+  join->repair = true;
+  node_.route(topic, std::move(join), kAppName, st->scope);
+}
+
+// --- Pastry callbacks -------------------------------------------------------------
+
+void Scribe::deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int /*hops*/) {
+  if (auto* join = dynamic_cast<JoinMsg*>(&msg)) {
+    topic_state(join->topic).scope = join->scope;
+    handle_join(*join, /*at_root=*/true);
+    auto* st = find_topic(join->topic);
+    if (st != nullptr && !st->parent) st->root = true;
+    return;
+  }
+  if (auto* mc = dynamic_cast<MulticastMsg*>(&msg)) {
+    // Rendezvous root: disseminate down the tree.
+    handle_multicast_down(mc->topic, mc->data);
+    return;
+  }
+  if (auto* anycast = dynamic_cast<AnycastMsg*>(&msg)) {
+    continue_anycast(take_anycast(*anycast));
+    return;
+  }
+  if (auto* probe = dynamic_cast<SizeProbeMsg*>(&msg)) {
+    auto reply = std::make_unique<SizeReplyMsg>();
+    reply->topic = probe->topic;
+    reply->request_id = probe->request_id;
+    reply->size = aggregate_value(probe->topic);
+    if (probe->originator.id == node_.self().id) {
+      auto it = size_waiters_.find(reply->request_id);
+      if (it != size_waiters_.end()) {
+        auto cb = std::move(it->second);
+        size_waiters_.erase(it);
+        cb(reply->size);
+      }
+      return;
+    }
+    node_.send_direct(probe->originator, std::move(reply), kAppName);
+    return;
+  }
+  RBAY_WARN("scribe", "unhandled delivered message " << msg.type_name() << " at key "
+                                                     << key.to_hex());
+}
+
+void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
+  if (auto* ack = dynamic_cast<JoinAckMsg*>(&msg)) {
+    auto& st = topic_state(ack->topic);
+    st.parent = from;
+    st.root = false;
+    st.last_parent_beat = node_.network().engine().now();
+    if (st.on_joined) {
+      auto cb = std::move(st.on_joined);
+      st.on_joined = nullptr;
+      cb();
+    }
+    return;
+  }
+  if (auto* leave = dynamic_cast<LeaveMsg*>(&msg)) {
+    if (auto* st = find_topic(leave->topic)) {
+      std::erase_if(st->children, [&](const ChildState& c) { return c.ref.id == leave->child; });
+      maybe_prune(leave->topic);
+    }
+    return;
+  }
+  if (auto* mc = dynamic_cast<MulticastMsg*>(&msg)) {
+    handle_multicast_down(mc->topic, mc->data);
+    return;
+  }
+  if (auto* anycast = dynamic_cast<AnycastMsg*>(&msg)) {
+    continue_anycast(take_anycast(*anycast));
+    return;
+  }
+  if (auto* result = dynamic_cast<AnycastResultMsg*>(&msg)) {
+    auto it = anycast_waiters_.find(result->request_id);
+    if (it != anycast_waiters_.end()) {
+      auto cb = std::move(it->second);
+      anycast_waiters_.erase(it);
+      cb(result->satisfied, result->members_visited, *result->payload);
+    }
+    return;
+  }
+  if (auto* report = dynamic_cast<AggReportMsg*>(&msg)) {
+    if (auto* st = find_topic(report->topic)) {
+      for (auto& child : st->children) {
+        if (child.ref.id == report->child) {
+          child.last_report = report->value;
+          child.has_report = true;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (auto* beat = dynamic_cast<HeartbeatMsg*>(&msg)) {
+    if (auto* st = find_topic(beat->topic)) {
+      if (st->parent && st->parent->id == from.id) {
+        st->last_parent_beat = node_.network().engine().now();
+        auto ack = std::make_unique<HeartbeatAckMsg>();
+        ack->topic = beat->topic;
+        node_.send_direct(from, std::move(ack), kAppName);
+      }
+    }
+    return;
+  }
+  if (auto* hback = dynamic_cast<HeartbeatAckMsg*>(&msg)) {
+    if (auto* st = find_topic(hback->topic)) {
+      for (auto& child : st->children) {
+        if (child.ref.id == from.id) {
+          child.last_seen = node_.network().engine().now();
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (auto* reply = dynamic_cast<SizeReplyMsg*>(&msg)) {
+    auto it = size_waiters_.find(reply->request_id);
+    if (it != size_waiters_.end()) {
+      auto cb = std::move(it->second);
+      size_waiters_.erase(it);
+      cb(reply->size);
+    }
+    return;
+  }
+  RBAY_WARN("scribe", "unhandled direct message " << msg.type_name());
+}
+
+std::vector<NodeRef> Scribe::children_of(const TopicId& topic) const {
+  std::vector<NodeRef> out;
+  if (const auto* st = find_topic(topic)) {
+    out.reserve(st->children.size());
+    for (const auto& c : st->children) out.push_back(c.ref);
+  }
+  return out;
+}
+
+std::optional<NodeRef> Scribe::parent_of(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st == nullptr ? std::nullopt : st->parent;
+}
+
+bool Scribe::is_root_of(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st != nullptr && st->root;
+}
+
+}  // namespace rbay::scribe

@@ -1,0 +1,166 @@
+#pragma once
+
+// Scribe: application-level group communication over Pastry (§II.B.2-3).
+//
+// Nodes sharing an attribute join the attribute's tree.  The union of the
+// Pastry routes from members to the TreeId forms the spanning tree; interior
+// nodes may be pure forwarders.  Supported operations:
+//   * multicast — policy pushes from admins to all members (onDeliver);
+//   * anycast  — distributed DFS that visits members until a handler says
+//     the request is satisfied (query serving);
+//   * aggregate — RBAY's extension: periodic hierarchical roll-up of a
+//     composable function (count/sum/min/max) to the root.
+//
+// Tree repair: when enabled, parents heartbeat children; a child that
+// misses beats re-joins through Pastry, converging on the new root.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pastry/node.hpp"
+#include "scribe/messages.hpp"
+
+namespace rbay::scribe {
+
+/// Upper-layer hooks for one subscribed topic.  Implemented by the RBAY
+/// core node; all callbacks run on the member's node.
+class TopicMember {
+ public:
+  virtual ~TopicMember() = default;
+
+  /// A multicast reached this member.
+  virtual void on_multicast(const TopicId& topic, const std::string& data) = 0;
+
+  /// An anycast is visiting this member.  Mutate the payload; return true
+  /// if the request is now satisfied (stops the DFS).
+  virtual bool on_anycast(const TopicId& topic, AnycastPayload& payload) = 0;
+
+  /// Local contribution to the topic's aggregate (default: membership
+  /// count, i.e. 1.0 — which makes the root's aggregate the tree size).
+  virtual double aggregate_contribution(const TopicId& topic) {
+    (void)topic;
+    return 1.0;
+  }
+};
+
+/// Composable aggregation functions (hierarchical computation property).
+enum class AggregateKind { Count, Sum, Min, Max };
+
+double combine(AggregateKind kind, double a, double b);
+
+struct ScribeConfig {
+  /// Period of aggregation roll-up rounds; zero disables the timer.
+  util::SimTime aggregation_interval = util::SimTime::zero();
+  /// Parent→child heartbeat period; zero disables repair.
+  util::SimTime heartbeat_interval = util::SimTime::zero();
+  /// Missed-beat multiple after which a child declares its parent dead.
+  int heartbeat_misses = 3;
+};
+
+class Scribe final : public pastry::PastryApp {
+ public:
+  explicit Scribe(pastry::PastryNode& node, ScribeConfig config = {});
+  ~Scribe() override;
+
+  Scribe(const Scribe&) = delete;
+  Scribe& operator=(const Scribe&) = delete;
+
+  /// Joins `topic` as a member.  `member` must outlive the subscription.
+  /// `on_joined` (optional) fires when the JOIN is absorbed upstream (or
+  /// immediately if this node is the topic root).
+  void subscribe(const TopicId& topic, TopicMember* member,
+                 std::function<void()> on_joined = nullptr,
+                 pastry::Scope scope = pastry::Scope::Global);
+
+  void unsubscribe(const TopicId& topic);
+
+  [[nodiscard]] bool subscribed(const TopicId& topic) const;
+
+  /// Multicasts `data` to all members via the rendezvous root.
+  void multicast(const TopicId& topic, std::string data,
+                 pastry::Scope scope = pastry::Scope::Global);
+
+  /// Starts an anycast DFS over the topic tree.  The callback fires on this
+  /// node with the final payload (satisfied = a member consumed it).
+  using AnycastCallback =
+      std::function<void(bool satisfied, int members_visited, AnycastPayload& payload)>;
+  void anycast(const TopicId& topic, std::unique_ptr<AnycastPayload> payload,
+               AnycastCallback callback, pastry::Scope scope = pastry::Scope::Global);
+
+  /// Sets the aggregate function for a topic this node participates in.
+  void set_aggregation(const TopicId& topic, AggregateKind kind);
+
+  /// This node's current aggregated view of its subtree (at the root: the
+  /// whole tree).  Count aggregation yields tree size.
+  [[nodiscard]] double aggregate_value(const TopicId& topic) const;
+
+  /// Asks the topic root for its aggregate (Fig. 7 steps 1-2).
+  using SizeCallback = std::function<void(double size)>;
+  void probe_size(const TopicId& topic, SizeCallback callback,
+                  pastry::Scope scope = pastry::Scope::Global);
+
+  /// Children registered on this node for `topic` (tree introspection).
+  [[nodiscard]] std::vector<NodeRef> children_of(const TopicId& topic) const;
+  [[nodiscard]] std::optional<NodeRef> parent_of(const TopicId& topic) const;
+  [[nodiscard]] bool is_root_of(const TopicId& topic) const;
+  [[nodiscard]] std::size_t topic_count() const { return topics_.size(); }
+
+  // PastryApp interface -----------------------------------------------------
+  void deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int hops) override;
+  bool forward(const pastry::NodeId& key, pastry::AppMessage& msg,
+               const NodeRef& next_hop) override;
+  void receive(const NodeRef& from, pastry::AppMessage& msg) override;
+
+  /// App name Scribe registers under.
+  static constexpr const char* kAppName = "scribe";
+
+ private:
+  struct ChildState {
+    NodeRef ref;
+    double last_report = 0.0;
+    bool has_report = false;
+    util::SimTime last_seen = util::SimTime::zero();
+  };
+
+  struct TopicState {
+    bool member = false;
+    bool root = false;
+    TopicMember* handler = nullptr;
+    std::optional<NodeRef> parent;
+    std::vector<ChildState> children;
+    AggregateKind agg_kind = AggregateKind::Count;
+    pastry::Scope scope = pastry::Scope::Global;
+    double own_value = 0.0;
+    util::SimTime last_parent_beat = util::SimTime::zero();
+    std::function<void()> on_joined;
+  };
+
+  TopicState& topic_state(const TopicId& topic);
+  [[nodiscard]] const TopicState* find_topic(const TopicId& topic) const;
+  [[nodiscard]] TopicState* find_topic(const TopicId& topic);
+
+  void add_child(TopicState& st, const NodeRef& child);
+  void handle_join(JoinMsg& join, bool at_root);
+  void handle_multicast_down(const TopicId& topic, const std::string& data);
+  void continue_anycast(std::unique_ptr<AnycastMsg> msg);
+  void finish_anycast(AnycastMsg& msg, bool satisfied);
+  void maybe_prune(const TopicId& topic);
+  void aggregation_round();
+  void heartbeat_round();
+  void check_parents();
+  void rejoin(const TopicId& topic);
+  [[nodiscard]] double subtree_value(const TopicId& topic, const TopicState& st) const;
+
+  pastry::PastryNode& node_;
+  ScribeConfig config_;
+  std::unordered_map<TopicId, TopicState, util::U128Hash> topics_;
+  std::unordered_map<std::uint64_t, AnycastCallback> anycast_waiters_;
+  std::unordered_map<std::uint64_t, SizeCallback> size_waiters_;
+  std::uint64_t next_request_id_ = 1;
+  sim::Timer agg_timer_;
+  sim::Timer beat_timer_;
+};
+
+}  // namespace rbay::scribe

@@ -1,0 +1,95 @@
+#include "sim/engine.hpp"
+
+namespace rbay::sim {
+
+void Timer::cancel() {
+  if (!flag_ || !flag_->alive) return;
+  flag_->alive = false;
+  // Release the foreground claim immediately: run() must not wait out a
+  // dead timer's deadline (processing background time in the meantime).
+  if (flag_->counts_foreground && flag_->engine != nullptr) {
+    --flag_->engine->foreground_pending_;
+    flag_->counts_foreground = false;
+  }
+}
+
+void Engine::push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
+                  std::function<void()> fn) {
+  if (!background) {
+    ++foreground_pending_;
+    flag->counts_foreground = true;
+    flag->engine = this;
+  }
+  queue_.push(Entry{at, next_seq_++, background, std::move(flag), std::move(fn)});
+}
+
+Timer Engine::schedule(SimTime delay, std::function<void()> fn) {
+  RBAY_REQUIRE(delay >= SimTime::zero(), "Engine::schedule: delay must be non-negative");
+  auto flag = std::make_shared<detail::EventFlag>();
+  push(now_ + delay, in_background_, flag, std::move(fn));
+  return Timer{std::move(flag)};
+}
+
+Timer Engine::schedule_background(SimTime delay, std::function<void()> fn) {
+  RBAY_REQUIRE(delay >= SimTime::zero(), "Engine::schedule_background: delay must be non-negative");
+  auto flag = std::make_shared<detail::EventFlag>();
+  push(now_ + delay, /*background=*/true, flag, std::move(fn));
+  return Timer{std::move(flag)};
+}
+
+Timer Engine::schedule_periodic(SimTime period, std::function<void()> fn) {
+  RBAY_REQUIRE(period > SimTime::zero(), "Engine::schedule_periodic: period must be positive");
+  auto flag = std::make_shared<detail::EventFlag>();
+  // The recursive lambda owns its own rescheduling; the shared flag is
+  // checked by dispatch() before every firing.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), flag, tick]() {
+    fn();
+    if (flag->alive) push(now_ + period, /*background=*/true, flag, *tick);
+  };
+  push(now_ + period, /*background=*/true, flag, *tick);
+  return Timer{std::move(flag)};
+}
+
+void Engine::dispatch(Entry e) {
+  if (!e.flag->alive) return;  // cancelled: claim already released, clock untouched
+  if (!e.background) {
+    --foreground_pending_;
+    e.flag->counts_foreground = false;
+  }
+  now_ = e.at;
+  ++executed_;
+  const bool saved = in_background_;
+  in_background_ = e.background;
+  e.fn();
+  in_background_ = saved;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  dispatch(std::move(e));
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (foreground_pending_ > 0 && step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime deadline) {
+  RBAY_REQUIRE(deadline >= now_, "Engine::run_until: deadline is in the past");
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Entry e = queue_.top();
+    queue_.pop();
+    dispatch(std::move(e));
+    ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+}  // namespace rbay::sim

@@ -1,0 +1,129 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// This is the substrate substituting for the paper's 160-VM EC2 testbed:
+// every RBAY node is an in-process actor, every message delivery and timer
+// is an event on one virtual clock.  Determinism rules:
+//   * events at equal timestamps fire in schedule order (monotonic seq);
+//   * all randomness flows through the engine-owned seeded Rng.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::sim {
+
+using util::SimTime;
+
+// Foreground / background events: everything scheduled from user code is
+// *foreground*; periodic timers — and, transitively, anything scheduled
+// while a background event runs — are *background*.  run() drains the
+// queue only while foreground work remains, so a federation with periodic
+// aggregation/heartbeat/monitoring timers still quiesces deterministically
+// once the interesting work (queries, joins, multicasts) completes.
+
+class Engine;
+
+namespace detail {
+/// Shared liveness record between a Timer and its queued event(s).
+struct EventFlag {
+  bool alive = true;
+  bool counts_foreground = false;
+  Engine* engine = nullptr;
+};
+}  // namespace detail
+
+/// Cancellation token for a scheduled event.  The queue entry stays put,
+/// but cancellation immediately releases the event's foreground claim, so
+/// run() never waits out a dead timer's deadline.
+class Timer {
+ public:
+  Timer() = default;
+
+  void cancel();
+  [[nodiscard]] bool active() const { return flag_ && flag_->alive; }
+
+ private:
+  friend class Engine;
+  explicit Timer(std::shared_ptr<detail::EventFlag> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<detail::EventFlag> flag_;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 0x5EED) : rng_(seed) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` after the current time.  The event is
+  /// foreground unless scheduled from within a background event.
+  Timer schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` every `period`, starting one period from now, until the
+  /// returned Timer is cancelled.  Periodic events are background.
+  Timer schedule_periodic(SimTime period, std::function<void()> fn);
+
+  /// Schedules a one-shot background event: it (and whatever it schedules)
+  /// never keeps run() alive.  For ambient processes like churn drivers.
+  Timer schedule_background(SimTime delay, std::function<void()> fn);
+
+  /// Runs events (in timestamp order, background included) until no
+  /// foreground event remains queued.  Returns events executed.
+  std::size_t run();
+
+  /// Runs events with timestamp <= deadline (advances the clock to exactly
+  /// the deadline afterwards).  Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs for `duration` of virtual time from now.
+  std::size_t run_for(SimTime duration) { return run_until(now_ + duration); }
+
+  /// Executes at most one pending event.  Returns false if queue empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t foreground_pending() const { return foreground_pending_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    bool background = false;
+    std::shared_ptr<detail::EventFlag> flag;
+    std::function<void()> fn;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  friend class Timer;
+
+  void dispatch(Entry e);
+
+  void push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
+            std::function<void()> fn);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t foreground_pending_ = 0;
+  bool in_background_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  util::Rng rng_;
+};
+
+}  // namespace rbay::sim

@@ -1,0 +1,26 @@
+#include "store/attribute.hpp"
+
+namespace rbay::store {
+
+std::string AttributeValue::to_string() const {
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return aal::number_to_string(as_double());
+  return as_string();
+}
+
+aal::Value AttributeValue::to_aal() const {
+  if (is_bool()) return aal::Value::boolean(as_bool());
+  if (is_int()) return aal::Value::number(static_cast<double>(as_int()));
+  if (is_double()) return aal::Value::number(as_double());
+  return aal::Value::string(as_string());
+}
+
+AttributeValue AttributeValue::from_aal(const aal::Value& v) {
+  if (v.is_bool()) return AttributeValue{v.as_bool()};
+  if (v.is_number()) return AttributeValue{v.as_number()};
+  if (v.is_string()) return AttributeValue{v.as_string()};
+  return AttributeValue{false};
+}
+
+}  // namespace rbay::store

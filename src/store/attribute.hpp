@@ -1,0 +1,75 @@
+#pragma once
+
+// Resource attribute values.
+//
+// The paper's key-value map holds entries like ⟨GPU, true⟩, ⟨CPU, 50%⟩,
+// ⟨Matlab, "9.0"⟩: "the value can be any type such as boolean, character,
+// integer, floating-point and the like, as long as the admin sets and the
+// other site admins approve this setting" (§III.A).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "aal/value.hpp"
+
+namespace rbay::store {
+
+class AttributeValue {
+ public:
+  using Storage = std::variant<bool, std::int64_t, double, std::string>;
+
+  AttributeValue() : v_(false) {}
+  AttributeValue(bool b) : v_(b) {}                      // NOLINT
+  AttributeValue(std::int64_t i) : v_(i) {}              // NOLINT
+  AttributeValue(int i) : v_(std::int64_t{i}) {}         // NOLINT
+  AttributeValue(double d) : v_(d) {}                    // NOLINT
+  AttributeValue(std::string s) : v_(std::move(s)) {}    // NOLINT
+  AttributeValue(const char* s) : v_(std::string(s)) {}  // NOLINT
+
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view (bool → 0/1, int widened; strings are not numeric).
+  [[nodiscard]] bool numeric(double& out) const {
+    if (is_bool()) {
+      out = as_bool() ? 1.0 : 0.0;
+      return true;
+    }
+    if (is_int()) {
+      out = static_cast<double>(as_int());
+      return true;
+    }
+    if (is_double()) {
+      out = as_double();
+      return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const AttributeValue&, const AttributeValue&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Approximate serialized size for bandwidth/memory accounting.
+  [[nodiscard]] std::size_t wire_size() const {
+    return is_string() ? 8 + as_string().size() : 8;
+  }
+
+  /// Bridges to the AAL sandbox (handlers see attribute values as AAL
+  /// values and return AAL values).
+  [[nodiscard]] aal::Value to_aal() const;
+  static AttributeValue from_aal(const aal::Value& v);
+
+ private:
+  Storage v_;
+};
+
+}  // namespace rbay::store

@@ -1,0 +1,35 @@
+#pragma once
+
+// Contract checking (C++ Core Guidelines I.6 / GSL Expects-style).
+//
+// RBAY_REQUIRE guards preconditions, RBAY_ENSURE postconditions/invariants.
+// Violations indicate programming errors and throw ContractError; protocol-
+// level recoverable conditions use Result<T> / std::optional instead.
+
+#include <stdexcept>
+#include <string>
+
+namespace rbay::util {
+
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr, const char* msg,
+                                          const char* file, int line) {
+  throw ContractError(std::string(kind) + " failed: " + expr + " — " + msg + " (" + file + ":" +
+                      std::to_string(line) + ")");
+}
+
+}  // namespace rbay::util
+
+#define RBAY_REQUIRE(cond, msg)                                                          \
+  do {                                                                                   \
+    if (!(cond)) ::rbay::util::contract_failure("precondition", #cond, msg, __FILE__, __LINE__); \
+  } while (false)
+
+#define RBAY_ENSURE(cond, msg)                                                            \
+  do {                                                                                    \
+    if (!(cond)) ::rbay::util::contract_failure("postcondition", #cond, msg, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace rbay::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Logger::write(LogLevel lvl, const std::string& component, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(lvl), component.c_str(), message.c_str());
+}
+
+}  // namespace rbay::util

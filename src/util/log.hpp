@@ -1,0 +1,33 @@
+#pragma once
+
+// Minimal leveled logger.  Off (Warn) by default so tests and benches stay
+// quiet; integration debugging flips the level per-run.
+
+#include <sstream>
+#include <string>
+
+namespace rbay::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static void write(LogLevel lvl, const std::string& component, const std::string& message);
+};
+
+}  // namespace rbay::util
+
+#define RBAY_LOG(lvl, component, expr)                                      \
+  do {                                                                      \
+    if (static_cast<int>(lvl) >= static_cast<int>(::rbay::util::Logger::level())) { \
+      std::ostringstream rbay_log_os_;                                      \
+      rbay_log_os_ << expr;                                                 \
+      ::rbay::util::Logger::write(lvl, component, rbay_log_os_.str());      \
+    }                                                                       \
+  } while (false)
+
+#define RBAY_DEBUG(component, expr) RBAY_LOG(::rbay::util::LogLevel::Debug, component, expr)
+#define RBAY_INFO(component, expr) RBAY_LOG(::rbay::util::LogLevel::Info, component, expr)
+#define RBAY_WARN(component, expr) RBAY_LOG(::rbay::util::LogLevel::Warn, component, expr)

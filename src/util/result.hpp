@@ -1,0 +1,73 @@
+#pragma once
+
+// Minimal expected-style Result<T> for recoverable protocol errors.
+//
+// gcc 12's <expected> is not yet available under -std=c++20, so we carry a
+// small local equivalent.  Errors are strings by design: they cross module
+// boundaries (query interface → client) and are ultimately user-facing.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/contract.hpp"
+
+namespace rbay::util {
+
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Error err) : v_(std::in_place_index<1>, std::move(err)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const {
+    RBAY_REQUIRE(ok(), "Result::value called on error result");
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T& value() {
+    RBAY_REQUIRE(ok(), "Result::value called on error result");
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T take() {
+    RBAY_REQUIRE(ok(), "Result::take called on error result");
+    return std::move(std::get<0>(v_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    RBAY_REQUIRE(!ok(), "Result::error called on ok result");
+    return std::get<1>(v_).message;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error err) : err_(std::move(err)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const std::string& error() const {
+    RBAY_REQUIRE(!ok(), "Result::error called on ok result");
+    return err_->message;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace rbay::util

@@ -1,0 +1,24 @@
+#include "util/rng.hpp"
+
+namespace rbay::util {
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  RBAY_REQUIRE(n > 0, "Rng::zipf: n must be positive");
+  if (s <= 0.0) return 1 + uniform(n);
+  // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for the
+  // sizes we use; a direct inverse-CDF walk over the harmonic weights would
+  // be O(n).  Use the classic rejection method instead.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform_double();
+    const double v = uniform_double();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::uint64_t>(x);
+    }
+  }
+}
+
+}  // namespace rbay::util

@@ -1,0 +1,116 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+
+namespace rbay::util {
+
+namespace {
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[i * 4]} << 24) | (std::uint32_t{block[i * 4 + 1]} << 16) |
+           (std::uint32_t{block[i * 4 + 2]} << 8) | std::uint32_t{block[i * 4 + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(&zero, 1);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - i * 8));
+  }
+  // Bypass total_bytes_ accounting for the length field itself.
+  total_bytes_ -= buffered_;
+  std::memcpy(buffer_.data() + buffered_, len_bytes, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 20> Sha1::hash(std::string_view s) {
+  Sha1 ctx;
+  ctx.update(s);
+  return ctx.digest();
+}
+
+U128 Sha1::hash128(std::string_view s) {
+  const auto d = hash(s);
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | d[i];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | d[i];
+  return U128{hi, lo};
+}
+
+}  // namespace rbay::util

@@ -1,0 +1,46 @@
+#pragma once
+
+// SHA-1, implemented from scratch (FIPS 180-1).
+//
+// RBAY derives NodeIds from SHA-1(node IP) and TreeIds from SHA-1(attribute
+// textual name ‖ creator), exactly as the paper describes (§II.B.1-2).  The
+// collision-resistant hash is what makes the TreeId distribution uniform and
+// therefore the tree roots well spread over the ring.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/u128.hpp"
+
+namespace rbay::util {
+
+/// Incremental SHA-1 context.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 20-byte digest. The context must be reset()
+  /// before reuse.
+  [[nodiscard]] std::array<std::uint8_t, 20> digest();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, 20> hash(std::string_view s);
+
+  /// First 128 bits of SHA-1(s) — the id derivation RBAY uses everywhere.
+  static U128 hash128(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace rbay::util

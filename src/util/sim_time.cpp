@@ -1,0 +1,19 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace rbay::util {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (us_ >= 1'000'000 || us_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  } else if (us_ >= 1'000 || us_ <= -1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", as_millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+}  // namespace rbay::util

@@ -1,0 +1,54 @@
+#pragma once
+
+// Virtual time for the discrete-event simulation.
+//
+// SimTime is a strong typedef over signed 64-bit microseconds.  All latency
+// figures reported by the benches are virtual-time deltas derived from the
+// paper's Table II RTT matrix, not wall-clock measurements.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rbay::util {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  static constexpr SimTime millis(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1'000'000.0)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(us_) / 1000.0; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr std::strong_ordering operator<=>(SimTime a, SimTime b) {
+    return a.us_ <=> b.us_;
+  }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{us_ + o.us_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{us_ - o.us_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{us_ * k}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace rbay::util

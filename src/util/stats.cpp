@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace rbay::util {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  RBAY_REQUIRE(!values_.empty(), "Samples::mean on empty set");
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : values_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  RBAY_REQUIRE(!values_.empty(), "Samples::min on empty set");
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  RBAY_REQUIRE(!values_.empty(), "Samples::max on empty set");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::percentile(double p) const {
+  RBAY_REQUIRE(!values_.empty(), "Samples::percentile on empty set");
+  RBAY_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Samples::cdf(int points) const {
+  RBAY_REQUIRE(points >= 2, "cdf needs at least 2 points");
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty()) return out;
+  ensure_sorted();
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    const auto idx = static_cast<std::size_t>(frac * static_cast<double>(values_.size() - 1));
+    out.emplace_back(values_[idx],
+                     static_cast<double>(idx + 1) / static_cast<double>(values_.size()));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets), counts_(static_cast<std::size_t>(buckets), 0) {
+  RBAY_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  RBAY_REQUIRE(buckets > 0, "Histogram: need at least one bucket");
+}
+
+void Histogram::add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, buckets() - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bucket_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+std::string Histogram::render(int max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int i = 0; i < buckets(); ++i) {
+    const auto bar = static_cast<int>(static_cast<double>(counts_[static_cast<std::size_t>(i)]) /
+                                      static_cast<double>(peak) * max_width);
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(static_cast<std::size_t>(bar), '#') << " "
+       << counts_[static_cast<std::size_t>(i)] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rbay::util

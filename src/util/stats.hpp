@@ -1,0 +1,96 @@
+#pragma once
+
+// Statistics helpers for the benchmark harness: online mean/stddev
+// (Welford), percentile summaries, CDFs and fixed-bucket histograms.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rbay::util {
+
+/// Numerically stable online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles and CDF dumps.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile via nearest-rank on the sorted data; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// (value, cumulative fraction) pairs at `points` evenly spaced ranks —
+  /// the series the paper's Fig. 9 CDF plots show.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(int points = 20) const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width bucket histogram for load-balance plots (Fig. 8b).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket_count(int i) const { return counts_.at(i); }
+  [[nodiscard]] int buckets() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] double bucket_lo(int i) const;
+  [[nodiscard]] double bucket_hi(int i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Renders an ASCII bar chart, one line per bucket.
+  [[nodiscard]] std::string render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rbay::util

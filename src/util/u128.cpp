@@ -1,0 +1,33 @@
+#include "util/u128.hpp"
+
+#include <stdexcept>
+
+namespace rbay::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("U128::from_hex: invalid hex character");
+}
+}  // namespace
+
+std::string U128::to_hex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 32; ++i) out[i] = kHexDigits[digit(i, 4)];
+  return out;
+}
+
+U128 U128::from_hex(const std::string& hex) {
+  if (hex.size() > 32) throw std::invalid_argument("U128::from_hex: too long");
+  U128 v{};
+  for (char c : hex) {
+    v = (v << 4) + U128{static_cast<std::uint64_t>(hex_value(c))};
+  }
+  return v;
+}
+
+}  // namespace rbay::util

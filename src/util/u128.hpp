@@ -1,0 +1,114 @@
+#pragma once
+
+// 128-bit unsigned integer used for Pastry NodeIds and Scribe TreeIds.
+//
+// Pastry (Rowstron & Druschel, Middleware'01) identifies nodes with 128-bit
+// ids interpreted as a sequence of base-2^b digits (RBAY uses b = 4, i.e.
+// hexadecimal digits).  This type provides exactly the operations the
+// routing substrate needs: digit extraction, shared-prefix length, ring
+// distance, and ordering.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rbay::util {
+
+class U128 {
+ public:
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Implicit from a small integer, so `U128 x = 5` works in tests.
+  constexpr U128(std::uint64_t lo) : hi_(0), lo_(lo) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+  friend constexpr std::strong_ordering operator<=>(const U128& a, const U128& b) {
+    if (auto c = a.hi_ <=> b.hi_; c != std::strong_ordering::equal) return c;
+    return a.lo_ <=> b.lo_;
+  }
+
+  constexpr U128 operator+(const U128& o) const {
+    std::uint64_t lo = lo_ + o.lo_;
+    std::uint64_t carry = (lo < lo_) ? 1 : 0;
+    return U128{hi_ + o.hi_ + carry, lo};
+  }
+  constexpr U128 operator-(const U128& o) const {
+    std::uint64_t lo = lo_ - o.lo_;
+    std::uint64_t borrow = (lo_ < o.lo_) ? 1 : 0;
+    return U128{hi_ - o.hi_ - borrow, lo};
+  }
+  constexpr U128 operator^(const U128& o) const { return U128{hi_ ^ o.hi_, lo_ ^ o.lo_}; }
+  constexpr U128 operator~() const { return U128{~hi_, ~lo_}; }
+
+  constexpr U128 operator<<(unsigned n) const {
+    if (n == 0) return *this;
+    if (n >= 128) return U128{};
+    if (n >= 64) return U128{lo_ << (n - 64), 0};
+    return U128{(hi_ << n) | (lo_ >> (64 - n)), lo_ << n};
+  }
+  constexpr U128 operator>>(unsigned n) const {
+    if (n == 0) return *this;
+    if (n >= 128) return U128{};
+    if (n >= 64) return U128{0, hi_ >> (n - 64)};
+    return U128{hi_ >> n, (lo_ >> n) | (hi_ << (64 - n))};
+  }
+
+  /// Number of base-2^b digits in a 128-bit id.
+  static constexpr int kBits = 128;
+
+  /// Returns digit `i` (0 = most significant) in base 2^bits_per_digit.
+  [[nodiscard]] constexpr unsigned digit(int i, int bits_per_digit = 4) const {
+    const int shift = kBits - (i + 1) * bits_per_digit;
+    const U128 shifted = *this >> static_cast<unsigned>(shift);
+    return static_cast<unsigned>(shifted.lo_ & ((1ULL << bits_per_digit) - 1));
+  }
+
+  /// Length (in digits) of the longest common prefix with `o`.
+  [[nodiscard]] constexpr int shared_prefix_digits(const U128& o, int bits_per_digit = 4) const {
+    const int total = kBits / bits_per_digit;
+    for (int i = 0; i < total; ++i) {
+      if (digit(i, bits_per_digit) != o.digit(i, bits_per_digit)) return i;
+    }
+    return total;
+  }
+
+  /// Clockwise distance from `*this` to `o` on the 2^128 ring.
+  [[nodiscard]] constexpr U128 cw_distance(const U128& o) const { return o - *this; }
+
+  /// Minimal ring distance (either direction) to `o`.
+  [[nodiscard]] constexpr U128 ring_distance(const U128& o) const {
+    const U128 cw = cw_distance(o);
+    const U128 ccw = o.cw_distance(*this);
+    return cw < ccw ? cw : ccw;
+  }
+
+  [[nodiscard]] std::string to_hex() const;
+  /// Parses up to 32 hex chars (shorter strings are low-order aligned).
+  static U128 from_hex(const std::string& hex);
+
+  /// Stable 64-bit mix of the full id, for hashing into std containers.
+  [[nodiscard]] constexpr std::uint64_t fold64() const {
+    std::uint64_t x = hi_ ^ (lo_ * 0x9E3779B97F4A7C15ULL);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    return x;
+  }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+struct U128Hash {
+  std::size_t operator()(const U128& v) const noexcept {
+    return static_cast<std::size_t>(v.fold64());
+  }
+};
+
+}  // namespace rbay::util

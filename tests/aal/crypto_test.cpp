@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "aal/script.hpp"
+
+namespace rbay::aal {
+namespace {
+
+Value eval_fn(const std::string& body) {
+  auto script = Script::load("function f()\n" + body + "\nend");
+  EXPECT_TRUE(script.ok()) << (script.ok() ? "" : script.error());
+  if (!script.ok()) return Value::nil();
+  auto result = script.value()->call("f", {});
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+  return result.ok() ? result.take() : Value::nil();
+}
+
+TEST(Crypto, Sha1KnownVectors) {
+  EXPECT_EQ(eval_fn("return crypto.sha1('abc')").as_string(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(eval_fn("return crypto.sha1('')").as_string(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Crypto, HmacRfc2202Vectors) {
+  // RFC 2202 test case 2: key "Jefe", data "what do ya want for nothing?".
+  EXPECT_EQ(eval_fn("return crypto.hmac('Jefe', 'what do ya want for nothing?')").as_string(),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Crypto, HmacLongKeyIsHashedFirst) {
+  const std::string long_key(100, 'k');
+  auto script = Script::load(R"(
+function f(key, msg) return crypto.hmac(key, msg) end)");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {Value::string(long_key), Value::string("m")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().as_string().size(), 40u);
+}
+
+TEST(Crypto, HashedPasswordPolicy) {
+  // §III.B: avoid plaintext passwords in the AA — store only the digest.
+  auto script = Script::load(R"(
+AA = {PasswordHash = crypto.sha1("3053482032")}
+function onGet(caller, payload)
+  if crypto.sha1(payload) == AA.PasswordHash then return true end
+  return nil
+end)");
+  ASSERT_TRUE(script.ok());
+  auto granted =
+      script.value()->call("onGet", {Value::string("joe"), Value::string("3053482032")});
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted.value().truthy());
+  auto denied = script.value()->call("onGet", {Value::string("joe"), Value::string("guess")});
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(denied.value().is_nil());
+}
+
+TEST(Crypto, CapabilityTokenPolicy) {
+  // The admin derives per-caller tokens as hmac(secret, caller); the node
+  // verifies without a caller database.
+  auto script = Script::load(R"(
+AA = {Secret = "site-secret-42"}
+function onGet(caller, token)
+  if token == crypto.hmac(AA.Secret, caller) then return true end
+  return nil
+end)");
+  ASSERT_TRUE(script.ok());
+  // Compute joe's token with a second sandbox, as the admin tool would.
+  auto tool = Script::load(R"(
+function issue(secret, caller) return crypto.hmac(secret, caller) end)");
+  ASSERT_TRUE(tool.ok());
+  auto token =
+      tool.value()->call("issue", {Value::string("site-secret-42"), Value::string("joe")});
+  ASSERT_TRUE(token.ok());
+
+  auto granted = script.value()->call("onGet", {Value::string("joe"), token.value()});
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted.value().truthy());
+  // A stolen token bound to another caller fails.
+  auto denied = script.value()->call("onGet", {Value::string("mallory"), token.value()});
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(denied.value().is_nil());
+}
+
+TEST(Crypto, BadArgumentsAreRuntimeErrors) {
+  auto script = Script::load("function f() return crypto.sha1({}) end");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("f", {}).ok());
+  auto script2 = Script::load("function f() return crypto.hmac('k') end");
+  ASSERT_TRUE(script2.ok());
+  EXPECT_FALSE(script2.value()->call("f", {}).ok());
+}
+
+}  // namespace
+}  // namespace rbay::aal

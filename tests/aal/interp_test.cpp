@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "aal/script.hpp"
+
+namespace rbay::aal {
+namespace {
+
+/// Loads a script that defines `function f() ... end`, calls f, and
+/// returns the result.
+Value eval_fn(const std::string& body) {
+  auto script = Script::load("function f()\n" + body + "\nend");
+  EXPECT_TRUE(script.ok()) << (script.ok() ? "" : script.error());
+  if (!script.ok()) return Value::nil();
+  auto result = script.value()->call("f", {});
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+  return result.ok() ? result.take() : Value::nil();
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(eval_fn("return 1 + 2 * 3").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return (1 + 2) * 3").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return 2 ^ 10").as_number(), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return 7 % 3").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return -7 % 3").as_number(), 2.0);  // Lua modulo
+  EXPECT_DOUBLE_EQ(eval_fn("return 10 / 4").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(eval_fn("return -(3 + 4)").as_number(), -7.0);
+}
+
+TEST(Interp, StringConcatAndCoercion) {
+  EXPECT_EQ(eval_fn("return 'a' .. 'b' .. 'c'").as_string(), "abc");
+  EXPECT_EQ(eval_fn("return 'n=' .. 42").as_string(), "n=42");
+  EXPECT_EQ(eval_fn("return 1 .. 2").as_string(), "12");
+}
+
+TEST(Interp, ComparisonOperators) {
+  EXPECT_TRUE(eval_fn("return 1 < 2").as_bool());
+  EXPECT_FALSE(eval_fn("return 2 < 1").as_bool());
+  EXPECT_TRUE(eval_fn("return 'abc' < 'abd'").as_bool());
+  EXPECT_TRUE(eval_fn("return 3 >= 3").as_bool());
+  EXPECT_TRUE(eval_fn("return 'x' ~= 'y'").as_bool());
+  EXPECT_TRUE(eval_fn("return nil == nil").as_bool());
+}
+
+TEST(Interp, TruthinessAndLogic) {
+  // and/or return operands, Lua-style.
+  EXPECT_DOUBLE_EQ(eval_fn("return false or 5").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return nil and 1 or 2").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return 0 and 7").as_number(), 7.0);  // 0 is truthy
+  EXPECT_TRUE(eval_fn("return not nil").as_bool());
+  EXPECT_FALSE(eval_fn("return not 0").as_bool());
+}
+
+TEST(Interp, ShortCircuitSkipsSideEffects) {
+  auto script = Script::load(R"(
+counter = 0
+function bump() counter = counter + 1 return true end
+function f()
+  local x = false and bump()
+  local y = true or bump()
+  return counter
+end
+)");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().as_number(), 0.0);
+}
+
+TEST(Interp, LocalScopingAndShadowing) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local x = 1
+do
+  local x = 2
+end
+return x)").as_number(), 1.0);
+}
+
+TEST(Interp, GlobalAssignmentFromFunction) {
+  auto script = Script::load("g = 10\nfunction f() g = g + 5 return g end");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(script.value()->call("f", {}).ok());
+  EXPECT_DOUBLE_EQ(script.value()->global("g").as_number(), 15.0);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local s, i = 0, 1
+while i <= 10 do s = s + i i = i + 1 end
+return s)").as_number(), 55.0);
+}
+
+TEST(Interp, RepeatUntilSeesBodyLocals) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local n = 0
+repeat
+  local done = n >= 3
+  n = n + 1
+until done
+return n)").as_number(), 4.0);
+}
+
+TEST(Interp, NumericForWithStep) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local s = 0
+for i = 10, 2, -2 do s = s + i end
+return s)").as_number(), 30.0);  // 10+8+6+4+2
+}
+
+TEST(Interp, BreakExitsInnermostLoop) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local s = 0
+for i = 1, 10 do
+  if i > 3 then break end
+  s = s + i
+end
+return s)").as_number(), 6.0);
+}
+
+TEST(Interp, GenericForWithPairs) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local t = {a = 1, b = 2, c = 3}
+local s = 0
+for k, v in pairs(t) do s = s + v end
+return s)").as_number(), 6.0);
+}
+
+TEST(Interp, GenericForWithIpairsStopsAtNil) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local t = {10, 20, 30}
+t[5] = 50  -- hole at 4: ipairs must stop at 3
+local s = 0
+for i, v in ipairs(t) do s = s + v end
+return s)").as_number(), 60.0);
+}
+
+TEST(Interp, TablesNestAndMutate) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local t = {inner = {x = 1}}
+t.inner.x = t.inner.x + 41
+return t.inner.x)").as_number(), 42.0);
+}
+
+TEST(Interp, TableIdentitySemantics) {
+  EXPECT_TRUE(eval_fn(R"(
+local a = {}
+local b = a
+b.x = 7
+return a.x == 7 and a == b)").as_bool());
+  EXPECT_FALSE(eval_fn("return {} == {}").as_bool());
+}
+
+TEST(Interp, LengthOperator) {
+  EXPECT_DOUBLE_EQ(eval_fn("return #'hello'").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return #{1, 2, 3}").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval_fn("local t = {} return #t").as_number(), 0.0);
+}
+
+TEST(Interp, ClosuresCaptureEnvironment) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local function make_counter()
+  local n = 0
+  return function() n = n + 1 return n end
+end
+local c = make_counter()
+c() c()
+return c())").as_number(), 3.0);
+}
+
+TEST(Interp, RecursionWorks) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+return fib(12))").as_number(), 144.0);
+}
+
+TEST(Interp, MultipleReturnValues) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local function two() return 3, 4 end
+local a, b = two()
+return a + b)").as_number(), 7.0);
+}
+
+TEST(Interp, MultipleReturnTruncatedMidList) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local function two() return 3, 4 end
+local a, b, c = two(), 10  -- two() yields only its first value here
+return a * 100 + b + (c == nil and 0 or 99))").as_number(), 310.0);
+}
+
+TEST(Interp, MethodCallPassesSelf) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local obj = {base = 40}
+function obj:add(n) return self.base + n end
+return obj:add(2))").as_number(), 42.0);
+}
+
+TEST(Interp, RuntimeErrorsSurfaceAsResults) {
+  auto script = Script::load("function f() return nil + 1 end");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("arithmetic"), std::string::npos);
+}
+
+TEST(Interp, IndexingNonTableFails) {
+  auto script = Script::load("function f() local x = 5 return x.field end");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("f", {}).ok());
+}
+
+TEST(Interp, CallingNonFunctionFails) {
+  auto script = Script::load("function f() local x = 5 return x() end");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("f", {}).ok());
+}
+
+TEST(Interp, TopLevelChunkErrorsFailLoad) {
+  EXPECT_FALSE(Script::load("x = nil + 1").ok());
+}
+
+TEST(Interp, ArgumentsArePassedAndMissingOnesAreNil) {
+  auto script = Script::load(R"(
+function f(a, b, c)
+  if c == nil then return a + b end
+  return a + b + c
+end)");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {Value::number(1), Value::number(2)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().as_number(), 3.0);
+}
+
+TEST(Interp, Fig5PasswordHandlerSemantics) {
+  // The paper's Fig. 5: NodeId returned only with the right password.
+  auto script = Script::load(R"(
+AA = {NodeId = 27, IP = "131.94.130.118", Password = "3053482032"}
+function onGet(caller, password)
+  if (password == AA.Password) then
+    return AA.NodeId
+  end
+  return nil
+end)");
+  ASSERT_TRUE(script.ok());
+  auto good = script.value()->call(
+      "onGet", {Value::string("joe"), Value::string("3053482032")});
+  ASSERT_TRUE(good.ok());
+  EXPECT_DOUBLE_EQ(good.value().as_number(), 27.0);
+  auto bad = script.value()->call("onGet", {Value::string("joe"), Value::string("wrong")});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad.value().is_nil());
+}
+
+TEST(Interp, StatePersistsAcrossCalls) {
+  auto script = Script::load(R"(
+hits = 0
+function onGet() hits = hits + 1 return hits end)");
+  ASSERT_TRUE(script.ok());
+  for (int i = 1; i <= 5; ++i) {
+    auto r = script.value()->call("onGet", {});
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().as_number(), i);
+  }
+}
+
+}  // namespace
+}  // namespace rbay::aal

@@ -1,0 +1,116 @@
+#include "aal/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::aal {
+namespace {
+
+std::vector<Token> lex_ok(const std::string& src) {
+  auto r = lex(src);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.ok() ? r.take() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  const auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, NumbersDecimalFloatExponentHex) {
+  const auto tokens = lex_ok("42 3.14 1e3 2.5e-2 0xFF");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.14);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 255);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto tokens = lex_ok(R"("hello\nworld" 'single' "tab\there")");
+  EXPECT_EQ(tokens[0].text, "hello\nworld");
+  EXPECT_EQ(tokens[1].text, "single");
+  EXPECT_EQ(tokens[2].text, "tab\there");
+}
+
+TEST(Lexer, KeywordsVsNames) {
+  const auto tokens = lex_ok("if iffy end ending nil nilly");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwIf);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Name);
+  EXPECT_EQ(tokens[1].text, "iffy");
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwEnd);
+  EXPECT_EQ(tokens[3].kind, TokenKind::Name);
+  EXPECT_EQ(tokens[4].kind, TokenKind::KwNil);
+  EXPECT_EQ(tokens[5].kind, TokenKind::Name);
+}
+
+TEST(Lexer, OperatorsIncludingMultiChar) {
+  const auto tokens = lex_ok("== ~= <= >= < > = .. . # ^ %");
+  EXPECT_EQ(tokens[0].kind, TokenKind::EqEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::NotEq);
+  EXPECT_EQ(tokens[2].kind, TokenKind::LessEq);
+  EXPECT_EQ(tokens[3].kind, TokenKind::GreaterEq);
+  EXPECT_EQ(tokens[4].kind, TokenKind::Less);
+  EXPECT_EQ(tokens[5].kind, TokenKind::Greater);
+  EXPECT_EQ(tokens[6].kind, TokenKind::Assign);
+  EXPECT_EQ(tokens[7].kind, TokenKind::DotDot);
+  EXPECT_EQ(tokens[8].kind, TokenKind::Dot);
+  EXPECT_EQ(tokens[9].kind, TokenKind::Hash);
+  EXPECT_EQ(tokens[10].kind, TokenKind::Caret);
+  EXPECT_EQ(tokens[11].kind, TokenKind::Percent);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = lex_ok("a = 1 -- this is a comment\nb = 2");
+  // a = 1 b = 2 eof → 7 tokens
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[3].text, "b");
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto tokens = lex_ok("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, ErrorsCarryLine) {
+  auto r = lex("ok = 1\nbad = \"unterminated");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+}
+
+TEST(Lexer, BadEscapeRejected) {
+  EXPECT_FALSE(lex(R"(x = "\q")").ok());
+}
+
+TEST(Lexer, UnexpectedCharacterRejected) {
+  auto r = lex("x = 1 @ 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find('@'), std::string::npos);
+}
+
+TEST(Lexer, TildeWithoutEqualsRejected) {
+  EXPECT_FALSE(lex("x ~ y").ok());
+}
+
+TEST(Lexer, Fig5PasswordHandlerLexes) {
+  // The paper's Fig. 5 example, verbatim modulo whitespace.
+  const std::string src = R"(
+AA = {NodeId = 27,
+      IP = "131.94.130.118",
+      Password = "3053482032"}
+function onGet(caller, password)
+  if (password == AA.Password) then
+    return AA.NodeId
+  end
+  return nil
+end
+)";
+  const auto tokens = lex_ok(src);
+  EXPECT_GT(tokens.size(), 30u);
+}
+
+}  // namespace
+}  // namespace rbay::aal

@@ -1,0 +1,163 @@
+#include "aal/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::aal {
+namespace {
+
+Block parse_ok(const std::string& src) {
+  auto r = parse(src);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.ok() ? r.take() : Block{};
+}
+
+TEST(Parser, LocalDeclaration) {
+  const auto block = parse_ok("local x = 1");
+  ASSERT_EQ(block.stats.size(), 1u);
+  EXPECT_EQ(block.stats[0]->kind, StatKind::Local);
+  EXPECT_EQ(block.stats[0]->names, std::vector<std::string>{"x"});
+}
+
+TEST(Parser, MultipleLocalsAndValues) {
+  const auto block = parse_ok("local a, b, c = 1, 2");
+  EXPECT_EQ(block.stats[0]->names.size(), 3u);
+  EXPECT_EQ(block.stats[0]->exprs.size(), 2u);
+}
+
+TEST(Parser, AssignmentToIndexChain) {
+  const auto block = parse_ok("t.a.b[3] = 7");
+  ASSERT_EQ(block.stats.size(), 1u);
+  EXPECT_EQ(block.stats[0]->kind, StatKind::Assign);
+  EXPECT_EQ(block.stats[0]->lhs[0]->kind, ExprKind::Index);
+}
+
+TEST(Parser, IfElseifElseChain) {
+  const auto block = parse_ok("if a then x=1 elseif b then x=2 elseif c then x=3 else x=4 end");
+  ASSERT_EQ(block.stats.size(), 1u);
+  const auto& s = *block.stats[0];
+  EXPECT_EQ(s.kind, StatKind::If);
+  EXPECT_EQ(s.clauses.size(), 3u);
+  EXPECT_TRUE(s.has_else);
+}
+
+TEST(Parser, LoopForms) {
+  parse_ok("while x < 10 do x = x + 1 end");
+  parse_ok("repeat x = x - 1 until x == 0");
+  parse_ok("for i = 1, 10 do s = s + i end");
+  parse_ok("for i = 10, 1, -1 do s = s + i end");
+  parse_ok("for k, v in pairs(t) do s = s + v end");
+}
+
+TEST(Parser, FunctionStatementDesugarsToAssignment) {
+  const auto block = parse_ok("function f(a, b) return a + b end");
+  ASSERT_EQ(block.stats.size(), 1u);
+  EXPECT_EQ(block.stats[0]->kind, StatKind::Assign);
+  EXPECT_EQ(block.stats[0]->exprs[0]->kind, ExprKind::Function);
+  EXPECT_EQ(block.stats[0]->exprs[0]->func->params.size(), 2u);
+}
+
+TEST(Parser, MethodDefinitionAddsSelf) {
+  const auto block = parse_ok("function t:m(a) return self end");
+  EXPECT_EQ(block.stats[0]->exprs[0]->func->params,
+            (std::vector<std::string>{"self", "a"}));
+}
+
+TEST(Parser, TableConstructorForms) {
+  const auto block = parse_ok("t = {1, 2, x = 3, [\"y\"] = 4, nested = {5}}");
+  const auto& table = *block.stats[0]->exprs[0];
+  ASSERT_EQ(table.kind, ExprKind::Table);
+  EXPECT_EQ(table.fields.size(), 5u);
+  EXPECT_EQ(table.fields[0].key, nullptr);  // positional
+  EXPECT_NE(table.fields[2].key, nullptr);  // named
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const auto block = parse_ok("x = 1 + 2 * 3");
+  const auto& e = *block.stats[0]->exprs[0];
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.bin_op, BinOp::Add);
+  EXPECT_EQ(e.b->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  const auto block = parse_ok("x = 2 ^ 3 ^ 2");
+  const auto& e = *block.stats[0]->exprs[0];
+  EXPECT_EQ(e.bin_op, BinOp::Pow);
+  EXPECT_EQ(e.b->kind, ExprKind::Binary);  // 3 ^ 2 grouped right
+}
+
+TEST(Parser, ConcatIsRightAssociative) {
+  const auto block = parse_ok("x = a .. b .. c");
+  const auto& e = *block.stats[0]->exprs[0];
+  EXPECT_EQ(e.bin_op, BinOp::Concat);
+  EXPECT_EQ(e.b->kind, ExprKind::Binary);
+}
+
+TEST(Parser, AndOrPrecedence) {
+  // a or b and c  →  a or (b and c)
+  const auto block = parse_ok("x = a or b and c");
+  const auto& e = *block.stats[0]->exprs[0];
+  EXPECT_EQ(e.bin_op, BinOp::Or);
+  EXPECT_EQ(e.b->bin_op, BinOp::And);
+}
+
+TEST(Parser, CallStatementAllowed) {
+  const auto block = parse_ok("f(1, 2) t.g() obj:m(3)");
+  EXPECT_EQ(block.stats.size(), 3u);
+  for (const auto& s : block.stats) EXPECT_EQ(s->kind, StatKind::Expr);
+}
+
+TEST(Parser, NonCallExpressionStatementRejected) {
+  EXPECT_FALSE(parse("x + 1").ok());
+}
+
+TEST(Parser, ReturnEndsBlock) {
+  auto r = parse("return 1\nx = 2");
+  // 'x = 2' after return at the same block level is a syntax error in Lua.
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ReturnWithNoValues) {
+  const auto block = parse_ok("return");
+  EXPECT_EQ(block.stats[0]->exprs.size(), 0u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto r = parse("x = 1\ny = (1 + \nend");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 3"), std::string::npos);
+}
+
+TEST(Parser, MissingEndRejected) {
+  EXPECT_FALSE(parse("if x then y = 1").ok());
+  EXPECT_FALSE(parse("function f() return 1").ok());
+  EXPECT_FALSE(parse("while x do y = 1").ok());
+}
+
+TEST(Parser, CannotAssignToCall) {
+  EXPECT_FALSE(parse("f() = 3").ok());
+}
+
+TEST(Parser, Fig5PasswordHandlerParses) {
+  const std::string src = R"(
+AA = {NodeId = 27, IP = "131.94.130.118", Password = "3053482032"}
+function onGet(caller, password)
+  if (password == AA.Password) then
+    return AA.NodeId
+  end
+  return nil
+end
+)";
+  const auto block = parse_ok(src);
+  EXPECT_EQ(block.stats.size(), 2u);
+}
+
+TEST(Parser, LocalFunctionSugar) {
+  const auto block = parse_ok("local function helper(x) return x * 2 end");
+  EXPECT_EQ(block.stats[0]->kind, StatKind::Local);
+  EXPECT_EQ(block.stats[0]->names[0], "helper");
+  EXPECT_EQ(block.stats[0]->exprs[0]->kind, ExprKind::Function);
+}
+
+}  // namespace
+}  // namespace rbay::aal

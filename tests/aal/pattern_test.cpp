@@ -1,0 +1,213 @@
+#include "aal/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aal/script.hpp"
+
+namespace rbay::aal {
+namespace {
+
+// --- engine-level tests --------------------------------------------------
+
+std::optional<MatchResult> find(const std::string& pat, const std::string& s,
+                                std::size_t init = 0) {
+  return Pattern::compile(pat).find(s, init);
+}
+
+TEST(PatternEngine, LiteralAndDot) {
+  auto m = find("world", "hello world");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->start, 6u);
+  EXPECT_EQ(m->end, 11u);
+  EXPECT_TRUE(find("w.rld", "hello world"));
+  EXPECT_FALSE(find("mars", "hello world"));
+}
+
+TEST(PatternEngine, CharacterClasses) {
+  EXPECT_TRUE(find("%d+", "abc123"));
+  EXPECT_EQ(find("%d+", "abc123")->start, 3u);
+  EXPECT_TRUE(find("%a+", "123abc"));
+  EXPECT_TRUE(find("%s", "a b"));
+  EXPECT_TRUE(find("%u", "aBc"));
+  EXPECT_TRUE(find("%x+", "zzff"));
+  // Uppercase classes are complements.
+  EXPECT_EQ(find("%D+", "123abc456")->start, 3u);
+  EXPECT_EQ(find("%A+", "abc123")->start, 3u);
+}
+
+TEST(PatternEngine, EscapedSpecials) {
+  EXPECT_TRUE(find("%.", "a.b"));
+  EXPECT_EQ(find("%.", "a.b")->start, 1u);
+  EXPECT_TRUE(find("%%", "50%"));
+  EXPECT_TRUE(find("%(", "f(x)"));
+}
+
+TEST(PatternEngine, Sets) {
+  EXPECT_TRUE(find("[abc]+", "zzzab"));
+  EXPECT_EQ(find("[abc]+", "zzzab")->start, 3u);
+  EXPECT_TRUE(find("[a-m]+", "xyz abc"));
+  EXPECT_TRUE(find("[^%s]+", "  word"));
+  EXPECT_EQ(find("[^%s]+", "  word")->start, 2u);
+  EXPECT_TRUE(find("[%d%u]+", "aB1"));
+}
+
+TEST(PatternEngine, Quantifiers) {
+  // Greedy *
+  auto greedy = find("a.*b", "aXbYb");
+  ASSERT_TRUE(greedy);
+  EXPECT_EQ(greedy->end, 5u);
+  // Lazy -
+  auto lazy = find("a.-b", "aXbYb");
+  ASSERT_TRUE(lazy);
+  EXPECT_EQ(lazy->end, 3u);
+  // + requires at least one
+  EXPECT_FALSE(find("ab+c", "ac"));
+  EXPECT_TRUE(find("ab+c", "abbbc"));
+  // ? optional
+  EXPECT_TRUE(find("colou?r", "color"));
+  EXPECT_TRUE(find("colou?r", "colour"));
+}
+
+TEST(PatternEngine, Anchors) {
+  EXPECT_TRUE(find("^abc", "abcdef"));
+  EXPECT_FALSE(find("^abc", "xabc"));
+  EXPECT_TRUE(find("def$", "abcdef"));
+  EXPECT_FALSE(find("abc$", "abcdef"));
+  EXPECT_TRUE(find("^exact$", "exact"));
+  EXPECT_FALSE(find("^exact$", "exactly"));
+}
+
+TEST(PatternEngine, Captures) {
+  auto m = find("(%a+)=(%d+)", "  key=42;");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->captures.size(), 2u);
+  EXPECT_EQ(m->captures[0], "key");
+  EXPECT_EQ(m->captures[1], "42");
+  // Nested captures, ordered by opening parenthesis.
+  auto nested = find("((%a)%a*)", "word");
+  ASSERT_TRUE(nested);
+  ASSERT_EQ(nested->captures.size(), 2u);
+  EXPECT_EQ(nested->captures[0], "word");
+  EXPECT_EQ(nested->captures[1], "w");
+}
+
+TEST(PatternEngine, BackReferences) {
+  EXPECT_TRUE(find("(%a+) %1", "hey hey"));
+  // Unanchored, "hey you" still matches via the substring "y y" (exactly
+  // as reference Lua does); anchoring forbids it.
+  EXPECT_FALSE(find("^(%a+) %1$", "hey you"));
+  EXPECT_TRUE(find("^(%a+) %1$", "hey hey"));
+}
+
+TEST(PatternEngine, InitOffsetAndEmptyMatches) {
+  auto m = find("%d", "a1b2", 2);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->start, 3u);
+  // Empty-match pattern still terminates.
+  auto empty = find("x*", "yyy");
+  ASSERT_TRUE(empty);
+  EXPECT_EQ(empty->start, empty->end);
+}
+
+TEST(PatternEngine, MalformedPatternsThrow) {
+  EXPECT_THROW(Pattern::compile("abc%"), PatternError);
+  EXPECT_THROW(Pattern::compile("[abc"), PatternError);
+  EXPECT_THROW((void)Pattern::compile("%b()").find("(x)"), PatternError);
+}
+
+TEST(PatternEngine, GsubBasics) {
+  const auto pattern = Pattern::compile("%d+");
+  auto [result, count] = pattern.gsub("a1 b22 c333", "#", SIZE_MAX);
+  EXPECT_EQ(result, "a# b# c#");
+  EXPECT_EQ(count, 3);
+  auto [limited, count2] = pattern.gsub("a1 b22 c333", "#", 2);
+  EXPECT_EQ(limited, "a# b# c333");
+  EXPECT_EQ(count2, 2);
+}
+
+TEST(PatternEngine, GsubCaptureExpansion) {
+  const auto pattern = Pattern::compile("(%a+)=(%d+)");
+  auto [result, count] = pattern.gsub("x=1,y=2", "%2:%1", SIZE_MAX);
+  EXPECT_EQ(result, "1:x,2:y");
+  EXPECT_EQ(count, 2);
+  auto [whole, n] = Pattern::compile("%a+").gsub("ab cd", "<%0>", SIZE_MAX);
+  EXPECT_EQ(whole, "<ab> <cd>");
+  EXPECT_EQ(n, 2);
+}
+
+// --- sandbox-level tests ---------------------------------------------------
+
+Value eval_fn(const std::string& body) {
+  auto script = Script::load("function f()\n" + body + "\nend");
+  EXPECT_TRUE(script.ok()) << (script.ok() ? "" : script.error());
+  if (!script.ok()) return Value::nil();
+  auto result = script.value()->call("f", {});
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+  return result.ok() ? result.take() : Value::nil();
+}
+
+TEST(PatternStdlib, MatchReturnsCaptures) {
+  EXPECT_EQ(eval_fn("return string.match('user=joe', '(%a+)=(%a+)')").as_string(), "user");
+  EXPECT_EQ(eval_fn("local k, v = string.match('user=joe', '(%a+)=(%a+)') return v").as_string(),
+            "joe");
+  EXPECT_TRUE(eval_fn("return string.match('nope', '%d+')").is_nil());
+  EXPECT_EQ(eval_fn("return string.match('abc123', '%d+')").as_string(), "123");
+}
+
+TEST(PatternStdlib, FindWithPatternsAndCaptures) {
+  EXPECT_DOUBLE_EQ(eval_fn("return string.find('abc123', '%d+')").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      eval_fn("local s, e, cap = string.find('v=9', '(%d)') return e * 10 + cap").as_number(),
+      39.0);
+  // plain mode treats magic characters literally.
+  EXPECT_DOUBLE_EQ(eval_fn("return string.find('3.14', '.1', 1, true)").as_number(), 2.0);
+}
+
+TEST(PatternStdlib, GmatchIterates) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local total = 0
+for n in string.gmatch('10 20 30', '%d+') do total = total + tonumber(n) end
+return total)").as_number(), 60.0);
+  EXPECT_EQ(eval_fn(R"(
+local parts = {}
+for k, v in string.gmatch('a=1,b=2', '(%a+)=(%d+)') do
+  table.insert(parts, k .. v)
+end
+return table.concat(parts, '|'))").as_string(), "a1|b2");
+}
+
+TEST(PatternStdlib, GsubRewrites) {
+  EXPECT_EQ(eval_fn("return string.gsub('hello world', 'o', '0')").as_string(), "hell0 w0rld");
+  EXPECT_DOUBLE_EQ(eval_fn("local s, n = string.gsub('a b c', '%s', '-') return n").as_number(),
+                   2.0);
+  EXPECT_EQ(eval_fn("return string.gsub('key=val', '(%a+)=(%a+)', '%2=%1')").as_string(),
+            "val=key");
+}
+
+TEST(PatternStdlib, PolicyUseCaseCallerValidation) {
+  // Realistic policy: allow only callers that look like "name#number"
+  // query ids from the corp domain prefix.
+  auto script = Script::load(R"(
+function onGet(caller, payload)
+  local who = string.match(caller, '^([%a%d]+)#%d+$')
+  if who == nil then return nil end
+  if string.find(who, 'corp', 1, true) == 1 then return true end
+  return nil
+end)");
+  ASSERT_TRUE(script.ok());
+  auto ok = script.value()->call("onGet", {Value::string("corp42#17"), Value::nil()});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().truthy());
+  auto bad = script.value()->call("onGet", {Value::string("evil!caller"), Value::nil()});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad.value().is_nil());
+}
+
+TEST(PatternStdlib, MalformedPatternIsRuntimeError) {
+  auto script = Script::load("function f() return string.match('x', '[oops') end");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("f", {}).ok());
+}
+
+}  // namespace
+}  // namespace rbay::aal

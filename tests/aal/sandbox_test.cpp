@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "aal/script.hpp"
+
+namespace rbay::aal {
+namespace {
+
+TEST(Sandbox, InfiniteLoopIsTerminatedByBudget) {
+  auto script = Script::load("function f() while true do end end");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("budget"), std::string::npos);
+}
+
+TEST(Sandbox, BudgetIsPerCallNotCumulative) {
+  SandboxLimits limits;
+  limits.max_steps = 2'000;
+  auto script = Script::load(R"(
+function f()
+  local s = 0
+  for i = 1, 100 do s = s + i end
+  return s
+end)", limits);
+  ASSERT_TRUE(script.ok());
+  // Each call uses a fresh budget: 20 calls must all succeed even though
+  // their cumulative step count far exceeds max_steps.
+  for (int i = 0; i < 20; ++i) {
+    auto r = script.value()->call("f", {});
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_DOUBLE_EQ(r.value().as_number(), 5050.0);
+  }
+}
+
+TEST(Sandbox, TightBudgetStopsExpensiveHandler) {
+  SandboxLimits limits;
+  limits.max_steps = 50;
+  auto script = Script::load(R"(
+function cheap() return 1 end
+function expensive()
+  local s = 0
+  for i = 1, 1000 do s = s + i end
+  return s
+end)", limits);
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script.value()->call("cheap", {}).ok());
+  EXPECT_FALSE(script.value()->call("expensive", {}).ok());
+}
+
+TEST(Sandbox, RunawayTopLevelChunkFailsLoad) {
+  auto r = Script::load("while true do end");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("budget"), std::string::npos);
+}
+
+TEST(Sandbox, RecursionDepthIsLimited) {
+  auto script = Script::load(R"(
+function f(n) return f(n + 1) end)");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {Value::number(0)});
+  ASSERT_FALSE(r.ok());
+  // Either the depth limit or the step budget stops it — both are
+  // acceptable terminations; it must not crash.
+}
+
+TEST(Sandbox, DepthLimitConfigurable) {
+  SandboxLimits limits;
+  limits.max_steps = 1'000'000;
+  limits.max_recursion_depth = 10;
+  auto script = Script::load(R"(
+function f(n)
+  if n == 0 then return 0 end
+  return f(n - 1)
+end)", limits);
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script.value()->call("f", {Value::number(5)}).ok());
+  auto deep = script.value()->call("f", {Value::number(50)});
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.error().find("recursion"), std::string::npos);
+}
+
+TEST(Sandbox, StepsUsedIsObservable) {
+  auto script = Script::load("function f() return 1 + 1 end");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(script.value()->call("f", {}).ok());
+  EXPECT_GT(script.value()->last_call_steps(), 0);
+  EXPECT_LT(script.value()->last_call_steps(), 50);
+}
+
+TEST(Sandbox, ErrorInHandlerDoesNotPoisonScript) {
+  auto script = Script::load(R"(
+state = 0
+function bad() state = state + 1 error('boom') end
+function good() return state end)");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("bad", {}).ok());
+  auto r = script.value()->call("good", {});
+  ASSERT_TRUE(r.ok());
+  // Side effects before the error persist (no transactional rollback),
+  // matching Lua semantics.
+  EXPECT_DOUBLE_EQ(r.value().as_number(), 1.0);
+}
+
+TEST(Sandbox, MemoryFootprintGrowsWithState) {
+  auto small = Script::load("AA = {x = 1}");
+  auto large = Script::load(R"(
+AA = {}
+for i = 1, 100 do AA['key' .. i] = 'value-' .. i end)");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large.value()->memory_footprint(), small.value()->memory_footprint() + 1000);
+}
+
+TEST(Sandbox, HostCanReadAndWriteGlobals) {
+  auto script = Script::load("function f() return host_value * 2 end");
+  ASSERT_TRUE(script.ok());
+  script.value()->set_global("host_value", Value::number(21));
+  auto r = script.value()->call("f", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(script.value()->global("host_value").as_number(), 21.0);
+  EXPECT_TRUE(script.value()->global("missing").is_nil());
+}
+
+TEST(Sandbox, HasFunctionDetectsHandlers) {
+  auto script = Script::load(R"(
+function onGet() return 1 end
+not_a_function = 42)");
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script.value()->has_function("onGet"));
+  EXPECT_FALSE(script.value()->has_function("onSubscribe"));
+  EXPECT_FALSE(script.value()->has_function("not_a_function"));
+}
+
+TEST(Sandbox, CallingMissingFunctionIsAnError) {
+  auto script = Script::load("x = 1");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("ghost", {}).ok());
+}
+
+}  // namespace
+}  // namespace rbay::aal

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "aal/script.hpp"
+
+namespace rbay::aal {
+namespace {
+
+Value eval_fn(const std::string& body) {
+  auto script = Script::load("function f()\n" + body + "\nend");
+  EXPECT_TRUE(script.ok()) << (script.ok() ? "" : script.error());
+  if (!script.ok()) return Value::nil();
+  auto result = script.value()->call("f", {});
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+  return result.ok() ? result.take() : Value::nil();
+}
+
+TEST(Stdlib, TypeFunction) {
+  EXPECT_EQ(eval_fn("return type(nil)").as_string(), "nil");
+  EXPECT_EQ(eval_fn("return type(true)").as_string(), "boolean");
+  EXPECT_EQ(eval_fn("return type(1)").as_string(), "number");
+  EXPECT_EQ(eval_fn("return type('s')").as_string(), "string");
+  EXPECT_EQ(eval_fn("return type({})").as_string(), "table");
+  EXPECT_EQ(eval_fn("return type(print)").as_string(), "function");
+}
+
+TEST(Stdlib, ToStringAndToNumber) {
+  EXPECT_EQ(eval_fn("return tostring(42)").as_string(), "42");
+  EXPECT_EQ(eval_fn("return tostring(2.5)").as_string(), "2.5");
+  EXPECT_EQ(eval_fn("return tostring(nil)").as_string(), "nil");
+  EXPECT_DOUBLE_EQ(eval_fn("return tonumber('42')").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return tonumber('2.5')").as_number(), 2.5);
+  EXPECT_TRUE(eval_fn("return tonumber('abc')").is_nil());
+}
+
+TEST(Stdlib, ErrorAndAssert) {
+  auto script = Script::load("function f() error('custom failure') end");
+  ASSERT_TRUE(script.ok());
+  auto r = script.value()->call("f", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("custom failure"), std::string::npos);
+
+  EXPECT_DOUBLE_EQ(eval_fn("return assert(5)").as_number(), 5.0);
+  auto script2 = Script::load("function f() assert(false, 'nope') end");
+  ASSERT_TRUE(script2.ok());
+  EXPECT_FALSE(script2.value()->call("f", {}).ok());
+}
+
+TEST(Stdlib, PrintIsCapturedNotEmitted) {
+  auto script = Script::load("function f() print('a', 1, true) end");
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(script.value()->call("f", {}).ok());
+  ASSERT_EQ(script.value()->output().size(), 1u);
+  EXPECT_EQ(script.value()->output()[0], "a\t1\ttrue");
+}
+
+TEST(Stdlib, MathFunctions) {
+  EXPECT_DOUBLE_EQ(eval_fn("return math.floor(2.7)").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.ceil(2.1)").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.abs(-5)").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.sqrt(16)").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.max(1, 9, 4)").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.min(3, -2, 8)").as_number(), -2.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.fmod(7, 3)").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_fn("return math.pow(2, 8)").as_number(), 256.0);
+  EXPECT_TRUE(eval_fn("return math.huge > 1e300").as_bool());
+}
+
+TEST(Stdlib, StringFunctions) {
+  EXPECT_DOUBLE_EQ(eval_fn("return string.len('hello')").as_number(), 5.0);
+  EXPECT_EQ(eval_fn("return string.sub('hello', 2, 4)").as_string(), "ell");
+  EXPECT_EQ(eval_fn("return string.sub('hello', -3)").as_string(), "llo");
+  EXPECT_EQ(eval_fn("return string.upper('abC')").as_string(), "ABC");
+  EXPECT_EQ(eval_fn("return string.lower('AbC')").as_string(), "abc");
+  EXPECT_EQ(eval_fn("return string.rep('ab', 3)").as_string(), "ababab");
+  EXPECT_EQ(eval_fn("return string.reverse('abc')").as_string(), "cba");
+}
+
+TEST(Stdlib, StringFindPlain) {
+  EXPECT_DOUBLE_EQ(eval_fn("return string.find('hello world', 'world')").as_number(), 7.0);
+  EXPECT_TRUE(eval_fn("return string.find('hello', 'xyz')").is_nil());
+  EXPECT_DOUBLE_EQ(eval_fn("local s, e = string.find('aaa', 'aa', 2) return s").as_number(), 2.0);
+}
+
+TEST(Stdlib, StringByteChar) {
+  EXPECT_DOUBLE_EQ(eval_fn("return string.byte('A')").as_number(), 65.0);
+  EXPECT_EQ(eval_fn("return string.char(72, 105)").as_string(), "Hi");
+}
+
+TEST(Stdlib, StringFormat) {
+  EXPECT_EQ(eval_fn("return string.format('%d-%s-%x', 10, 'a', 255)").as_string(), "10-a-ff");
+  EXPECT_EQ(eval_fn("return string.format('100%%')").as_string(), "100%");
+}
+
+TEST(Stdlib, TableInsertRemove) {
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local t = {}
+table.insert(t, 10)
+table.insert(t, 20)
+table.insert(t, 1, 5)  -- {5, 10, 20}
+return t[1] * 10000 + t[2] * 100 + t[3])").as_number(), 51020.0);
+
+  EXPECT_DOUBLE_EQ(eval_fn(R"(
+local t = {1, 2, 3}
+local removed = table.remove(t, 1)  -- {2, 3}
+return removed * 100 + t[1] * 10 + #t)").as_number(), 122.0);
+}
+
+TEST(Stdlib, TableConcat) {
+  EXPECT_EQ(eval_fn("return table.concat({'a', 'b', 'c'}, '-')").as_string(), "a-b-c");
+  EXPECT_EQ(eval_fn("return table.concat({1, 2, 3})").as_string(), "123");
+}
+
+TEST(Stdlib, SelectFunction) {
+  EXPECT_DOUBLE_EQ(eval_fn("return select('#', 'a', 'b', 'c')").as_number(), 3.0);
+  EXPECT_EQ(eval_fn("return select(2, 'a', 'b', 'c')").as_string(), "b");
+}
+
+TEST(Stdlib, NextIteratesDeterministically) {
+  EXPECT_TRUE(eval_fn(R"(
+local t = {x = 1}
+local k, v = next(t)
+return k == 'x' and v == 1 and next(t, 'x') == nil)").as_bool());
+}
+
+// The sandbox must NOT expose dangerous libraries (§III.B).
+TEST(Stdlib, DangerousLibrariesAbsent) {
+  EXPECT_TRUE(eval_fn("return io").is_nil());
+  EXPECT_TRUE(eval_fn("return os").is_nil());
+  EXPECT_TRUE(eval_fn("return require").is_nil());
+  EXPECT_TRUE(eval_fn("return load").is_nil());
+  EXPECT_TRUE(eval_fn("return loadstring").is_nil());
+  EXPECT_TRUE(eval_fn("return dofile").is_nil());
+  EXPECT_TRUE(eval_fn("return coroutine").is_nil());
+  EXPECT_TRUE(eval_fn("return collectgarbage").is_nil());
+}
+
+TEST(Stdlib, StringRepBombRejected) {
+  auto script = Script::load("function f() return string.rep('aaaa', 10000000) end");
+  ASSERT_TRUE(script.ok());
+  EXPECT_FALSE(script.value()->call("f", {}).ok());
+}
+
+}  // namespace
+}  // namespace rbay::aal

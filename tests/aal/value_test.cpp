@@ -1,0 +1,106 @@
+#include "aal/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::aal {
+namespace {
+
+TEST(Value, TypeNamesAndPredicates) {
+  EXPECT_STREQ(Value::nil().type_name(), "nil");
+  EXPECT_STREQ(Value::boolean(true).type_name(), "boolean");
+  EXPECT_STREQ(Value::number(1).type_name(), "number");
+  EXPECT_STREQ(Value::string("s").type_name(), "string");
+  EXPECT_STREQ(Value::table(std::make_shared<Table>()).type_name(), "table");
+  EXPECT_STREQ(Value::native([](Interp&, std::vector<Value>&) {
+                 return std::vector<Value>{};
+               }).type_name(),
+               "function");
+  EXPECT_TRUE(Value::native([](Interp&, std::vector<Value>&) {
+                return std::vector<Value>{};
+              }).is_callable());
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::nil().truthy());
+  EXPECT_FALSE(Value::boolean(false).truthy());
+  EXPECT_TRUE(Value::boolean(true).truthy());
+  EXPECT_TRUE(Value::number(0).truthy());  // 0 is truthy in Lua
+  EXPECT_TRUE(Value::string("").truthy());
+}
+
+TEST(Value, EqualityByTypeAndValue) {
+  EXPECT_TRUE(Value::nil().equals(Value::nil()));
+  EXPECT_TRUE(Value::number(2).equals(Value::number(2)));
+  EXPECT_FALSE(Value::number(2).equals(Value::string("2")));
+  EXPECT_TRUE(Value::string("x").equals(Value::string("x")));
+  auto t = std::make_shared<Table>();
+  EXPECT_TRUE(Value::table(t).equals(Value::table(t)));  // identity
+  EXPECT_FALSE(Value::table(t).equals(Value::table(std::make_shared<Table>())));
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value::nil().to_display_string(), "nil");
+  EXPECT_EQ(Value::boolean(true).to_display_string(), "true");
+  EXPECT_EQ(Value::number(42).to_display_string(), "42");       // no trailing .0
+  EXPECT_EQ(Value::number(2.5).to_display_string(), "2.5");
+  EXPECT_EQ(Value::string("hi").to_display_string(), "hi");
+  EXPECT_EQ(Value::table(std::make_shared<Table>()).to_display_string().substr(0, 6),
+            "table:");
+}
+
+TEST(Table, SetGetAndNilErases) {
+  Table t;
+  t.set(TableKey{std::string("k")}, Value::number(1));
+  EXPECT_DOUBLE_EQ(t.get(TableKey{std::string("k")}).as_number(), 1.0);
+  t.set(TableKey{std::string("k")}, Value::nil());
+  EXPECT_TRUE(t.get(TableKey{std::string("k")}).is_nil());
+  EXPECT_TRUE(t.entries.empty());
+}
+
+TEST(Table, SequenceLengthStopsAtHole) {
+  Table t;
+  t.set(TableKey{1.0}, Value::number(10));
+  t.set(TableKey{2.0}, Value::number(20));
+  t.set(TableKey{4.0}, Value::number(40));  // hole at 3
+  EXPECT_EQ(t.sequence_length(), 2u);
+}
+
+TEST(Value, FootprintHandlesCycles) {
+  auto a = std::make_shared<Table>();
+  auto b = std::make_shared<Table>();
+  a->set(TableKey{std::string("b")}, Value::table(b));
+  b->set(TableKey{std::string("a")}, Value::table(a));  // cycle
+  // Must terminate and count each table once.
+  const auto fp = Value::table(a).footprint();
+  EXPECT_GT(fp, 0u);
+  EXPECT_LT(fp, 10'000u);
+}
+
+TEST(Value, FootprintGrowsWithContent) {
+  auto small = std::make_shared<Table>();
+  small->set(TableKey{std::string("x")}, Value::number(1));
+  auto big = std::make_shared<Table>();
+  for (int i = 0; i < 50; ++i) {
+    big->set(TableKey{std::string("key") + std::to_string(i)},
+             Value::string(std::string(50, 'v')));
+  }
+  EXPECT_GT(Value::table(big).footprint(), Value::table(small).footprint() + 1000);
+}
+
+TEST(Value, ToKeyRejectsNilAndTables) {
+  EXPECT_THROW(to_key(Value::nil(), 1), RuntimeError);
+  EXPECT_THROW(to_key(Value::table(std::make_shared<Table>()), 1), RuntimeError);
+  EXPECT_NO_THROW(to_key(Value::number(1), 1));
+  EXPECT_NO_THROW(to_key(Value::string("k"), 1));
+  EXPECT_NO_THROW(to_key(Value::boolean(true), 1));
+}
+
+TEST(NumberToString, IntegerVsFloat) {
+  EXPECT_EQ(number_to_string(0), "0");
+  EXPECT_EQ(number_to_string(-17), "-17");
+  EXPECT_EQ(number_to_string(3.25), "3.25");
+  EXPECT_EQ(number_to_string(1e16), "1e+16");  // beyond integer formatting range
+}
+
+}  // namespace
+}  // namespace rbay::aal

@@ -1,0 +1,125 @@
+#include "baseline/past_dht.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::baseline {
+namespace {
+
+struct Fixture {
+  sim::Engine engine{42};
+  pastry::Overlay overlay;
+  std::unique_ptr<PastDht> dht;
+
+  explicit Fixture(std::size_t n, PastDhtConfig config = {})
+      : overlay(engine, net::Topology::single_site()) {
+    for (std::size_t i = 0; i < n; ++i) overlay.create_node(0);
+    overlay.build_static();
+    dht = std::make_unique<PastDht>(overlay, config);
+  }
+};
+
+TEST(PastDht, InsertThenLookupFromAnywhere) {
+  Fixture f{32};
+  f.dht->node(3).insert("GPU", "node-3");
+  f.dht->node(9).insert("GPU", "node-9");
+  f.engine.run();
+
+  bool found = false;
+  std::vector<std::string> values;
+  f.dht->node(20).lookup("GPU", [&](bool ok, std::vector<std::string> vs) {
+    found = ok;
+    values = std::move(vs);
+  });
+  f.engine.run();
+  ASSERT_TRUE(found);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_NE(std::find(values.begin(), values.end(), "node-3"), values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "node-9"), values.end());
+}
+
+TEST(PastDht, MissingKeyNotFound) {
+  Fixture f{16};
+  bool called = false;
+  f.dht->node(0).lookup("never-inserted", [&](bool ok, std::vector<std::string> vs) {
+    called = true;
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(vs.empty());
+  });
+  f.engine.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(PastDht, ReplicationFactorHonored) {
+  PastDhtConfig config;
+  config.replicas = 4;
+  Fixture f{32, config};
+  int replicas = 0;
+  f.dht->node(5).insert("key", "value", [&](int r) { replicas = r; });
+  f.engine.run();
+  EXPECT_EQ(replicas, 4);
+  // The key is stored on exactly 4 nodes overall.
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < f.dht->size(); ++i) {
+    if (f.dht->node(i).stored_keys() > 0) ++holders;
+  }
+  EXPECT_EQ(holders, 4u);
+}
+
+TEST(PastDht, DuplicateValuesDeduplicated) {
+  Fixture f{16};
+  f.dht->node(1).insert("k", "same");
+  f.dht->node(2).insert("k", "same");
+  f.engine.run();
+  std::vector<std::string> values;
+  f.dht->node(3).lookup("k", [&](bool, std::vector<std::string> vs) { values = std::move(vs); });
+  f.engine.run();
+  EXPECT_EQ(values.size(), 1u);
+}
+
+TEST(PastDht, SelfRootShortCircuits) {
+  // Inserting/looking up from the key's own root works without any network
+  // round trip to a distinct origin.
+  Fixture f{8};
+  const auto root = f.overlay.root_of(util::Sha1::hash128("past:local"));
+  int replicas = 0;
+  f.dht->node(root).insert("local", "v", [&](int r) { replicas = r; });
+  f.engine.run();
+  EXPECT_GE(replicas, 1);
+  bool found = false;
+  f.dht->node(root).lookup("local", [&](bool ok, std::vector<std::string>) { found = ok; });
+  f.engine.run();
+  EXPECT_TRUE(found);
+}
+
+TEST(PastDht, KeysSpreadAcrossTheOverlay) {
+  Fixture f{64};
+  for (int k = 0; k < 40; ++k) {
+    f.dht->node(static_cast<std::size_t>(k) % 64).insert("key-" + std::to_string(k), "v");
+  }
+  f.engine.run();
+  // With replicas=3 and 40 keys, storage must be spread over many nodes —
+  // the DHT's load-balancing property.
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < f.dht->size(); ++i) {
+    if (f.dht->node(i).stored_keys() > 0) ++holders;
+  }
+  EXPECT_GT(holders, 25u);
+}
+
+TEST(PastDht, ExactMatchOnlyNoPredicates) {
+  // The design-argument test: Past can answer "who registered key X" but a
+  // *predicate* has no key to hash — "CPU_utilization<10%" as text is a
+  // different key from any registered utilization, demonstrating why RBAY
+  // maintains predicate trees instead.
+  Fixture f{16};
+  f.dht->node(0).insert("CPU_utilization=0.07", "node-0");
+  f.engine.run();
+  bool found = true;
+  f.dht->node(1).lookup("CPU_utilization<0.1",
+                        [&](bool ok, std::vector<std::string>) { found = ok; });
+  f.engine.run();
+  EXPECT_FALSE(found);
+}
+
+}  // namespace
+}  // namespace rbay::baseline

@@ -1,0 +1,70 @@
+#include "core/naming.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::core {
+namespace {
+
+TEST(Naming, SiteTopicsAreSiteAndPredicateScoped) {
+  const auto a = site_topic("GPU=true", "Virginia");
+  EXPECT_EQ(a, site_topic("GPU=true", "Virginia"));
+  EXPECT_NE(a, site_topic("GPU=true", "Tokyo"));
+  EXPECT_NE(a, site_topic("GPU=false", "Virginia"));
+}
+
+TEST(Naming, TreeSpecFromPredicate) {
+  query::Predicate p{"CPU_utilization", query::CompareOp::Less, store::AttributeValue{0.1}};
+  const auto spec = TreeSpec::from_predicate(p);
+  EXPECT_EQ(spec.canonical, "CPU_utilization<0.1");
+  EXPECT_TRUE(spec.predicate.matches(store::AttributeValue{0.05}));
+  EXPECT_FALSE(spec.predicate.matches(store::AttributeValue{0.15}));
+}
+
+TEST(Naming, ExistenceTreeMatchesAnyValue) {
+  const auto spec = TreeSpec::existence("CPU");
+  EXPECT_EQ(spec.canonical, "has:CPU");
+  EXPECT_TRUE(spec.predicate.matches(store::AttributeValue{"Intel"}));
+  EXPECT_TRUE(spec.predicate.matches(store::AttributeValue{3.4}));
+  EXPECT_TRUE(spec.predicate.matches(store::AttributeValue{true}));
+}
+
+TEST(Taxonomy, MajorAndMinorResolution) {
+  Taxonomy tax;
+  tax.add_major("CPU");
+  EXPECT_TRUE(tax.link("CPU_brand", "CPU"));
+  EXPECT_TRUE(tax.link("CPU_model", "CPU_brand"));
+  EXPECT_TRUE(tax.link("CPU_core_size", "CPU_model"));
+  EXPECT_TRUE(tax.is_major("CPU"));
+  EXPECT_FALSE(tax.is_major("CPU_model"));
+  EXPECT_EQ(tax.major_of("CPU"), "CPU");
+  EXPECT_EQ(tax.major_of("CPU_brand"), "CPU");
+  EXPECT_EQ(tax.major_of("CPU_core_size"), "CPU");  // transitive
+  EXPECT_FALSE(tax.major_of("unknown").has_value());
+}
+
+TEST(Taxonomy, CyclesAreRefused) {
+  Taxonomy tax;
+  tax.add_major("A");
+  EXPECT_TRUE(tax.link("B", "A"));
+  EXPECT_TRUE(tax.link("C", "B"));
+  EXPECT_FALSE(tax.link("B", "C"));  // would create B→C→B
+  EXPECT_FALSE(tax.link("X", "X"));  // self-link
+  EXPECT_EQ(tax.major_of("C"), "A");
+}
+
+TEST(Taxonomy, DuplicateMajorIsIdempotent) {
+  Taxonomy tax;
+  tax.add_major("GPU");
+  tax.add_major("GPU");
+  EXPECT_EQ(tax.major_count(), 1u);
+}
+
+TEST(Directory, SiteByName) {
+  Directory dir;
+  dir.site_names = {"Virginia", "Tokyo"};
+  EXPECT_EQ(dir.site_by_name("Tokyo"), net::SiteId{1});
+  EXPECT_FALSE(dir.site_by_name("Mars").has_value());
+}
+
+}  // namespace
+}  // namespace rbay::core

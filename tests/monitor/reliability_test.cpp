@@ -1,0 +1,107 @@
+#include "monitor/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::monitor {
+namespace {
+
+using util::SimTime;
+
+TEST(Reliability, PriorAppliesWithoutHistory) {
+  ReliabilityTracker optimistic{0.3, 1.0};
+  EXPECT_DOUBLE_EQ(optimistic.predicted_availability(SimTime::seconds(100)), 1.0);
+  ReliabilityTracker neutral{0.3, 0.5};
+  EXPECT_DOUBLE_EQ(neutral.predicted_availability(SimTime::seconds(100)), 0.5);
+}
+
+TEST(Reliability, StableNodeConvergesHigh) {
+  ReliabilityTracker t;
+  SimTime now = SimTime::zero();
+  t.record_up(now);
+  for (int i = 0; i < 10; ++i) {
+    now += SimTime::seconds(600);  // 10 min up
+    t.record_down(now);
+    now += SimTime::seconds(10);  // 10 s down
+    t.record_up(now);
+  }
+  EXPECT_GT(t.predicted_availability(now), 0.95);
+  EXPECT_EQ(t.completed_sessions(), 20);
+}
+
+TEST(Reliability, FlakyNodeConvergesLow) {
+  ReliabilityTracker t;
+  SimTime now = SimTime::zero();
+  t.record_up(now);
+  for (int i = 0; i < 10; ++i) {
+    now += SimTime::seconds(20);
+    t.record_down(now);
+    now += SimTime::seconds(20);
+    t.record_up(now);
+  }
+  const double p = t.predicted_availability(now);
+  EXPECT_GT(p, 0.3);
+  EXPECT_LT(p, 0.7);
+}
+
+TEST(Reliability, RankingSeparatesStableFromFlaky) {
+  ReliabilityTracker stable, flaky;
+  SimTime now = SimTime::zero();
+  stable.record_up(now);
+  flaky.record_up(now);
+  for (int i = 0; i < 8; ++i) {
+    stable.record_down(now + SimTime::seconds(i * 700 + 690));
+    stable.record_up(now + SimTime::seconds(i * 700 + 700));
+    flaky.record_down(now + SimTime::seconds(i * 80 + 40));
+    flaky.record_up(now + SimTime::seconds(i * 80 + 80));
+  }
+  // Evaluate shortly after the histories end: with both nodes freshly up,
+  // the EWMA history must separate them.  (Far in the future an unbroken
+  // ongoing uptime would legitimately rehabilitate the flaky node.)
+  const auto later = SimTime::seconds(700);
+  EXPECT_GT(stable.predicted_availability(later), flaky.predicted_availability(later) + 0.2);
+}
+
+TEST(Reliability, OngoingLongSessionImprovesPrediction) {
+  ReliabilityTracker t;
+  SimTime now = SimTime::zero();
+  t.record_up(now);
+  t.record_down(now + SimTime::seconds(10));
+  t.record_up(now + SimTime::seconds(20));
+  const double shortly_after = t.predicted_availability(SimTime::seconds(25));
+  // Ten minutes into the current uptime the outlook improves: the ongoing
+  // session dominates the short historical EWMA.
+  const double much_later = t.predicted_availability(SimTime::seconds(620));
+  EXPECT_GT(much_later, shortly_after);
+}
+
+TEST(Reliability, CurrentlyDownNodePredictsWorse) {
+  ReliabilityTracker t;
+  SimTime now = SimTime::zero();
+  t.record_up(now);
+  t.record_down(now + SimTime::seconds(100));
+  t.record_up(now + SimTime::seconds(110));
+  t.record_down(now + SimTime::seconds(210));
+  const double while_down_short = t.predicted_availability(SimTime::seconds(215));
+  const double while_down_long = t.predicted_availability(SimTime::seconds(2000));
+  EXPECT_LT(while_down_long, while_down_short);
+}
+
+TEST(Reliability, DuplicateTransitionsAreIdempotent) {
+  ReliabilityTracker t;
+  t.record_up(SimTime::seconds(0));
+  t.record_up(SimTime::seconds(5));  // duplicate up: no session completes
+  EXPECT_EQ(t.completed_sessions(), 0);
+  t.record_down(SimTime::seconds(10));
+  EXPECT_EQ(t.completed_sessions(), 1);
+  t.record_down(SimTime::seconds(12));
+  EXPECT_EQ(t.completed_sessions(), 1);
+}
+
+TEST(Reliability, InvalidConstruction) {
+  EXPECT_THROW(ReliabilityTracker(0.0, 1.0), util::ContractError);
+  EXPECT_THROW(ReliabilityTracker(1.5, 1.0), util::ContractError);
+  EXPECT_THROW(ReliabilityTracker(0.3, 1.5), util::ContractError);
+}
+
+}  // namespace
+}  // namespace rbay::monitor

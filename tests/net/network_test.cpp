@@ -1,0 +1,178 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::net {
+namespace {
+
+using util::SimTime;
+
+struct TestPayload final : Payload {
+  int tag = 0;
+  std::size_t size = 100;
+  [[nodiscard]] std::size_t wire_size() const override { return size; }
+  [[nodiscard]] const char* type_name() const override { return "TestPayload"; }
+};
+
+struct Fixture {
+  sim::Engine engine{42};
+  Network net;
+  std::vector<std::pair<EndpointId, int>> received;  // (receiver, tag)
+  std::vector<SimTime> arrival_times;
+
+  explicit Fixture(Topology topo = Topology::ec2_eight_sites()) : net(engine, std::move(topo)) {}
+
+  EndpointId endpoint(SiteId site) {
+    return net.add_endpoint(site, [this](Envelope env) {
+      auto* p = dynamic_cast<TestPayload*>(env.payload.get());
+      received.emplace_back(env.to, p ? p->tag : -1);
+      arrival_times.push_back(engine.now());
+    });
+  }
+
+  void send(EndpointId from, EndpointId to, int tag, std::size_t size = 100) {
+    auto p = std::make_unique<TestPayload>();
+    p->tag = tag;
+    p->size = size;
+    net.send(from, to, std::move(p));
+  }
+};
+
+TEST(Network, DeliversWithOneWayDelayPlusJitter) {
+  Fixture f;
+  const auto vir = f.net.topology().site_by_name("Virginia");
+  const auto sin = f.net.topology().site_by_name("Singapore");
+  const auto a = f.endpoint(vir);
+  const auto b = f.endpoint(sin);
+  f.send(a, b, 1);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].first, b);
+  const double ms = f.arrival_times[0].as_millis();
+  const double one_way = 275.549 / 2.0;
+  EXPECT_GE(ms, one_way - 1e-6);
+  EXPECT_LE(ms, one_way * 1.1 + 1e-6);  // default jitter is 10%
+}
+
+TEST(Network, IntraSiteDeliveryIsFast) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(0);
+  f.send(a, b, 1);
+  f.engine.run();
+  ASSERT_EQ(f.arrival_times.size(), 1u);
+  EXPECT_LT(f.arrival_times[0].as_millis(), 1.0);
+}
+
+TEST(Network, LoopbackIsNearInstant) {
+  Fixture f;
+  const auto a = f.endpoint(3);
+  f.send(a, a, 7);
+  f.engine.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_LT(f.arrival_times[0].as_micros(), 100);
+}
+
+TEST(Network, DownEndpointDropsMessages) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(0);
+  f.net.set_endpoint_down(b, true);
+  f.send(a, b, 1);
+  f.engine.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+  f.net.set_endpoint_down(b, false);
+  f.send(a, b, 2);
+  f.engine.run();
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+TEST(Network, DownEndpointCannotSend) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(0);
+  f.net.set_endpoint_down(a, true);
+  f.send(a, b, 1);
+  f.engine.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+  EXPECT_EQ(f.net.stats().messages_sent, 0u);  // never left the node
+}
+
+TEST(Network, PartitionSeversBothDirections) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(1);
+  f.net.set_partitioned(0, 1, true);
+  f.send(a, b, 1);
+  f.send(b, a, 2);
+  f.engine.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().messages_dropped, 2u);
+  f.net.set_partitioned(0, 1, false);
+  f.send(a, b, 3);
+  f.engine.run();
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+TEST(Network, DropProbabilityOneDropsEverything) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(1);
+  f.net.set_drop_probability(1.0);
+  for (int i = 0; i < 10; ++i) f.send(a, b, i);
+  f.engine.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_THROW(f.net.set_drop_probability(1.5), util::ContractError);
+}
+
+TEST(Network, StatsAccounting) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(1);
+  f.send(a, b, 1, 250);
+  f.send(a, b, 2, 350);
+  f.engine.run();
+  EXPECT_EQ(f.net.stats().messages_sent, 2u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 2u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 600u);
+  EXPECT_EQ(f.net.endpoint_stats(a).sent, 2u);
+  EXPECT_EQ(f.net.endpoint_stats(a).bytes_sent, 600u);
+  EXPECT_EQ(f.net.endpoint_stats(b).received, 2u);
+  EXPECT_EQ(f.net.endpoint_stats(b).bytes_received, 600u);
+  f.net.reset_stats();
+  EXPECT_EQ(f.net.stats().messages_sent, 0u);
+  EXPECT_EQ(f.net.endpoint_stats(a).sent, 0u);
+}
+
+TEST(Network, ExpectedDelayReflectsTopology) {
+  Fixture f;
+  const auto vir = f.net.topology().site_by_name("Virginia");
+  const auto tok = f.net.topology().site_by_name("Tokyo");
+  const auto a = f.endpoint(vir);
+  const auto b = f.endpoint(tok);
+  EXPECT_EQ(f.net.expected_delay(a, b), SimTime::millis(191.601 / 2));
+}
+
+TEST(Network, ZeroJitterIsExactlyHalfRtt) {
+  Fixture f;
+  f.net.set_jitter(0.0);
+  const auto a = f.endpoint(0);
+  const auto b = f.endpoint(1);
+  f.send(a, b, 1);
+  f.engine.run();
+  ASSERT_EQ(f.arrival_times.size(), 1u);
+  EXPECT_EQ(f.arrival_times[0].as_micros(), SimTime::millis(60.018 / 2).as_micros());
+}
+
+TEST(Network, InvalidEndpointsViolateContracts) {
+  Fixture f;
+  const auto a = f.endpoint(0);
+  auto payload = std::make_unique<TestPayload>();
+  EXPECT_THROW(f.net.send(a, 999, std::move(payload)), util::ContractError);
+  EXPECT_THROW(f.net.add_endpoint(99, [](Envelope) {}), util::ContractError);
+}
+
+}  // namespace
+}  // namespace rbay::net

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "pastry/test_helpers.hpp"
+#include "util/sha1.hpp"
+
+// Deeper coverage of §III.E administrative isolation at the Pastry layer:
+// per-site virtual roots, key coverage, and boundary behaviour.
+
+namespace rbay::pastry {
+namespace {
+
+using testing::ProbeOverlay;
+
+TEST(Isolation, EverySiteHasItsOwnVirtualRootForAKey) {
+  ProbeOverlay po{net::Topology::ec2_eight_sites(), 10};
+  const NodeId key = util::Sha1::hash128("virtual-node-key");
+  // The same key owns a DIFFERENT root in each site (the §III.E "virtual
+  // node" at the site boundary), and exactly one of them is the global
+  // root.
+  std::set<std::size_t> site_roots;
+  for (net::SiteId s = 0; s < 8; ++s) {
+    site_roots.insert(po.overlay.root_of_in_site(key, s));
+  }
+  EXPECT_EQ(site_roots.size(), 8u);
+  EXPECT_TRUE(site_roots.count(po.overlay.root_of(key)) == 1);
+}
+
+TEST(Isolation, SiteScopedNextHopNeverLeavesTheSite) {
+  ProbeOverlay po{net::Topology::ec2_eight_sites(), 10};
+  auto& overlay = po.overlay;
+  for (int k = 0; k < 10; ++k) {
+    const NodeId key = util::Sha1::hash128("walk-" + std::to_string(k));
+    for (std::size_t i = 0; i < overlay.size(); i += 7) {
+      const auto site = overlay.node(i).self().site;
+      std::size_t at = i;
+      int steps = 0;
+      for (;;) {
+        const auto hop = overlay.node(at).next_hop(key, Scope::Site);
+        if (!hop) break;
+        EXPECT_EQ(hop->site, site) << "site-scoped hop crossed the boundary";
+        at = overlay.index_of(hop->id);
+        ASSERT_LT(++steps, 40);
+      }
+      EXPECT_EQ(at, overlay.root_of_in_site(key, site));
+    }
+  }
+}
+
+TEST(Isolation, SiteLeafSetsAndTablesHoldOnlySiteNodes) {
+  ProbeOverlay po{net::Topology::ec2_eight_sites(), 8};
+  for (std::size_t i = 0; i < po.overlay.size(); ++i) {
+    const auto& node = po.overlay.node(i);
+    for (const auto& r : node.site_leaf_set().all()) {
+      EXPECT_EQ(r.site, node.self().site);
+    }
+    for (const auto& r : node.site_routing_table().entries()) {
+      EXPECT_EQ(r.site, node.self().site);
+    }
+  }
+}
+
+TEST(Isolation, GlobalAndSiteRootsAgreeInSingleSite) {
+  // With one site, Scope::Site and Scope::Global must route identically.
+  ProbeOverlay po{net::Topology::single_site(), 40};
+  for (int k = 0; k < 20; ++k) {
+    const NodeId key = util::Sha1::hash128("same-" + std::to_string(k));
+    EXPECT_EQ(po.overlay.root_of(key), po.overlay.root_of_in_site(key, 0));
+  }
+}
+
+TEST(Isolation, SiteWithOneNodeIsItsOwnRoot) {
+  sim::Engine engine{11};
+  pastry::Overlay overlay{engine, net::Topology::uniform(3, 0.5, 50.0)};
+  overlay.create_node(0);
+  overlay.create_node(0);
+  overlay.create_node(0);
+  overlay.create_node(1);  // lone node in site 1
+  overlay.create_node(2);
+  overlay.create_node(2);
+  overlay.build_static();
+  const NodeId key = util::Sha1::hash128("lonely");
+  EXPECT_EQ(overlay.root_of_in_site(key, 1), 3u);
+  EXPECT_FALSE(overlay.node(3).next_hop(key, Scope::Site).has_value());
+}
+
+TEST(Isolation, ProximityPrefersSameSiteGlobalEntries) {
+  // The proximity-aware table biases global routing toward same-site hops
+  // where a same-site candidate exists for a slot.
+  ProbeOverlay po{net::Topology::ec2_eight_sites(), 20};
+  std::size_t same_site = 0, total = 0;
+  for (std::size_t i = 0; i < po.overlay.size(); i += 9) {
+    const auto& node = po.overlay.node(i);
+    for (const auto& entry : node.routing_table().entries()) {
+      ++total;
+      if (entry.site == node.self().site) ++same_site;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // With 8 sites a site-blind table would have ~1/8 same-site entries; the
+  // proximity-aware build should do noticeably better.
+  EXPECT_GT(static_cast<double>(same_site) / static_cast<double>(total), 0.3);
+}
+
+}  // namespace
+}  // namespace rbay::pastry

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "pastry/leaf_set.hpp"
+#include "pastry/node_id.hpp"
+#include "pastry/routing_table.hpp"
+#include "util/rng.hpp"
+
+namespace rbay::pastry {
+namespace {
+
+NodeRef make_ref(const std::string& hex, net::EndpointId ep = 0, net::SiteId site = 0) {
+  return NodeRef{util::U128::from_hex(hex), ep, site};
+}
+
+// --- NodeId helpers ----------------------------------------------------------
+
+TEST(NodeIdHelpers, TreeIdIsDeterministicAndCreatorScoped) {
+  EXPECT_EQ(tree_id("GPU", "grace"), tree_id("GPU", "grace"));
+  EXPECT_NE(tree_id("GPU", "grace"), tree_id("GPU", "james"));
+  EXPECT_NE(tree_id("GPU", "grace"), tree_id("CPU", "grace"));
+}
+
+TEST(NodeIdHelpers, CloserToBreaksTiesTowardSmallerId) {
+  const NodeId key{100};
+  // Equidistant candidates at 90 and 110.
+  EXPECT_TRUE(closer_to(key, NodeId{90}, NodeId{110}));
+  EXPECT_FALSE(closer_to(key, NodeId{110}, NodeId{90}));
+  EXPECT_TRUE(closer_to(key, NodeId{99}, NodeId{90}));
+}
+
+// --- RoutingTable ------------------------------------------------------------
+
+TEST(RoutingTable, PlacesEntriesByPrefixRowAndDigitColumn) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  // Shares 1 digit ('a'), next digit 'b' → row 1, column 0xb.
+  const auto other = make_ref("ab000000000000000000000000000000", 1);
+  EXPECT_TRUE(table.consider(other, 100));
+  const auto entry = table.entry(1, 0xb);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->id, other.id);
+  // No prefix shared → row 0, column 0x3.
+  const auto far = make_ref("30000000000000000000000000000000", 2);
+  EXPECT_TRUE(table.consider(far, 100));
+  EXPECT_TRUE(table.entry(0, 0x3).has_value());
+}
+
+TEST(RoutingTable, ProximityWinsOnSlotConflict) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  const auto slow = make_ref("b0000000000000000000000000000000", 1);
+  const auto fast = make_ref("b1000000000000000000000000000000", 2);
+  EXPECT_TRUE(table.consider(slow, 1000));
+  EXPECT_FALSE(table.consider(fast, 2000));  // slower? no: 2000 > 1000, rejected
+  EXPECT_EQ(table.entry(0, 0xb)->id, slow.id);
+  EXPECT_TRUE(table.consider(fast, 10));  // faster candidate replaces
+  EXPECT_EQ(table.entry(0, 0xb)->id, fast.id);
+}
+
+TEST(RoutingTable, RejectsSelf) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  EXPECT_FALSE(table.consider(owner, 0));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, LookupFollowsKeyDigit) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  const auto other = make_ref("ab000000000000000000000000000000", 1);
+  table.consider(other, 1);
+  // Key sharing 1 digit with owner, next digit b → finds `other`.
+  const auto key = util::U128::from_hex("abcdef00000000000000000000000000");
+  const auto hop = table.lookup(key);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->id, other.id);
+  // Key with next digit c → no entry.
+  EXPECT_FALSE(table.lookup(util::U128::from_hex("ac000000000000000000000000000000")).has_value());
+}
+
+TEST(RoutingTable, RemovePurgesAllSlots) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  const auto other = make_ref("ab000000000000000000000000000000", 1);
+  table.consider(other, 1);
+  EXPECT_EQ(table.size(), 1u);
+  table.remove(other.id);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.entries().empty());
+}
+
+TEST(RoutingTable, RowEntriesFiltersByRow) {
+  const auto owner = make_ref("a0000000000000000000000000000000");
+  RoutingTable table{owner};
+  table.consider(make_ref("b0000000000000000000000000000000", 1), 1);  // row 0
+  table.consider(make_ref("ab000000000000000000000000000000", 2), 1);  // row 1
+  EXPECT_EQ(table.row_entries(0).size(), 1u);
+  EXPECT_EQ(table.row_entries(1).size(), 1u);
+  EXPECT_EQ(table.row_entries(2).size(), 0u);
+}
+
+// --- LeafSet -------------------------------------------------------------------
+
+TEST(LeafSet, KeepsClosestNeighborsOnEachSide) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 2};
+  // Clockwise (greater) neighbors.
+  leaves.consider(make_ref("81000000000000000000000000000000", 1));
+  leaves.consider(make_ref("82000000000000000000000000000000", 2));
+  leaves.consider(make_ref("83000000000000000000000000000000", 3));
+  EXPECT_EQ(leaves.clockwise().size(), 2u);
+  EXPECT_EQ(leaves.clockwise()[0].id, util::U128::from_hex("81000000000000000000000000000000"));
+  EXPECT_EQ(leaves.clockwise()[1].id, util::U128::from_hex("82000000000000000000000000000000"));
+}
+
+TEST(LeafSet, CoversKeyWithinArc) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 2};
+  leaves.consider(make_ref("81000000000000000000000000000000", 1));
+  leaves.consider(make_ref("82000000000000000000000000000000", 2));
+  leaves.consider(make_ref("7e000000000000000000000000000000", 3));
+  leaves.consider(make_ref("7f000000000000000000000000000000", 4));
+  EXPECT_TRUE(leaves.covers(util::U128::from_hex("81500000000000000000000000000000")));
+  EXPECT_TRUE(leaves.covers(util::U128::from_hex("7e500000000000000000000000000000")));
+  EXPECT_FALSE(leaves.covers(util::U128::from_hex("90000000000000000000000000000000")));
+  EXPECT_FALSE(leaves.covers(util::U128::from_hex("10000000000000000000000000000000")));
+  EXPECT_TRUE(leaves.covers(owner.id));
+}
+
+TEST(LeafSet, IncompleteSideCoversEverything) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 4};
+  leaves.consider(make_ref("81000000000000000000000000000000", 1));
+  // Only one cw member (< half=4): cw side treated as unbounded.
+  EXPECT_TRUE(leaves.covers(util::U128::from_hex("f0000000000000000000000000000000")));
+}
+
+TEST(LeafSet, ClosestPicksNumericallyNearest) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 2};
+  const auto n81 = make_ref("81000000000000000000000000000000", 1);
+  const auto n7f = make_ref("7f000000000000000000000000000000", 2);
+  leaves.consider(n81);
+  leaves.consider(n7f);
+  EXPECT_EQ(leaves.closest(util::U128::from_hex("81100000000000000000000000000000")).id, n81.id);
+  EXPECT_EQ(leaves.closest(util::U128::from_hex("7f100000000000000000000000000000")).id, n7f.id);
+  EXPECT_EQ(leaves.closest(owner.id).id, owner.id);
+}
+
+TEST(LeafSet, RemoveAndContains) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 2};
+  const auto n = make_ref("81000000000000000000000000000000", 1);
+  leaves.consider(n);
+  EXPECT_TRUE(leaves.contains(n.id));
+  leaves.remove(n.id);
+  EXPECT_FALSE(leaves.contains(n.id));
+  EXPECT_TRUE(leaves.all().empty());
+}
+
+TEST(LeafSet, DuplicateConsiderIsIdempotent) {
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 4};
+  const auto n = make_ref("81000000000000000000000000000000", 1);
+  leaves.consider(n);
+  leaves.consider(n);
+  EXPECT_EQ(leaves.clockwise().size(), 1u);
+}
+
+TEST(LeafSet, AllDeduplicatesTinyOverlays) {
+  // With 3 nodes, the same neighbor appears on both sides.
+  const auto owner = make_ref("80000000000000000000000000000000");
+  LeafSet leaves{owner, 4};
+  const auto a = make_ref("c0000000000000000000000000000000", 1);
+  const auto b = make_ref("40000000000000000000000000000000", 2);
+  leaves.consider(a);
+  leaves.consider(b);
+  EXPECT_EQ(leaves.all().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rbay::pastry

@@ -1,0 +1,138 @@
+#include "query/reservation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::query {
+namespace {
+
+using util::SimTime;
+
+TEST(ReservationLock, BasicReserveAndExpiry) {
+  ReservationLock lock;
+  EXPECT_FALSE(lock.reserved(SimTime::zero()));
+  EXPECT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  EXPECT_TRUE(lock.reserved(SimTime::millis(100)));
+  // After expiry the lock frees itself ("released after a short time window").
+  EXPECT_FALSE(lock.reserved(SimTime::millis(600)));
+  EXPECT_TRUE(lock.try_reserve("q2", SimTime::millis(600), SimTime::millis(500)));
+}
+
+TEST(ReservationLock, ConflictingReservationRejected) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  EXPECT_FALSE(lock.try_reserve("q2", SimTime::millis(100), SimTime::millis(500)));
+  // Same holder may refresh.
+  EXPECT_TRUE(lock.try_reserve("q1", SimTime::millis(100), SimTime::millis(500)));
+}
+
+TEST(ReservationLock, CommitRequiresActiveReservation) {
+  ReservationLock lock;
+  EXPECT_FALSE(lock.commit("q1", SimTime::zero()));  // never reserved
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  EXPECT_FALSE(lock.commit("q2", SimTime::millis(10)));   // wrong holder
+  EXPECT_FALSE(lock.commit("q1", SimTime::millis(600)));  // expired
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::millis(700), SimTime::millis(500)));
+  EXPECT_TRUE(lock.commit("q1", SimTime::millis(800)));
+  EXPECT_TRUE(lock.committed(SimTime::millis(900)));
+  // Committed nodes are taken: nobody can reserve or re-commit.
+  EXPECT_FALSE(lock.try_reserve("q3", SimTime::millis(900), SimTime::millis(500)));
+  EXPECT_FALSE(lock.commit("q1", SimTime::millis(900)));
+}
+
+TEST(ReservationLock, ReleaseFreesOnlyOwnHold) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  lock.release("q2", SimTime::millis(10));  // not the holder: no-op
+  EXPECT_TRUE(lock.reserved(SimTime::millis(10)));
+  lock.release("q1", SimTime::millis(10));
+  EXPECT_FALSE(lock.reserved(SimTime::millis(10)));
+}
+
+TEST(ReservationLock, TenantCanReturnACommittedNode) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1)));
+  // A stranger's release is a no-op...
+  lock.release("q2", SimTime::millis(2));
+  EXPECT_TRUE(lock.committed(SimTime::millis(2)));
+  // ...but the tenant returns the node to the pool.
+  lock.release("q1", SimTime::millis(3));
+  EXPECT_FALSE(lock.committed(SimTime::millis(3)));
+  EXPECT_TRUE(lock.try_reserve("q3", SimTime::millis(4), SimTime::millis(500)));
+}
+
+TEST(ReservationLock, LeaseExpiresAndFreesTheNode) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1), SimTime::seconds(10)));
+  EXPECT_TRUE(lock.committed(SimTime::seconds(5)));
+  EXPECT_FALSE(lock.committed(SimTime::seconds(11)));
+  // After expiry a new customer can reserve.
+  EXPECT_TRUE(lock.try_reserve("q2", SimTime::seconds(12), SimTime::millis(500)));
+  EXPECT_EQ(lock.holder(), "q2");
+}
+
+TEST(ReservationLock, RenewExtendsTheLease) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1), SimTime::seconds(10)));
+  // Renew at t=8 for another 10 s: alive until ~18.
+  EXPECT_TRUE(lock.renew("q1", SimTime::seconds(8), SimTime::seconds(10)));
+  EXPECT_TRUE(lock.committed(SimTime::seconds(15)));
+  EXPECT_FALSE(lock.committed(SimTime::seconds(19)));
+  // Renewing an expired lease fails; so does a stranger's renewal.
+  EXPECT_FALSE(lock.renew("q1", SimTime::seconds(20), SimTime::seconds(10)));
+  ASSERT_TRUE(lock.try_reserve("q2", SimTime::seconds(21), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q2", SimTime::seconds(21), SimTime::seconds(10)));
+  EXPECT_FALSE(lock.renew("q1", SimTime::seconds(22), SimTime::seconds(10)));
+}
+
+TEST(ReservationLock, IndefiniteCommitNeedsNoRenewal) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1)));  // lease = zero
+  EXPECT_TRUE(lock.committed(SimTime::seconds(1'000'000)));
+  EXPECT_TRUE(lock.renew("q1", SimTime::seconds(5), SimTime::seconds(1)));  // no-op ok
+  EXPECT_TRUE(lock.committed(SimTime::seconds(1'000'000)));
+}
+
+TEST(Backoff, DelayWithinTruncatedExponentialRange) {
+  util::Rng rng{11};
+  const Backoff backoff{SimTime::millis(10), /*max_exponent=*/6};
+  for (int failures = 1; failures <= 12; ++failures) {
+    const int c = std::min(failures, 6);
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto d = backoff.delay_after(failures, rng);
+      EXPECT_GE(d.as_micros(), 0);
+      EXPECT_LE(d.as_millis(), 10.0 * ((1 << c) - 1) + 1e-9)
+          << "failures=" << failures << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Backoff, ExpectedDelayGrowsWithFailures) {
+  util::Rng rng{13};
+  const Backoff backoff{SimTime::millis(10)};
+  auto mean_delay = [&](int failures) {
+    double sum = 0;
+    for (int i = 0; i < 2000; ++i) sum += backoff.delay_after(failures, rng).as_millis();
+    return sum / 2000;
+  };
+  const double d1 = mean_delay(1);
+  const double d3 = mean_delay(3);
+  const double d5 = mean_delay(5);
+  EXPECT_LT(d1, d3);
+  EXPECT_LT(d3, d5);
+  // Aggressive customers wait longer: mean of U[0, 2^c-1] ≈ (2^c-1)/2 slots.
+  EXPECT_NEAR(d1, 5.0, 2.0);    // (2^1-1)/2 = 0.5 slots → 5 ms
+  EXPECT_NEAR(d5, 155.0, 25.0);  // (2^5-1)/2 = 15.5 slots → 155 ms
+}
+
+TEST(Backoff, FirstFailureRequired) {
+  util::Rng rng{17};
+  const Backoff backoff{SimTime::millis(10)};
+  EXPECT_THROW(backoff.delay_after(0, rng), util::ContractError);
+}
+
+}  // namespace
+}  // namespace rbay::query

@@ -1,0 +1,153 @@
+#include "query/sql.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::query {
+namespace {
+
+Query parse_ok(const std::string& sql) {
+  auto r = parse_query(sql);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.ok() ? r.take() : Query{};
+}
+
+TEST(SqlParser, PaperFig6Example) {
+  const auto q = parse_ok(R"(
+SELECT 5 FROM * WHERE CPU_model = "Intel Core i7"
+                  AND CPU_utilization < 10%
+GROUPBY CPU_utilization DESC;)");
+  EXPECT_EQ(q.k, 5);
+  EXPECT_TRUE(q.sites.empty());
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0].attribute, "CPU_model");
+  EXPECT_EQ(q.predicates[0].op, CompareOp::Eq);
+  EXPECT_EQ(q.predicates[0].literal.as_string(), "Intel Core i7");
+  EXPECT_EQ(q.predicates[1].op, CompareOp::Less);
+  EXPECT_DOUBLE_EQ(q.predicates[1].literal.as_double(), 0.10);  // 10% → 0.1
+  ASSERT_TRUE(q.group_by.has_value());
+  EXPECT_EQ(*q.group_by, "CPU_utilization");
+  EXPECT_TRUE(q.descending);
+}
+
+TEST(SqlParser, SelectNodeIdMeansOne) {
+  EXPECT_EQ(parse_ok("SELECT NodeId FROM *").k, 1);
+  EXPECT_EQ(parse_ok("SELECT * FROM *").k, 1);
+}
+
+TEST(SqlParser, SelectCount) {
+  const auto q = parse_ok("SELECT COUNT FROM * WHERE GPU = true");
+  EXPECT_TRUE(q.count_only);
+  const auto q2 = parse_ok("select count from Tokyo");
+  EXPECT_TRUE(q2.count_only);
+  EXPECT_FALSE(parse_ok("SELECT 3 FROM *").count_only);
+  // COUNT round-trips through to_string.
+  EXPECT_TRUE(parse_ok(q.to_string()).count_only);
+}
+
+TEST(SqlParser, SiteList) {
+  const auto q = parse_ok("SELECT 2 FROM Virginia, Tokyo WHERE GPU = true");
+  ASSERT_EQ(q.sites.size(), 2u);
+  EXPECT_EQ(q.sites[0], "Virginia");
+  EXPECT_EQ(q.sites[1], "Tokyo");
+}
+
+TEST(SqlParser, AllOperators) {
+  const auto q = parse_ok(
+      "SELECT 1 FROM * WHERE a = 1 AND b != 2 AND c < 3 AND d <= 4 AND e > 5 AND f >= 6 "
+      "AND g <> 7");
+  ASSERT_EQ(q.predicates.size(), 7u);
+  EXPECT_EQ(q.predicates[0].op, CompareOp::Eq);
+  EXPECT_EQ(q.predicates[1].op, CompareOp::NotEq);
+  EXPECT_EQ(q.predicates[2].op, CompareOp::Less);
+  EXPECT_EQ(q.predicates[3].op, CompareOp::LessEq);
+  EXPECT_EQ(q.predicates[4].op, CompareOp::Greater);
+  EXPECT_EQ(q.predicates[5].op, CompareOp::GreaterEq);
+  EXPECT_EQ(q.predicates[6].op, CompareOp::NotEq);  // <> synonym
+}
+
+TEST(SqlParser, LiteralTypes) {
+  const auto q = parse_ok(
+      "SELECT 1 FROM * WHERE flag = true AND off = false AND num = 2.5 AND txt = 'x' AND os = "
+      "Ubuntu");
+  EXPECT_TRUE(q.predicates[0].literal.as_bool());
+  EXPECT_FALSE(q.predicates[1].literal.as_bool());
+  EXPECT_DOUBLE_EQ(q.predicates[2].literal.as_double(), 2.5);
+  EXPECT_EQ(q.predicates[3].literal.as_string(), "x");
+  EXPECT_EQ(q.predicates[4].literal.as_string(), "Ubuntu");
+}
+
+TEST(SqlParser, WithPayloadClause) {
+  const auto q = parse_ok("SELECT 1 FROM * WHERE GPU = true WITH \"3053482032\"");
+  EXPECT_EQ(q.payload, "3053482032");
+}
+
+TEST(SqlParser, GroupByVariants) {
+  EXPECT_FALSE(parse_ok("SELECT 1 FROM * GROUPBY x ASC").descending);
+  EXPECT_TRUE(parse_ok("SELECT 1 FROM * GROUP BY x DESC").descending);
+  EXPECT_FALSE(parse_ok("SELECT 1 FROM * GROUPBY x").descending);
+}
+
+TEST(SqlParser, CaseInsensitiveKeywords) {
+  const auto q = parse_ok("select 3 from * where GPU = true groupby GPU desc");
+  EXPECT_EQ(q.k, 3);
+  EXPECT_TRUE(q.descending);
+}
+
+TEST(SqlParser, Errors) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("FROM *").ok());
+  EXPECT_FALSE(parse_query("SELECT 0 FROM *").ok());            // k >= 1
+  EXPECT_FALSE(parse_query("SELECT 1 WHERE a = 1").ok());       // missing FROM
+  EXPECT_FALSE(parse_query("SELECT 1 FROM * WHERE a").ok());    // missing op
+  EXPECT_FALSE(parse_query("SELECT 1 FROM * WHERE a =").ok());  // missing literal
+  EXPECT_FALSE(parse_query("SELECT 1 FROM * trailing junk").ok());
+  EXPECT_FALSE(parse_query("SELECT 1 FROM * WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(parse_query("SELECT 1 FROM * GROUP x").ok());  // GROUP without BY
+}
+
+TEST(Predicate, MatchesNumericComparisons) {
+  Predicate p{"cpu", CompareOp::Less, store::AttributeValue{0.1}};
+  EXPECT_TRUE(p.matches(store::AttributeValue{0.05}));
+  EXPECT_FALSE(p.matches(store::AttributeValue{0.5}));
+  // int vs double compare numerically
+  Predicate q{"mem", CompareOp::GreaterEq, store::AttributeValue{4}};
+  EXPECT_TRUE(q.matches(store::AttributeValue{4.0}));
+  EXPECT_FALSE(q.matches(store::AttributeValue{3.9}));
+}
+
+TEST(Predicate, MatchesStringsAndBooleans) {
+  Predicate p{"os", CompareOp::Eq, store::AttributeValue{"Ubuntu"}};
+  EXPECT_TRUE(p.matches(store::AttributeValue{"Ubuntu"}));
+  EXPECT_FALSE(p.matches(store::AttributeValue{"CentOS"}));
+  Predicate g{"gpu", CompareOp::Eq, store::AttributeValue{true}};
+  EXPECT_TRUE(g.matches(store::AttributeValue{true}));
+  EXPECT_FALSE(g.matches(store::AttributeValue{false}));
+}
+
+TEST(Predicate, TypeMismatchOnlySatisfiesNotEq) {
+  Predicate eq{"x", CompareOp::Eq, store::AttributeValue{"text"}};
+  EXPECT_FALSE(eq.matches(store::AttributeValue{5}));
+  Predicate ne{"x", CompareOp::NotEq, store::AttributeValue{"text"}};
+  EXPECT_TRUE(ne.matches(store::AttributeValue{5}));
+  Predicate lt{"x", CompareOp::Less, store::AttributeValue{"text"}};
+  EXPECT_FALSE(lt.matches(store::AttributeValue{5}));
+}
+
+TEST(Predicate, CanonicalForm) {
+  Predicate p{"CPU_utilization", CompareOp::Less, store::AttributeValue{0.1}};
+  EXPECT_EQ(p.canonical(), "CPU_utilization<0.1");
+  Predicate q{"instance", CompareOp::Eq, store::AttributeValue{"c3.8xlarge"}};
+  EXPECT_EQ(q.canonical(), "instance=c3.8xlarge");
+}
+
+TEST(Query, ToStringRoundTripsThroughParser) {
+  const auto q = parse_ok("SELECT 4 FROM Tokyo WHERE a < 5 GROUPBY a DESC");
+  const auto q2 = parse_ok(q.to_string());
+  EXPECT_EQ(q2.k, 4);
+  EXPECT_EQ(q2.sites, q.sites);
+  EXPECT_EQ(q2.predicates.size(), q.predicates.size());
+  EXPECT_EQ(q2.descending, q.descending);
+}
+
+}  // namespace
+}  // namespace rbay::query

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace rbay::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(Background, RunReturnsWithOnlyPeriodicTimersPending) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_periodic(SimTime::millis(10), [&] { ++ticks; });
+  // No foreground work: run() must return immediately, not spin forever.
+  engine.run();
+  EXPECT_EQ(ticks, 0);
+  EXPECT_EQ(engine.now(), SimTime::zero());
+}
+
+TEST(Background, PeriodicTimersAdvanceWhileForegroundWorkRemains) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_periodic(SimTime::millis(10), [&] { ++ticks; });
+  bool done = false;
+  engine.schedule(SimTime::millis(95), [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ticks, 9);  // periodic fired alongside until the foreground event
+}
+
+TEST(Background, WorkScheduledFromBackgroundIsBackground) {
+  Engine engine;
+  int cascade = 0;
+  engine.schedule_periodic(SimTime::millis(10), [&] {
+    // This nested event must NOT keep run() alive.
+    engine.schedule(SimTime::millis(1), [&] { ++cascade; });
+  });
+  engine.run();
+  EXPECT_EQ(cascade, 0);
+  engine.run_for(SimTime::millis(100));
+  EXPECT_GT(cascade, 0);  // run_for processes background work normally
+}
+
+TEST(Background, WorkScheduledFromForegroundIsForeground) {
+  Engine engine;
+  bool nested = false;
+  engine.schedule(SimTime::millis(10), [&] {
+    engine.schedule(SimTime::millis(10), [&] { nested = true; });
+  });
+  engine.run();
+  EXPECT_TRUE(nested);
+}
+
+TEST(Background, ScheduleBackgroundNeverKeepsRunAlive) {
+  Engine engine;
+  int fired = 0;
+  // Self-perpetuating background chain (like a churn driver).
+  std::function<void()> chain = [&]() {
+    ++fired;
+    engine.schedule_background(SimTime::millis(5), chain);
+  };
+  engine.schedule_background(SimTime::millis(5), chain);
+  engine.run();
+  EXPECT_EQ(fired, 0);
+  bool done = false;
+  engine.schedule(SimTime::millis(22), [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fired, 4);  // chain advanced only while foreground work remained
+}
+
+TEST(Background, CancelledForegroundTimerDoesNotHoldTheClock) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_periodic(SimTime::millis(100), [&] { ++ticks; });
+  auto deadline = engine.schedule(SimTime::seconds(30), [] {});
+  bool done = false;
+  engine.schedule(SimTime::millis(50), [&] {
+    done = true;
+    deadline.cancel();  // e.g. a query finishing cancels its timeout
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+  // The clock must stop at the real work, not fast-forward 30 virtual
+  // seconds of background time to drain the dead timer.
+  EXPECT_EQ(engine.now(), SimTime::millis(50));
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(Background, CancelBeforeRunIsImmediate) {
+  Engine engine;
+  auto timer = engine.schedule(SimTime::seconds(10), [] {});
+  EXPECT_EQ(engine.foreground_pending(), 1u);
+  timer.cancel();
+  EXPECT_EQ(engine.foreground_pending(), 0u);
+  timer.cancel();  // double-cancel is a no-op
+  EXPECT_EQ(engine.foreground_pending(), 0u);
+  engine.run();
+  EXPECT_EQ(engine.now(), SimTime::zero());
+}
+
+TEST(Background, RunUntilProcessesBackgroundEvents) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_periodic(SimTime::millis(10), [&] { ++ticks; });
+  engine.run_until(SimTime::millis(100));
+  EXPECT_EQ(ticks, 10);
+}
+
+}  // namespace
+}  // namespace rbay::sim

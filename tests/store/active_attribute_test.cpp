@@ -1,0 +1,161 @@
+#include "store/active_attribute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::store {
+namespace {
+
+TEST(ActiveAttribute, PassiveAttributeGetsSucceed) {
+  ActiveAttribute attr{"GPU", true};
+  EXPECT_FALSE(attr.has_handlers());
+  auto r = attr.on_get("joe", aal::Value::nil());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().truthy());
+}
+
+TEST(ActiveAttribute, BadScriptIsRejected) {
+  ActiveAttribute attr{"GPU", true};
+  EXPECT_FALSE(attr.attach_handlers("function onGet( broken").ok());
+  EXPECT_FALSE(attr.has_handlers());
+}
+
+TEST(ActiveAttribute, PasswordPolicyViaOnGet) {
+  ActiveAttribute attr{"GPU", true};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+AA = {NodeId = 27, Password = "3053482032"}
+function onGet(caller, password)
+  if password == AA.Password then return AA.NodeId end
+  return nil
+end)").ok());
+  EXPECT_TRUE(attr.has_handler(AAEvent::kOnGet));
+
+  auto granted = attr.on_get("joe", aal::Value::string("3053482032"));
+  ASSERT_TRUE(granted.ok());
+  EXPECT_DOUBLE_EQ(granted.value().as_number(), 27.0);
+
+  auto denied = attr.on_get("joe", aal::Value::string("wrong"));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(denied.value().is_nil());
+}
+
+TEST(ActiveAttribute, HandlerSeesCurrentValue) {
+  ActiveAttribute attr{"CPU_utilization", 0.8};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onGet(caller, payload)
+  if value < 0.5 then return true end
+  return nil
+end)").ok());
+  auto busy = attr.on_get("joe", aal::Value::nil());
+  ASSERT_TRUE(busy.ok());
+  EXPECT_TRUE(busy.value().is_nil());
+
+  attr.set_value(0.1);
+  auto idle = attr.on_get("joe", aal::Value::nil());
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle.value().truthy());
+}
+
+TEST(ActiveAttribute, OnSubscribeDefaultsAndPolicy) {
+  ActiveAttribute plain{"GPU", true};
+  EXPECT_TRUE(plain.on_subscribe("self", "gpu-tree"));
+  EXPECT_FALSE(plain.on_unsubscribe("self", "gpu-tree"));
+
+  ActiveAttribute gated{"GPU", true};
+  ASSERT_TRUE(gated.attach_handlers(R"(
+exposed = false
+function onSubscribe(caller, topic)
+  if exposed then return topic end
+  return nil
+end)").ok());
+  EXPECT_FALSE(gated.on_subscribe("self", "gpu-tree"));
+  gated.script()->set_global("exposed", aal::Value::boolean(true));
+  EXPECT_TRUE(gated.on_subscribe("self", "gpu-tree"));
+}
+
+TEST(ActiveAttribute, OnUnsubscribeTriggersWhenOverloaded) {
+  // The paper's example: a node leaves the CPU_utilization<10% tree when it
+  // becomes overloaded.
+  ActiveAttribute attr{"CPU_utilization", 0.05};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onUnsubscribe(caller, topic)
+  if value >= 0.10 then return topic end
+  return nil
+end)").ok());
+  EXPECT_FALSE(attr.on_unsubscribe("self", "cpu<10%"));
+  attr.set_value(0.95);
+  EXPECT_TRUE(attr.on_unsubscribe("self", "cpu<10%"));
+}
+
+TEST(ActiveAttribute, OnDeliverUpdatesValue) {
+  ActiveAttribute attr{"rental_price", 10};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onDeliver(caller, payload)
+  return payload  -- admin pushes a new price
+end)").ok());
+  auto r = attr.on_deliver("admin", aal::Value::number(25));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(attr.value().as_double(), 25.0);
+}
+
+TEST(ActiveAttribute, OnDeliverNilReturnKeepsValue) {
+  ActiveAttribute attr{"price", 10};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onDeliver(caller, payload)
+  return nil
+end)").ok());
+  ASSERT_TRUE(attr.on_deliver("admin", aal::Value::number(99)).ok());
+  EXPECT_EQ(attr.value().as_int(), 10);
+}
+
+TEST(ActiveAttribute, OnTimerRunsMaintenance) {
+  ActiveAttribute attr{"lease", 1};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+ticks = 0
+function onTimer() ticks = ticks + 1 end)").ok());
+  ASSERT_TRUE(attr.on_timer().ok());
+  ASSERT_TRUE(attr.on_timer().ok());
+  EXPECT_DOUBLE_EQ(attr.script()->global("ticks").as_number(), 2.0);
+}
+
+TEST(ActiveAttribute, HandlerErrorFailsClosed) {
+  ActiveAttribute attr{"GPU", true};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onGet() while true do end end
+function onSubscribe() error('crash') end)").ok());
+  EXPECT_FALSE(attr.on_get("joe", aal::Value::nil()).ok());
+  // A crashed subscribe policy hides the resource rather than exposing it.
+  EXPECT_FALSE(attr.on_subscribe("self", "t"));
+}
+
+TEST(ActiveAttribute, ClockInjectsNowGlobal) {
+  ActiveAttribute attr{"GPU", true};
+  ASSERT_TRUE(attr.attach_handlers(R"(
+function onGet(caller, payload)
+  if now >= 10 then return true end
+  return nil
+end)").ok());
+  double fake_now = 5.0;
+  attr.set_clock([&]() { return fake_now; });
+  auto early = attr.on_get("joe", aal::Value::nil());
+  ASSERT_TRUE(early.ok());
+  EXPECT_TRUE(early.value().is_nil());
+  fake_now = 12.0;
+  auto late = attr.on_get("joe", aal::Value::nil());
+  ASSERT_TRUE(late.ok());
+  EXPECT_TRUE(late.value().truthy());
+}
+
+TEST(ActiveAttribute, FootprintIncludesHandlerState) {
+  ActiveAttribute plain{"GPU", true};
+  ActiveAttribute active{"GPU", true};
+  ASSERT_TRUE(active.attach_handlers(R"(
+AA = {Password = "3053482032", History = {}}
+function onGet(caller, pw)
+  if pw == AA.Password then return true end
+  return nil
+end)").ok());
+  EXPECT_GT(active.memory_footprint(), plain.memory_footprint());
+}
+
+}  // namespace
+}  // namespace rbay::store

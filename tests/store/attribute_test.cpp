@@ -1,0 +1,107 @@
+#include "store/attribute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "store/attribute_store.hpp"
+
+namespace rbay::store {
+namespace {
+
+TEST(AttributeValue, TypesAndAccessors) {
+  EXPECT_TRUE(AttributeValue{true}.is_bool());
+  EXPECT_TRUE(AttributeValue{std::int64_t{5}}.is_int());
+  EXPECT_TRUE(AttributeValue{2.5}.is_double());
+  EXPECT_TRUE(AttributeValue{"x"}.is_string());
+  EXPECT_EQ(AttributeValue{"Matlab 9.0"}.as_string(), "Matlab 9.0");
+  EXPECT_EQ(AttributeValue{7}.as_int(), 7);
+}
+
+TEST(AttributeValue, NumericView) {
+  double out = 0;
+  EXPECT_TRUE(AttributeValue{true}.numeric(out));
+  EXPECT_DOUBLE_EQ(out, 1.0);
+  EXPECT_TRUE(AttributeValue{42}.numeric(out));
+  EXPECT_DOUBLE_EQ(out, 42.0);
+  EXPECT_TRUE(AttributeValue{0.5}.numeric(out));
+  EXPECT_DOUBLE_EQ(out, 0.5);
+  EXPECT_FALSE(AttributeValue{"nan"}.numeric(out));
+}
+
+TEST(AttributeValue, ToStringForms) {
+  EXPECT_EQ(AttributeValue{true}.to_string(), "true");
+  EXPECT_EQ(AttributeValue{false}.to_string(), "false");
+  EXPECT_EQ(AttributeValue{10}.to_string(), "10");
+  EXPECT_EQ(AttributeValue{0.5}.to_string(), "0.5");
+  EXPECT_EQ(AttributeValue{"s"}.to_string(), "s");
+}
+
+TEST(AttributeValue, AalRoundTrip) {
+  const AttributeValue b{true};
+  EXPECT_TRUE(AttributeValue::from_aal(b.to_aal()).as_bool());
+  const AttributeValue s{"hello"};
+  EXPECT_EQ(AttributeValue::from_aal(s.to_aal()).as_string(), "hello");
+  const AttributeValue d{3.5};
+  EXPECT_DOUBLE_EQ(AttributeValue::from_aal(d.to_aal()).as_double(), 3.5);
+  // Integers pass through AAL as numbers (doubles).
+  const AttributeValue i{7};
+  EXPECT_DOUBLE_EQ(AttributeValue::from_aal(i.to_aal()).as_double(), 7.0);
+}
+
+TEST(AttributeValue, WireSizeAccountsForStrings) {
+  EXPECT_EQ(AttributeValue{true}.wire_size(), 8u);
+  EXPECT_EQ(AttributeValue{std::string(100, 'x')}.wire_size(), 108u);
+}
+
+TEST(AttributeStore, PutFindRemove) {
+  AttributeStore store;
+  store.put("GPU", true);
+  store.put("CPU_utilization", 0.5);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains("GPU"));
+  ASSERT_NE(store.find("GPU"), nullptr);
+  EXPECT_TRUE(store.find("GPU")->value().as_bool());
+  EXPECT_EQ(store.find("Missing"), nullptr);
+  EXPECT_TRUE(store.remove("GPU"));
+  EXPECT_FALSE(store.remove("GPU"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(AttributeStore, PutReplacesValue) {
+  AttributeStore store;
+  store.put("Matlab", "8.0");
+  store.put("Matlab", "9.0");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("Matlab")->value().as_string(), "9.0");
+}
+
+TEST(AttributeStore, UpdateValueKeepsHandlers) {
+  AttributeStore store;
+  auto& attr = store.put("CPU", 0.1);
+  ASSERT_TRUE(attr.attach_handlers("function onGet() return value end").ok());
+  store.update_value("CPU", 0.9);
+  EXPECT_TRUE(store.find("CPU")->has_handlers());
+  EXPECT_DOUBLE_EQ(store.find("CPU")->value().as_double(), 0.9);
+  // update_value on a missing attribute creates it.
+  store.update_value("New", 1);
+  EXPECT_TRUE(store.contains("New"));
+}
+
+TEST(AttributeStore, MemoryFootprintGrowsPerAttribute) {
+  AttributeStore store;
+  const auto empty = store.memory_footprint();
+  for (int i = 0; i < 100; ++i) store.put("attr-" + std::to_string(i), i);
+  EXPECT_GT(store.memory_footprint(), empty + 100 * 20);
+}
+
+TEST(AttributeStore, FireTimersCountsErrors) {
+  AttributeStore store;
+  auto& good = store.put("good", 1);
+  ASSERT_TRUE(good.attach_handlers("ticks = 0\nfunction onTimer() ticks = ticks + 1 end").ok());
+  auto& bad = store.put("bad", 1);
+  ASSERT_TRUE(bad.attach_handlers("function onTimer() error('x') end").ok());
+  store.put("plain", 2);  // no handlers: not an error
+  EXPECT_EQ(store.fire_timers(), 1);
+}
+
+}  // namespace
+}  // namespace rbay::store

@@ -1,0 +1,179 @@
+#include "tools/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::tools {
+namespace {
+
+TEST(ScenarioParser, DirectivesAndComments) {
+  auto r = parse_scenario(R"(
+# a comment
+topology single
+seed 7   # trailing comment
+nodes Local 4
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const auto& ds = r.value();
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0].keyword, "topology");
+  EXPECT_EQ(ds[0].args, std::vector<std::string>{"single"});
+  EXPECT_EQ(ds[1].keyword, "seed");
+  EXPECT_EQ(ds[1].args, std::vector<std::string>{"7"});
+  EXPECT_EQ(ds[2].line, 5);
+}
+
+TEST(ScenarioParser, KeywordsAreCaseInsensitive) {
+  auto r = parse_scenario("TOPOLOGY single\nSeed 9\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].keyword, "topology");
+  EXPECT_EQ(r.value()[1].keyword, "seed");
+}
+
+TEST(ScenarioParser, RawTailPreservesSql) {
+  auto r = parse_scenario("query Tokyo SELECT 3 FROM * WHERE GPU = true  WITH \"pw\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].raw_tail, "Tokyo SELECT 3 FROM * WHERE GPU = true  WITH \"pw\"");
+}
+
+TEST(ScenarioParser, Heredoc) {
+  auto r = parse_scenario(R"(handler * GPU <<EOF
+function onGet() return true end
+EOF
+print after
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].heredoc, "function onGet() return true end\n");
+  EXPECT_EQ(r.value()[1].keyword, "print");
+}
+
+TEST(ScenarioParser, UnterminatedHeredocFails) {
+  auto r = parse_scenario("handler * GPU <<EOF\nnever closed\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("heredoc"), std::string::npos);
+}
+
+TEST(ScenarioRunner, MinimalEndToEnd) {
+  auto r = run_scenario(R"(
+topology single
+seed 5
+tree GPU = true
+nodes Local 8
+post * GPU true
+finalize
+run 2s
+query Local SELECT 2 FROM * WHERE GPU = true
+expect satisfied
+expect nodes 2
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().queries, 1);
+  EXPECT_EQ(r.value().queries_satisfied, 1);
+  EXPECT_EQ(r.value().expectations, 2);
+}
+
+TEST(ScenarioRunner, FailedExpectationReportsLine) {
+  auto r = run_scenario(R"(
+topology single
+tree GPU = true
+nodes Local 4
+finalize
+run 1s
+query Local SELECT 1 FROM * WHERE GPU = true
+expect satisfied
+)");
+  ASSERT_FALSE(r.ok());  // nobody posted GPU: the query is denied
+  EXPECT_NE(r.error().find("line 8"), std::string::npos);
+}
+
+TEST(ScenarioRunner, ExpectDeniedAndCount) {
+  auto r = run_scenario(R"(
+topology single
+tree GPU = true
+nodes Local 6
+post * GPU true
+finalize
+run 2s
+query Local SELECT COUNT FROM * WHERE GPU = true
+expect count 6
+hide * GPU
+run 2s
+query Local SELECT 1 FROM * WHERE GPU = true
+expect denied
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(ScenarioRunner, HandlerHeredocEnforcesPolicy) {
+  auto r = run_scenario(R"(
+topology single
+max-attempts 2
+tree GPU = true
+nodes Local 4
+post * GPU true
+handler * GPU <<END
+function onGet(caller, payload)
+  if payload == "sesame" then return true end
+  return nil
+end
+END
+finalize
+run 2s
+query Local SELECT 1 FROM * WHERE GPU = true
+expect denied
+query Local SELECT 1 FROM * WHERE GPU = true WITH "sesame"
+expect satisfied
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(ScenarioRunner, UnknownDirectiveFails) {
+  auto r = run_scenario("topology single\nfrobnicate everything\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioRunner, BadOrderingFails) {
+  EXPECT_FALSE(run_scenario("finalize\n").ok());
+  EXPECT_FALSE(run_scenario("topology single\nnodes Local 2\nquery Local SELECT 1 FROM *\n").ok());
+  EXPECT_FALSE(run_scenario("topology single\nnodes Local 2\nfinalize\nnodes Local 2\n").ok());
+}
+
+TEST(ScenarioRunner, FailAndRecoverDirectives) {
+  auto r = run_scenario(R"(
+topology single
+heartbeat 500
+tree GPU = true
+nodes Local 10
+post * GPU true
+finalize
+run 2s
+fail Local 3
+run 3s
+query Local SELECT 5 FROM * WHERE GPU = true
+expect satisfied
+release
+recover Local 3
+run 3s
+query Local SELECT COUNT FROM * WHERE GPU = true
+expect count 10
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+TEST(ScenarioRunner, MonitorDirectiveDrivesChurn) {
+  auto r = run_scenario(R"(
+topology single
+tree CPU_utilization < 0.5
+nodes Local 10
+monitor * CPU_utilization walk 0.45 0 1 0.15 200
+finalize
+run 10s
+query Local SELECT COUNT FROM * WHERE CPU_utilization < 0.5
+expect satisfied
+)");
+  ASSERT_TRUE(r.ok()) << r.error();
+}
+
+}  // namespace
+}  // namespace rbay::tools

@@ -1,0 +1,51 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::util {
+namespace {
+
+TEST(Result, OkCarriesValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, ErrorCarriesMessage) {
+  Result<int> r = make_error("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, TakeMovesOutValue) {
+  Result<std::string> r{std::string("hello")};
+  std::string s = r.take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, AccessingWrongSideViolatesContract) {
+  Result<int> ok{1};
+  Result<int> err = make_error("e");
+  EXPECT_THROW((void)ok.error(), ContractError);
+  EXPECT_THROW((void)err.value(), ContractError);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok{};
+  EXPECT_TRUE(ok.ok());
+  Result<void> err = make_error("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "nope");
+  EXPECT_THROW((void)ok.error(), ContractError);
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(7)};
+  ASSERT_TRUE(r.ok());
+  auto p = r.take();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace rbay::util

@@ -1,0 +1,48 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbay::util {
+namespace {
+
+TEST(SimTime, ConstructorsAndAccessors) {
+  EXPECT_EQ(SimTime::micros(1500).as_micros(), 1500);
+  EXPECT_DOUBLE_EQ(SimTime::millis(2.5).as_millis(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).as_seconds(), 1.5);
+  EXPECT_EQ(SimTime::zero().as_micros(), 0);
+  EXPECT_EQ(SimTime::seconds(1).as_micros(), 1'000'000);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const auto a = SimTime::millis(10);
+  const auto b = SimTime::millis(3);
+  EXPECT_EQ((a + b).as_millis(), 13.0);
+  EXPECT_EQ((a - b).as_millis(), 7.0);
+  EXPECT_EQ((b * 4).as_millis(), 12.0);
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  EXPECT_EQ(a, SimTime::micros(10'000));
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c.as_millis(), 13.0);
+}
+
+TEST(SimTime, NegativeDeltasWork) {
+  const auto d = SimTime::millis(3) - SimTime::millis(10);
+  EXPECT_EQ(d.as_millis(), -7.0);
+  EXPECT_LT(d, SimTime::zero());
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::micros(500).to_string(), "500us");
+  EXPECT_EQ(SimTime::millis(2.5).to_string(), "2.500ms");
+  EXPECT_EQ(SimTime::seconds(3).to_string(), "3.000s");
+}
+
+TEST(SimTime, FractionalMillisKeepMicrosPrecision) {
+  EXPECT_EQ(SimTime::millis(0.001).as_micros(), 1);
+  EXPECT_EQ(SimTime::millis(60.018 / 2).as_micros(), 30'009);
+}
+
+}  // namespace
+}  // namespace rbay::util

@@ -1,0 +1,165 @@
+#include "util/u128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rbay::util {
+namespace {
+
+TEST(U128, DefaultIsZero) {
+  U128 v;
+  EXPECT_EQ(v.hi(), 0u);
+  EXPECT_EQ(v.lo(), 0u);
+  EXPECT_EQ(v, U128(0));
+}
+
+TEST(U128, ComparisonOrdersHiThenLo) {
+  EXPECT_LT(U128(0, 5), U128(0, 6));
+  EXPECT_LT(U128(1, 0), U128(2, 0));
+  EXPECT_LT(U128(1, 0xFFFFFFFFFFFFFFFFull), U128(2, 0));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128, AdditionCarriesAcrossWords) {
+  const U128 a{0, 0xFFFFFFFFFFFFFFFFull};
+  const U128 one{0, 1};
+  const U128 sum = a + one;
+  EXPECT_EQ(sum.hi(), 1u);
+  EXPECT_EQ(sum.lo(), 0u);
+}
+
+TEST(U128, SubtractionBorrowsAcrossWords) {
+  const U128 a{1, 0};
+  const U128 one{0, 1};
+  const U128 diff = a - one;
+  EXPECT_EQ(diff.hi(), 0u);
+  EXPECT_EQ(diff.lo(), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(U128, SubtractionWrapsAroundRing) {
+  const U128 zero{0};
+  const U128 one{0, 1};
+  const U128 wrapped = zero - one;
+  EXPECT_EQ(wrapped.hi(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(wrapped.lo(), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(U128, ShiftsMoveBitsBetweenWords) {
+  const U128 v{0, 1};
+  EXPECT_EQ((v << 64).hi(), 1u);
+  EXPECT_EQ((v << 64).lo(), 0u);
+  EXPECT_EQ((v << 127).hi(), 0x8000000000000000ull);
+  const U128 top{0x8000000000000000ull, 0};
+  EXPECT_EQ((top >> 127).lo(), 1u);
+  EXPECT_EQ((v << 128), U128(0));
+  EXPECT_EQ((v >> 128), U128(0));
+  EXPECT_EQ((v << 0), v);
+}
+
+TEST(U128, DigitExtractionMostSignificantFirst) {
+  // 0xA000...0 → digit 0 is 0xA.
+  const U128 v{0xA000000000000000ull, 0};
+  EXPECT_EQ(v.digit(0), 0xAu);
+  EXPECT_EQ(v.digit(1), 0x0u);
+  // Last digit comes from the low word.
+  const U128 w{0, 0xB};
+  EXPECT_EQ(w.digit(31), 0xBu);
+}
+
+TEST(U128, SharedPrefixDigits) {
+  const U128 a = U128::from_hex("a1b2c3d4000000000000000000000000");
+  const U128 b = U128::from_hex("a1b2c3d5000000000000000000000000");
+  EXPECT_EQ(a.shared_prefix_digits(b), 7);
+  EXPECT_EQ(a.shared_prefix_digits(a), 32);
+  const U128 c = U128::from_hex("b1000000000000000000000000000000");
+  EXPECT_EQ(a.shared_prefix_digits(c), 0);
+}
+
+TEST(U128, HexRoundTrip) {
+  const std::string hex = "0123456789abcdef0fedcba987654321";
+  EXPECT_EQ(U128::from_hex(hex).to_hex(), hex);
+  EXPECT_EQ(U128::from_hex("ff"), U128(0xFF));
+  EXPECT_THROW(U128::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex(std::string(33, '0')), std::invalid_argument);
+}
+
+TEST(U128, RingDistanceIsSymmetricAndMinimal) {
+  const U128 a{0, 10};
+  const U128 b{0, 20};
+  EXPECT_EQ(a.ring_distance(b), U128(10));
+  EXPECT_EQ(b.ring_distance(a), U128(10));
+  // Wrap-around: distance between near-max and near-min is small.
+  const U128 hi = U128{0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+  EXPECT_EQ(hi.ring_distance(U128(0)), U128(1));
+}
+
+TEST(U128, CwDistanceIsDirectional) {
+  const U128 a{0, 10};
+  const U128 b{0, 20};
+  EXPECT_EQ(a.cw_distance(b), U128(10));
+  // Going clockwise from b to a wraps nearly all the way around.
+  EXPECT_EQ(b.cw_distance(a), U128(0) - U128(10));
+}
+
+TEST(U128, Fold64IsStable) {
+  const U128 v = U128::from_hex("deadbeef00000000cafebabe12345678");
+  EXPECT_EQ(v.fold64(), v.fold64());
+  EXPECT_NE(v.fold64(), U128(0).fold64());
+}
+
+// Property sweep: random values keep algebraic invariants.
+class U128Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U128Property, AddSubRoundTrip) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const U128 a{rng.next_u64(), rng.next_u64()};
+    const U128 b{rng.next_u64(), rng.next_u64()};
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST_P(U128Property, ShiftInverse) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const U128 a{rng.next_u64(), rng.next_u64()};
+    const unsigned n = static_cast<unsigned>(rng.uniform(64));
+    // Shifting left then right recovers the low bits that were not pushed out.
+    const U128 masked = (a << n) >> n;
+    const U128 expect = (a << n) >> n;
+    EXPECT_EQ(masked, expect);
+    EXPECT_EQ(((a >> n) << n) >> n, a >> n);
+  }
+}
+
+TEST_P(U128Property, RingDistanceBounds) {
+  Rng rng{GetParam()};
+  const U128 half{0x8000000000000000ull, 0};
+  for (int i = 0; i < 200; ++i) {
+    const U128 a{rng.next_u64(), rng.next_u64()};
+    const U128 b{rng.next_u64(), rng.next_u64()};
+    // Minimal ring distance can never exceed half the ring.
+    EXPECT_LE(a.ring_distance(b), half);
+    EXPECT_EQ(a.ring_distance(b), b.ring_distance(a));
+    EXPECT_EQ(a.ring_distance(a), U128(0));
+  }
+}
+
+TEST_P(U128Property, DigitsReassembleValue) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 100; ++i) {
+    const U128 a{rng.next_u64(), rng.next_u64()};
+    U128 rebuilt{};
+    for (int d = 0; d < 32; ++d) {
+      rebuilt = (rebuilt << 4) + U128{a.digit(d)};
+    }
+    EXPECT_EQ(rebuilt, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U128Property, ::testing::Values(1u, 42u, 31337u, 0xFEEDu));
+
+}  // namespace
+}  // namespace rbay::util

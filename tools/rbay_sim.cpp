@@ -1,0 +1,67 @@
+// rbay_sim — run an RBAY federation scenario from a script file.
+//
+//   rbay_sim <scenario-file>     execute and print the report
+//   rbay_sim --help              directive reference
+//
+// Scenarios build a federation, drive virtual time, issue queries, push
+// admin commands, and assert outcomes (`expect ...`), so they double as
+// executable integration tests.  See scenarios/*.rbay for examples.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tools/scenario.hpp"
+
+namespace {
+
+constexpr const char* kHelp = R"(rbay_sim — scenario-driven RBAY federation simulator
+
+usage: rbay_sim <scenario-file>
+
+directives (one per line; '#' comments; see tools/scenario.hpp for details):
+  topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
+  seed N | aggregation MS | heartbeat MS | max-attempts N
+  tree <attr> <op> <literal>       tree-exists <attr>
+  taxonomy-major <attr>            taxonomy-link <attr> <parent>
+  nodes <site> <count>
+  post <site|*> <attr> <literal>
+  handler <site|*> <attr> <<EOF    (AAL policy body until EOF)
+  monitor <site|*> <attr> walk <init> <min> <max> <step> <interval_ms>
+  finalize
+  run <duration>                   (500ms, 2s, ...)
+  query <site> SELECT ...          release | commit
+  admin-deliver <site> <tree-canonical> <attr> <payload>
+  hide <site|*> <attr> | expose <site|*> <attr>
+  fail <site> <i> | recover <site> <i>
+  expect satisfied | denied | nodes N | count N
+  print <text> | stats
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help") {
+    std::fputs(kHelp, argc == 2 ? stdout : stderr);
+    return argc == 2 ? 0 : 2;
+  }
+
+  std::ifstream file{argv[1]};
+  if (!file) {
+    std::fprintf(stderr, "rbay_sim: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  const auto result = rbay::tools::run_scenario(text.str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "rbay_sim: %s: %s\n", argv[1], result.error().c_str());
+    return 1;
+  }
+  const auto& report = result.value();
+  for (const auto& line : report.output) std::printf("%s\n", line.c_str());
+  std::printf("-- %d queries (%d satisfied), %d expectations passed\n", report.queries,
+              report.queries_satisfied, report.expectations);
+  return 0;
+}

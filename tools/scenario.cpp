@@ -1,0 +1,516 @@
+#include "tools/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace rbay::tools {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is{line};
+  std::string word;
+  while (is >> word) out.push_back(word);
+  return out;
+}
+
+util::Error error_at(int line, const std::string& what) {
+  return util::make_error("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+util::Result<std::vector<Directive>> parse_scenario(const std::string& text) {
+  std::vector<Directive> out;
+  std::istringstream is{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto words = split_words(line);
+    if (words.empty()) continue;
+
+    Directive d;
+    d.line = line_no;
+    d.keyword = words[0];
+    std::transform(d.keyword.begin(), d.keyword.end(), d.keyword.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    d.args.assign(words.begin() + 1, words.end());
+    const auto kw_pos = line.find(words[0]);
+    d.raw_tail = line.substr(kw_pos + words[0].size());
+    const auto tail_start = d.raw_tail.find_first_not_of(" \t");
+    d.raw_tail = tail_start == std::string::npos ? "" : d.raw_tail.substr(tail_start);
+
+    // Heredoc: last arg "<<TOKEN" pulls lines until TOKEN.
+    if (!d.args.empty() && d.args.back().rfind("<<", 0) == 0) {
+      const std::string token = d.args.back().substr(2);
+      if (token.empty()) return error_at(line_no, "heredoc needs a terminator token");
+      d.args.pop_back();
+      std::string body;
+      bool closed = false;
+      while (std::getline(is, line)) {
+        ++line_no;
+        if (line == token) {
+          closed = true;
+          break;
+        }
+        body += line;
+        body += '\n';
+      }
+      if (!closed) return error_at(d.line, "unterminated heredoc (missing '" + token + "')");
+      d.heredoc = std::move(body);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+/// Execution state threaded through directive handlers.
+class Runner {
+ public:
+  util::Result<ScenarioReport> run(const std::vector<Directive>& directives) {
+    for (const auto& d : directives) {
+      auto result = apply(d);
+      if (!result.ok()) return util::make_error(result.error());
+    }
+    return std::move(report_);
+  }
+
+ private:
+  // --- helpers ------------------------------------------------------------
+
+  static util::Result<store::AttributeValue> parse_literal(const std::string& word) {
+    if (word == "true") return store::AttributeValue{true};
+    if (word == "false") return store::AttributeValue{false};
+    if (word.size() >= 2 && (word.front() == '\'' || word.front() == '"') &&
+        word.back() == word.front()) {
+      return store::AttributeValue{word.substr(1, word.size() - 2)};
+    }
+    char* end = nullptr;
+    const double v = std::strtod(word.c_str(), &end);
+    if (end != word.c_str() && *end == '\0') return store::AttributeValue{v};
+    return store::AttributeValue{word};  // bare word = string
+  }
+
+  static util::Result<query::CompareOp> parse_op(const std::string& op) {
+    if (op == "=") return query::CompareOp::Eq;
+    if (op == "!=") return query::CompareOp::NotEq;
+    if (op == "<") return query::CompareOp::Less;
+    if (op == "<=") return query::CompareOp::LessEq;
+    if (op == ">") return query::CompareOp::Greater;
+    if (op == ">=") return query::CompareOp::GreaterEq;
+    return util::make_error("unknown comparison operator '" + op + "'");
+  }
+
+  static util::Result<util::SimTime> parse_duration(const std::string& word) {
+    std::size_t suffix = 0;
+    const double v = std::stod(word, &suffix);
+    const std::string unit = word.substr(suffix);
+    if (unit == "ms") return util::SimTime::millis(v);
+    if (unit == "s" || unit.empty()) return util::SimTime::seconds(v);
+    if (unit == "us") return util::SimTime::micros(static_cast<std::int64_t>(v));
+    return util::make_error("unknown duration unit '" + unit + "'");
+  }
+
+  util::Result<std::vector<std::size_t>> nodes_of(const Directive& d,
+                                                  const std::string& site_word) {
+    if (cluster_ == nullptr) return error_at(d.line, "no nodes yet (missing 'nodes'?)");
+    std::vector<std::size_t> out;
+    if (site_word == "*") {
+      for (std::size_t i = 0; i < cluster_->size(); ++i) out.push_back(i);
+      return out;
+    }
+    const auto site = topology_.site_by_name(site_word);  // throws ContractError if bad
+    return cluster_->nodes_in_site(site);
+  }
+
+  util::Result<void> ensure_cluster(const Directive& d) {
+    if (cluster_ != nullptr) return {};
+    core::ClusterConfig config;
+    config.topology = topology_;
+    config.seed = seed_;
+    config.node.scribe.aggregation_interval = aggregation_;
+    config.node.scribe.heartbeat_interval = heartbeat_;
+    config.node.query.max_attempts = max_attempts_;
+    cluster_ = std::make_unique<core::RBayCluster>(config);
+    for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
+    pending_specs_.clear();
+    cluster_->set_taxonomy(std::move(taxonomy_));
+    (void)d;
+    return {};
+  }
+
+  // --- directive dispatch ---------------------------------------------------
+
+  util::Result<void> apply(const Directive& d) {
+    try {
+      return apply_inner(d);
+    } catch (const std::exception& e) {
+      return error_at(d.line, e.what());
+    }
+  }
+
+  util::Result<void> apply_inner(const Directive& d) {
+    const auto& kw = d.keyword;
+    if (kw == "topology") return do_topology(d);
+    if (kw == "seed") return set_u64(d, seed_);
+    if (kw == "aggregation") return set_ms(d, aggregation_);
+    if (kw == "heartbeat") return set_ms(d, heartbeat_);
+    if (kw == "max-attempts") return set_int(d, max_attempts_);
+    if (kw == "tree") return do_tree(d);
+    if (kw == "tree-exists") return do_tree_exists(d);
+    if (kw == "taxonomy-major") return do_taxonomy_major(d);
+    if (kw == "taxonomy-link") return do_taxonomy_link(d);
+    if (kw == "nodes") return do_nodes(d);
+    if (kw == "post") return do_post(d);
+    if (kw == "handler") return do_handler(d);
+    if (kw == "monitor") return do_monitor(d);
+    if (kw == "finalize") return do_finalize(d);
+    if (kw == "run") return do_run(d);
+    if (kw == "query") return do_query(d);
+    if (kw == "release") return do_release(d);
+    if (kw == "commit") return do_commit(d);
+    if (kw == "renew") return do_renew(d);
+    if (kw == "admin-deliver") return do_admin_deliver(d);
+    if (kw == "hide" || kw == "expose") return do_hide_expose(d);
+    if (kw == "fail" || kw == "recover") return do_fail_recover(d);
+    if (kw == "expect") return do_expect(d);
+    if (kw == "print") {
+      report_.output.push_back(d.raw_tail);
+      return {};
+    }
+    if (kw == "stats") return do_stats(d);
+    return error_at(d.line, "unknown directive '" + kw + "'");
+  }
+
+  util::Result<void> do_topology(const Directive& d) {
+    if (cluster_ != nullptr) return error_at(d.line, "topology must precede 'nodes'");
+    if (d.args.empty()) return error_at(d.line, "topology needs a kind");
+    if (d.args[0] == "ec2") {
+      topology_ = net::Topology::ec2_eight_sites();
+      return {};
+    }
+    if (d.args[0] == "single") {
+      topology_ = net::Topology::single_site();
+      return {};
+    }
+    if (d.args[0] == "uniform" && d.args.size() == 4) {
+      topology_ = net::Topology::uniform(std::stoul(d.args[1]), std::stod(d.args[2]),
+                                         std::stod(d.args[3]));
+      return {};
+    }
+    return error_at(d.line, "topology: expected 'ec2', 'single', or 'uniform K intra cross'");
+  }
+
+  util::Result<void> set_u64(const Directive& d, std::uint64_t& target) {
+    if (d.args.size() != 1) return error_at(d.line, d.keyword + " needs one value");
+    target = std::strtoull(d.args[0].c_str(), nullptr, 10);
+    return {};
+  }
+  util::Result<void> set_int(const Directive& d, int& target) {
+    if (d.args.size() != 1) return error_at(d.line, d.keyword + " needs one value");
+    target = std::stoi(d.args[0]);
+    return {};
+  }
+  util::Result<void> set_ms(const Directive& d, util::SimTime& target) {
+    if (d.args.size() != 1) return error_at(d.line, d.keyword + " needs milliseconds");
+    target = util::SimTime::millis(std::stod(d.args[0]));
+    return {};
+  }
+
+  util::Result<void> do_tree(const Directive& d) {
+    if (d.args.size() != 3) return error_at(d.line, "tree needs: <attr> <op> <literal>");
+    auto op = parse_op(d.args[1]);
+    if (!op.ok()) return error_at(d.line, op.error());
+    auto literal = parse_literal(d.args[2]);
+    if (!literal.ok()) return error_at(d.line, literal.error());
+    pending_specs_.push_back(core::TreeSpec::from_predicate(
+        {d.args[0], op.value(), literal.take()}));
+    return {};
+  }
+
+  util::Result<void> do_tree_exists(const Directive& d) {
+    if (d.args.size() != 1) return error_at(d.line, "tree-exists needs: <attr>");
+    pending_specs_.push_back(core::TreeSpec::existence(d.args[0]));
+    return {};
+  }
+
+  util::Result<void> do_taxonomy_major(const Directive& d) {
+    if (d.args.size() != 1) return error_at(d.line, "taxonomy-major needs: <attr>");
+    taxonomy_.add_major(d.args[0]);
+    return {};
+  }
+
+  util::Result<void> do_taxonomy_link(const Directive& d) {
+    if (d.args.size() != 2) return error_at(d.line, "taxonomy-link needs: <attr> <parent>");
+    if (!taxonomy_.link(d.args[0], d.args[1])) {
+      return error_at(d.line, "taxonomy-link refused (cycle?)");
+    }
+    return {};
+  }
+
+  util::Result<void> do_nodes(const Directive& d) {
+    if (d.args.size() != 2) return error_at(d.line, "nodes needs: <site> <count>");
+    if (finalized_) return error_at(d.line, "nodes after finalize");
+    auto ensured = ensure_cluster(d);
+    if (!ensured.ok()) return ensured;
+    const auto site = topology_.site_by_name(d.args[0]);
+    const auto count = std::stoul(d.args[1]);
+    for (std::size_t i = 0; i < count; ++i) cluster_->add_node(site);
+    return {};
+  }
+
+  util::Result<void> do_post(const Directive& d) {
+    if (d.args.size() != 3) return error_at(d.line, "post needs: <site|*> <attr> <literal>");
+    auto targets = nodes_of(d, d.args[0]);
+    if (!targets.ok()) return util::make_error(targets.error());
+    auto literal = parse_literal(d.args[2]);
+    if (!literal.ok()) return error_at(d.line, literal.error());
+    for (const auto idx : targets.value()) {
+      auto posted = cluster_->node(idx).post(d.args[1], literal.value());
+      if (!posted.ok()) return error_at(d.line, posted.error());
+    }
+    return {};
+  }
+
+  util::Result<void> do_handler(const Directive& d) {
+    if (d.args.size() != 2) {
+      return error_at(d.line, "handler needs: <site|*> <attr> <<EOF ... EOF");
+    }
+    if (d.heredoc.empty()) return error_at(d.line, "handler needs a heredoc body");
+    auto targets = nodes_of(d, d.args[0]);
+    if (!targets.ok()) return util::make_error(targets.error());
+    for (const auto idx : targets.value()) {
+      auto attached =
+          cluster_->node(idx).attributes().attach_handlers(d.args[1], d.heredoc);
+      if (!attached.ok()) return error_at(d.line, attached.error());
+    }
+    return {};
+  }
+
+  util::Result<void> do_monitor(const Directive& d) {
+    // monitor <site|*> <attr> walk <init> <min> <max> <step> <interval_ms>
+    if (d.args.size() != 8 || d.args[2] != "walk") {
+      return error_at(d.line,
+                      "monitor needs: <site|*> <attr> walk <init> <min> <max> <step> <ms>");
+    }
+    auto targets = nodes_of(d, d.args[0]);
+    if (!targets.ok()) return util::make_error(targets.error());
+    for (const auto idx : targets.value()) {
+      cluster_->node(idx).enable_monitor(
+          {{d.args[1], monitor::RandomWalk{std::stod(d.args[3]), std::stod(d.args[4]),
+                                           std::stod(d.args[5]), std::stod(d.args[6])}}},
+          util::SimTime::millis(std::stod(d.args[7])));
+    }
+    return {};
+  }
+
+  util::Result<void> do_finalize(const Directive& d) {
+    if (cluster_ == nullptr) return error_at(d.line, "nothing to finalize (no nodes)");
+    if (finalized_) return error_at(d.line, "finalize called twice");
+    cluster_->finalize();
+    finalized_ = true;
+    return {};
+  }
+
+  util::Result<void> do_run(const Directive& d) {
+    if (cluster_ == nullptr) return error_at(d.line, "run before any nodes exist");
+    if (d.args.size() != 1) return error_at(d.line, "run needs a duration (e.g. 500ms, 2s)");
+    auto duration = parse_duration(d.args[0]);
+    if (!duration.ok()) return error_at(d.line, duration.error());
+    cluster_->run_for(duration.value());
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_query(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "query before finalize");
+    if (d.args.size() < 2) return error_at(d.line, "query needs: <site> <SQL...>");
+    const auto site = topology_.site_by_name(d.args[0]);
+    const auto members = cluster_->nodes_in_site(site);
+    const auto from = members.at(members.size() > 1 ? 1 : 0);
+    // SQL = raw tail minus the site word.
+    auto sql = d.raw_tail;
+    const auto site_pos = sql.find(d.args[0]);
+    sql = sql.substr(site_pos + d.args[0].size());
+
+    last_query_node_ = from;
+    bool done = false;
+    cluster_->node(from).query().execute_sql(sql, [&](const core::QueryOutcome& o) {
+      last_outcome_ = o;
+      done = true;
+    });
+    cluster_->run();
+    if (!done) return error_at(d.line, "query did not complete (missing 'run'?)");
+    ++report_.queries;
+    if (last_outcome_.satisfied) ++report_.queries_satisfied;
+
+    std::ostringstream os;
+    os << "query[" << report_.queries << "] "
+       << (last_outcome_.satisfied ? "satisfied" : "DENIED") << " in "
+       << last_outcome_.latency().to_string() << " attempts=" << last_outcome_.attempts;
+    if (last_outcome_.count > 0 || sql.find("COUNT") != std::string::npos) {
+      os << " count=" << last_outcome_.count;
+    }
+    for (const auto& c : last_outcome_.nodes) {
+      os << " " << c.node.id.to_hex().substr(0, 8) << "@"
+         << topology_.site(c.node.site).name;
+    }
+    if (!last_outcome_.error.empty()) os << " error: " << last_outcome_.error;
+    report_.output.push_back(os.str());
+    return {};
+  }
+
+  util::Result<void> do_release(const Directive& d) {
+    if (last_query_node_ == SIZE_MAX) return error_at(d.line, "no query to release");
+    cluster_->node(last_query_node_).query().release(last_outcome_);
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_commit(const Directive& d) {
+    if (last_query_node_ == SIZE_MAX) return error_at(d.line, "no query to commit");
+    util::SimTime lease = util::SimTime::zero();
+    if (!d.args.empty()) {
+      auto parsed = parse_duration(d.args[0]);
+      if (!parsed.ok()) return error_at(d.line, parsed.error());
+      lease = parsed.value();
+    }
+    cluster_->node(last_query_node_).query().commit(last_outcome_, lease);
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_renew(const Directive& d) {
+    if (last_query_node_ == SIZE_MAX) return error_at(d.line, "no query to renew");
+    if (d.args.size() != 1) return error_at(d.line, "renew needs a lease duration");
+    auto parsed = parse_duration(d.args[0]);
+    if (!parsed.ok()) return error_at(d.line, parsed.error());
+    cluster_->node(last_query_node_).query().renew(last_outcome_, parsed.value());
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_admin_deliver(const Directive& d) {
+    if (d.args.size() < 4) {
+      return error_at(d.line, "admin-deliver needs: <site> <tree-canonical> <attr> <payload>");
+    }
+    const auto site = topology_.site_by_name(d.args[0]);
+    const auto members = cluster_->nodes_in_site(site);
+    const core::TreeSpec* spec = nullptr;
+    for (const auto& s : cluster_->tree_specs()) {
+      if (s.canonical == d.args[1]) spec = &s;
+    }
+    if (spec == nullptr) return error_at(d.line, "unknown tree '" + d.args[1] + "'");
+    cluster_->node(members.front()).admin_deliver(*spec, d.args[2], d.args[3]);
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_hide_expose(const Directive& d) {
+    if (d.args.size() != 2) return error_at(d.line, d.keyword + " needs: <site|*> <attr>");
+    auto targets = nodes_of(d, d.args[0]);
+    if (!targets.ok()) return util::make_error(targets.error());
+    for (const auto idx : targets.value()) {
+      cluster_->node(idx).set_hidden(d.args[1], d.keyword == "hide");
+    }
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_fail_recover(const Directive& d) {
+    if (d.args.size() != 2) return error_at(d.line, d.keyword + " needs: <site> <index>");
+    const auto site = topology_.site_by_name(d.args[0]);
+    const auto members = cluster_->nodes_in_site(site);
+    const auto idx = static_cast<std::size_t>(std::stoul(d.args[1]));
+    if (idx >= members.size()) return error_at(d.line, "node index out of range");
+    if (d.keyword == "fail") {
+      cluster_->overlay().fail_node(members[idx]);
+    } else {
+      cluster_->overlay().recover_node(members[idx]);
+      cluster_->node(members[idx]).reevaluate_subscriptions();
+    }
+    cluster_->run();
+    return {};
+  }
+
+  util::Result<void> do_expect(const Directive& d) {
+    ++report_.expectations;
+    if (d.args.empty()) return error_at(d.line, "expect needs a condition");
+    const auto& what = d.args[0];
+    if (what == "satisfied") {
+      if (!last_outcome_.satisfied) {
+        return error_at(d.line, "expected satisfied, query was denied (" +
+                                    (last_outcome_.error.empty() ? "no candidates"
+                                                                 : last_outcome_.error) +
+                                    ")");
+      }
+      return {};
+    }
+    if (what == "denied") {
+      if (last_outcome_.satisfied) return error_at(d.line, "expected denial, query satisfied");
+      return {};
+    }
+    if (what == "nodes" && d.args.size() == 2) {
+      const auto want = std::stoul(d.args[1]);
+      if (last_outcome_.nodes.size() != want) {
+        return error_at(d.line, "expected " + d.args[1] + " nodes, got " +
+                                    std::to_string(last_outcome_.nodes.size()));
+      }
+      return {};
+    }
+    if (what == "count" && d.args.size() == 2) {
+      const auto want = std::stod(d.args[1]);
+      if (last_outcome_.count != want) {
+        return error_at(d.line, "expected count " + d.args[1] + ", got " +
+                                    std::to_string(last_outcome_.count));
+      }
+      return {};
+    }
+    return error_at(d.line, "unknown expectation '" + what + "'");
+  }
+
+  util::Result<void> do_stats(const Directive& d) {
+    if (cluster_ == nullptr) return error_at(d.line, "stats before any nodes exist");
+    const auto& stats = cluster_->network().stats();
+    std::ostringstream os;
+    os << "stats: nodes=" << cluster_->size() << " messages=" << stats.messages_sent
+       << " bytes=" << stats.bytes_sent << " dropped=" << stats.messages_dropped
+       << " vtime=" << cluster_->engine().now().to_string();
+    report_.output.push_back(os.str());
+    return {};
+  }
+
+  // --- state ----------------------------------------------------------------
+
+  net::Topology topology_ = net::Topology::single_site();
+  std::uint64_t seed_ = 42;
+  util::SimTime aggregation_ = util::SimTime::millis(250);
+  util::SimTime heartbeat_ = util::SimTime::zero();
+  int max_attempts_ = 5;
+  core::Taxonomy taxonomy_;
+  std::vector<core::TreeSpec> pending_specs_;
+  std::unique_ptr<core::RBayCluster> cluster_;
+  bool finalized_ = false;
+  std::size_t last_query_node_ = SIZE_MAX;
+  core::QueryOutcome last_outcome_;
+  ScenarioReport report_;
+};
+
+}  // namespace
+
+util::Result<ScenarioReport> run_scenario(const std::string& text) {
+  auto directives = parse_scenario(text);
+  if (!directives.ok()) return util::make_error(directives.error());
+  Runner runner;
+  return runner.run(directives.value());
+}
+
+}  // namespace rbay::tools

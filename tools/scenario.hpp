@@ -1,0 +1,83 @@
+#pragma once
+
+// Scenario DSL for the rbay_sim tool.
+//
+// A scenario is a line-oriented script that builds a federation, drives
+// virtual time, and issues queries/admin actions — everything the public
+// API offers, without writing C++.  Example:
+//
+//   topology ec2
+//   seed 7
+//   tree GPU = true
+//   nodes Virginia 20
+//   nodes Tokyo 20
+//   post * GPU true
+//   handler Virginia GPU <<EOF
+//   function onGet(caller, payload)
+//     if payload == "sesame" then return true end
+//     return nil
+//   end
+//   EOF
+//   finalize
+//   run 2s
+//   query Tokyo SELECT 3 FROM * WHERE GPU = true WITH "sesame"
+//   expect satisfied
+//   stats
+//
+// Directives:
+//   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
+//   seed N | aggregation MS | heartbeat MS | max-attempts N
+//   tree <attr> <op> <literal>      register a federation tree
+//   tree-exists <attr>              existence tree (hybrid naming major)
+//   taxonomy-major <attr> | taxonomy-link <attr> <parent>
+//   nodes <site> <count>            add nodes (before finalize)
+//   post <site|*> <attr> <literal>  set an attribute on every node there
+//   handler <site|*> <attr> <<EOF ... EOF   attach AAL policy
+//   monitor <site|*> <attr> walk <init> <min> <max> <step> <interval_ms>
+//   finalize                        build the federation
+//   run <duration>                  advance virtual time (e.g. 500ms, 2s)
+//   query <site> <SQL...>           run a query from a node of that site
+//   release | commit                act on the last query's reservations
+//   admin-deliver <site> <tree-canonical> <attr> <payload>
+//   hide <site> <attr> | expose <site> <attr>
+//   fail <site> <i> | recover <site> <i>
+//   expect satisfied | expect denied | expect nodes N | expect count N
+//   print <text...> | stats
+//
+// `expect` failures make run() return an error — scenarios double as
+// executable integration tests.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "util/result.hpp"
+
+namespace rbay::tools {
+
+/// One parsed directive (kept simple: keyword + raw arguments + optional
+/// heredoc body).
+struct Directive {
+  int line = 0;
+  std::string keyword;
+  std::vector<std::string> args;
+  std::string raw_tail;  // everything after the keyword, unsplit (for SQL)
+  std::string heredoc;   // body of a <<EOF ... EOF block
+};
+
+/// Parses scenario text into directives (no side effects).
+util::Result<std::vector<Directive>> parse_scenario(const std::string& text);
+
+struct ScenarioReport {
+  int queries = 0;
+  int queries_satisfied = 0;
+  int expectations = 0;
+  std::vector<std::string> output;  // `print`, query results, stats lines
+};
+
+/// Parses and executes a scenario.  Returns the report, or the first
+/// error (parse error, API error, or failed expectation) with its line.
+util::Result<ScenarioReport> run_scenario(const std::string& text);
+
+}  // namespace rbay::tools
