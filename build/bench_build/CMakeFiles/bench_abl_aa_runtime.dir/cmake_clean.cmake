@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_aa_runtime"
+  "../bench/bench_abl_aa_runtime.pdb"
+  "CMakeFiles/bench_abl_aa_runtime.dir/bench_abl_aa_runtime.cpp.o"
+  "CMakeFiles/bench_abl_aa_runtime.dir/bench_abl_aa_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_aa_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_centralized"
+  "../bench/bench_abl_centralized.pdb"
+  "CMakeFiles/bench_abl_centralized.dir/bench_abl_centralized.cpp.o"
+  "CMakeFiles/bench_abl_centralized.dir/bench_abl_centralized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

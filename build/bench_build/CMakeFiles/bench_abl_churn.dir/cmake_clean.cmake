@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_churn"
+  "../bench/bench_abl_churn.pdb"
+  "CMakeFiles/bench_abl_churn.dir/bench_abl_churn.cpp.o"
+  "CMakeFiles/bench_abl_churn.dir/bench_abl_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_hybrid_naming"
+  "../bench/bench_abl_hybrid_naming.pdb"
+  "CMakeFiles/bench_abl_hybrid_naming.dir/bench_abl_hybrid_naming.cpp.o"
+  "CMakeFiles/bench_abl_hybrid_naming.dir/bench_abl_hybrid_naming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hybrid_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

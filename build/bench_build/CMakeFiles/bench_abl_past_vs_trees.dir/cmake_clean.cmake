@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_past_vs_trees"
+  "../bench/bench_abl_past_vs_trees.pdb"
+  "CMakeFiles/bench_abl_past_vs_trees.dir/bench_abl_past_vs_trees.cpp.o"
+  "CMakeFiles/bench_abl_past_vs_trees.dir/bench_abl_past_vs_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_past_vs_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

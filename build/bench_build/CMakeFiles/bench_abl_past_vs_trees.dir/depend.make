@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_past_vs_trees.
+# This may be replaced when dependencies are built.

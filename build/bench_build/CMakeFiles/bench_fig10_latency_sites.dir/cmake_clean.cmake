@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_latency_sites"
+  "../bench/bench_fig10_latency_sites.pdb"
+  "CMakeFiles/bench_fig10_latency_sites.dir/bench_fig10_latency_sites.cpp.o"
+  "CMakeFiles/bench_fig10_latency_sites.dir/bench_fig10_latency_sites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latency_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_scale_nodes"
+  "../bench/bench_fig8a_scale_nodes.pdb"
+  "CMakeFiles/bench_fig8a_scale_nodes.dir/bench_fig8a_scale_nodes.cpp.o"
+  "CMakeFiles/bench_fig8a_scale_nodes.dir/bench_fig8a_scale_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_scale_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8c_scale_attributes"
+  "../bench/bench_fig8c_scale_attributes.pdb"
+  "CMakeFiles/bench_fig8c_scale_attributes.dir/bench_fig8c_scale_attributes.cpp.o"
+  "CMakeFiles/bench_fig8c_scale_attributes.dir/bench_fig8c_scale_attributes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_scale_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_ops.cpp" "bench_build/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cpp.o" "gcc" "bench_build/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rbay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rbay_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/scribe/CMakeFiles/rbay_scribe.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rbay_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rbay_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/rbay_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rbay_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/rbay_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rbay_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbay_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_rtt"
+  "../bench/bench_table2_rtt.pdb"
+  "CMakeFiles/bench_table2_rtt.dir/bench_table2_rtt.cpp.o"
+  "CMakeFiles/bench_table2_rtt.dir/bench_table2_rtt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

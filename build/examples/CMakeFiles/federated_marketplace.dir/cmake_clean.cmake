@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_marketplace.dir/federated_marketplace.cpp.o"
+  "CMakeFiles/federated_marketplace.dir/federated_marketplace.cpp.o.d"
+  "federated_marketplace"
+  "federated_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_query_latency.dir/geo_query_latency.cpp.o"
+  "CMakeFiles/geo_query_latency.dir/geo_query_latency.cpp.o.d"
+  "geo_query_latency"
+  "geo_query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("pastry")
+subdirs("scribe")
+subdirs("aal")
+subdirs("store")
+subdirs("monitor")
+subdirs("query")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aal/interp.cpp" "src/aal/CMakeFiles/rbay_aal.dir/interp.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/interp.cpp.o.d"
+  "/root/repo/src/aal/lexer.cpp" "src/aal/CMakeFiles/rbay_aal.dir/lexer.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/lexer.cpp.o.d"
+  "/root/repo/src/aal/parser.cpp" "src/aal/CMakeFiles/rbay_aal.dir/parser.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/parser.cpp.o.d"
+  "/root/repo/src/aal/pattern.cpp" "src/aal/CMakeFiles/rbay_aal.dir/pattern.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/pattern.cpp.o.d"
+  "/root/repo/src/aal/script.cpp" "src/aal/CMakeFiles/rbay_aal.dir/script.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/script.cpp.o.d"
+  "/root/repo/src/aal/stdlib.cpp" "src/aal/CMakeFiles/rbay_aal.dir/stdlib.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/stdlib.cpp.o.d"
+  "/root/repo/src/aal/value.cpp" "src/aal/CMakeFiles/rbay_aal.dir/value.cpp.o" "gcc" "src/aal/CMakeFiles/rbay_aal.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

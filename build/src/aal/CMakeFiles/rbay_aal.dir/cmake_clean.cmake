@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_aal.dir/interp.cpp.o"
+  "CMakeFiles/rbay_aal.dir/interp.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/lexer.cpp.o"
+  "CMakeFiles/rbay_aal.dir/lexer.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/parser.cpp.o"
+  "CMakeFiles/rbay_aal.dir/parser.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/pattern.cpp.o"
+  "CMakeFiles/rbay_aal.dir/pattern.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/script.cpp.o"
+  "CMakeFiles/rbay_aal.dir/script.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/stdlib.cpp.o"
+  "CMakeFiles/rbay_aal.dir/stdlib.cpp.o.d"
+  "CMakeFiles/rbay_aal.dir/value.cpp.o"
+  "CMakeFiles/rbay_aal.dir/value.cpp.o.d"
+  "librbay_aal.a"
+  "librbay_aal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_aal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_baseline.dir/ganglia.cpp.o"
+  "CMakeFiles/rbay_baseline.dir/ganglia.cpp.o.d"
+  "CMakeFiles/rbay_baseline.dir/past_dht.cpp.o"
+  "CMakeFiles/rbay_baseline.dir/past_dht.cpp.o.d"
+  "CMakeFiles/rbay_baseline.dir/past_store.cpp.o"
+  "CMakeFiles/rbay_baseline.dir/past_store.cpp.o.d"
+  "librbay_baseline.a"
+  "librbay_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

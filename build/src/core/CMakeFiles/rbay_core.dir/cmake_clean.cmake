@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_core.dir/churn.cpp.o"
+  "CMakeFiles/rbay_core.dir/churn.cpp.o.d"
+  "CMakeFiles/rbay_core.dir/cluster.cpp.o"
+  "CMakeFiles/rbay_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/rbay_core.dir/naming.cpp.o"
+  "CMakeFiles/rbay_core.dir/naming.cpp.o.d"
+  "CMakeFiles/rbay_core.dir/query_interface.cpp.o"
+  "CMakeFiles/rbay_core.dir/query_interface.cpp.o.d"
+  "CMakeFiles/rbay_core.dir/rbay_node.cpp.o"
+  "CMakeFiles/rbay_core.dir/rbay_node.cpp.o.d"
+  "librbay_core.a"
+  "librbay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

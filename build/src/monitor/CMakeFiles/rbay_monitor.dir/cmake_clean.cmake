@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/rbay_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/rbay_monitor.dir/reliability.cpp.o"
+  "CMakeFiles/rbay_monitor.dir/reliability.cpp.o.d"
+  "librbay_monitor.a"
+  "librbay_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

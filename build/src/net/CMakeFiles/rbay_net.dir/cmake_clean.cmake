@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_net.dir/network.cpp.o"
+  "CMakeFiles/rbay_net.dir/network.cpp.o.d"
+  "CMakeFiles/rbay_net.dir/topology.cpp.o"
+  "CMakeFiles/rbay_net.dir/topology.cpp.o.d"
+  "librbay_net.a"
+  "librbay_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pastry/leaf_set.cpp" "src/pastry/CMakeFiles/rbay_pastry.dir/leaf_set.cpp.o" "gcc" "src/pastry/CMakeFiles/rbay_pastry.dir/leaf_set.cpp.o.d"
+  "/root/repo/src/pastry/node.cpp" "src/pastry/CMakeFiles/rbay_pastry.dir/node.cpp.o" "gcc" "src/pastry/CMakeFiles/rbay_pastry.dir/node.cpp.o.d"
+  "/root/repo/src/pastry/overlay.cpp" "src/pastry/CMakeFiles/rbay_pastry.dir/overlay.cpp.o" "gcc" "src/pastry/CMakeFiles/rbay_pastry.dir/overlay.cpp.o.d"
+  "/root/repo/src/pastry/routing_table.cpp" "src/pastry/CMakeFiles/rbay_pastry.dir/routing_table.cpp.o" "gcc" "src/pastry/CMakeFiles/rbay_pastry.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rbay_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbay_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

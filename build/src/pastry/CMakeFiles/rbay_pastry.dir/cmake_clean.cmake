@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_pastry.dir/leaf_set.cpp.o"
+  "CMakeFiles/rbay_pastry.dir/leaf_set.cpp.o.d"
+  "CMakeFiles/rbay_pastry.dir/node.cpp.o"
+  "CMakeFiles/rbay_pastry.dir/node.cpp.o.d"
+  "CMakeFiles/rbay_pastry.dir/overlay.cpp.o"
+  "CMakeFiles/rbay_pastry.dir/overlay.cpp.o.d"
+  "CMakeFiles/rbay_pastry.dir/routing_table.cpp.o"
+  "CMakeFiles/rbay_pastry.dir/routing_table.cpp.o.d"
+  "librbay_pastry.a"
+  "librbay_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/reservation.cpp" "src/query/CMakeFiles/rbay_query.dir/reservation.cpp.o" "gcc" "src/query/CMakeFiles/rbay_query.dir/reservation.cpp.o.d"
+  "/root/repo/src/query/sql.cpp" "src/query/CMakeFiles/rbay_query.dir/sql.cpp.o" "gcc" "src/query/CMakeFiles/rbay_query.dir/sql.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/rbay_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/rbay_aal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

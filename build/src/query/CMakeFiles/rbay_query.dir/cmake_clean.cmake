@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_query.dir/reservation.cpp.o"
+  "CMakeFiles/rbay_query.dir/reservation.cpp.o.d"
+  "CMakeFiles/rbay_query.dir/sql.cpp.o"
+  "CMakeFiles/rbay_query.dir/sql.cpp.o.d"
+  "librbay_query.a"
+  "librbay_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

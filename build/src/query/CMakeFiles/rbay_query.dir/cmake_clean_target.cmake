@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librbay_query.a"
+)

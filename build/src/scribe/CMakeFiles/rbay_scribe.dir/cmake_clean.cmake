@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_scribe.dir/scribe.cpp.o"
+  "CMakeFiles/rbay_scribe.dir/scribe.cpp.o.d"
+  "librbay_scribe.a"
+  "librbay_scribe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_scribe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

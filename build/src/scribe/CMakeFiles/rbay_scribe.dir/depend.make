@@ -1,0 +1,2 @@
+# Empty dependencies file for rbay_scribe.
+# This may be replaced when dependencies are built.

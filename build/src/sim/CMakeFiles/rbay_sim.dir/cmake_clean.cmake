@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_sim.dir/engine.cpp.o"
+  "CMakeFiles/rbay_sim.dir/engine.cpp.o.d"
+  "librbay_sim.a"
+  "librbay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/active_attribute.cpp" "src/store/CMakeFiles/rbay_store.dir/active_attribute.cpp.o" "gcc" "src/store/CMakeFiles/rbay_store.dir/active_attribute.cpp.o.d"
+  "/root/repo/src/store/attribute.cpp" "src/store/CMakeFiles/rbay_store.dir/attribute.cpp.o" "gcc" "src/store/CMakeFiles/rbay_store.dir/attribute.cpp.o.d"
+  "/root/repo/src/store/attribute_store.cpp" "src/store/CMakeFiles/rbay_store.dir/attribute_store.cpp.o" "gcc" "src/store/CMakeFiles/rbay_store.dir/attribute_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aal/CMakeFiles/rbay_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_store.dir/active_attribute.cpp.o"
+  "CMakeFiles/rbay_store.dir/active_attribute.cpp.o.d"
+  "CMakeFiles/rbay_store.dir/attribute.cpp.o"
+  "CMakeFiles/rbay_store.dir/attribute.cpp.o.d"
+  "CMakeFiles/rbay_store.dir/attribute_store.cpp.o"
+  "CMakeFiles/rbay_store.dir/attribute_store.cpp.o.d"
+  "librbay_store.a"
+  "librbay_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_util.dir/log.cpp.o"
+  "CMakeFiles/rbay_util.dir/log.cpp.o.d"
+  "CMakeFiles/rbay_util.dir/rng.cpp.o"
+  "CMakeFiles/rbay_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rbay_util.dir/sha1.cpp.o"
+  "CMakeFiles/rbay_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/rbay_util.dir/sim_time.cpp.o"
+  "CMakeFiles/rbay_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/rbay_util.dir/stats.cpp.o"
+  "CMakeFiles/rbay_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rbay_util.dir/u128.cpp.o"
+  "CMakeFiles/rbay_util.dir/u128.cpp.o.d"
+  "librbay_util.a"
+  "librbay_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aal_test.dir/aal/crypto_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/crypto_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/interp_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/interp_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/lexer_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/lexer_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/parser_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/parser_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/pattern_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/pattern_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/sandbox_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/sandbox_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/stdlib_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/stdlib_test.cpp.o.d"
+  "CMakeFiles/aal_test.dir/aal/value_test.cpp.o"
+  "CMakeFiles/aal_test.dir/aal/value_test.cpp.o.d"
+  "aal_test"
+  "aal_test.pdb"
+  "aal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/reservation_test.cpp.o"
+  "CMakeFiles/query_test.dir/query/reservation_test.cpp.o.d"
+  "CMakeFiles/query_test.dir/query/sql_test.cpp.o"
+  "CMakeFiles/query_test.dir/query/sql_test.cpp.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

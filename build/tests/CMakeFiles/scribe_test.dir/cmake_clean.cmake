@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scribe_test.dir/scribe/aggregate_test.cpp.o"
+  "CMakeFiles/scribe_test.dir/scribe/aggregate_test.cpp.o.d"
+  "CMakeFiles/scribe_test.dir/scribe/anycast_test.cpp.o"
+  "CMakeFiles/scribe_test.dir/scribe/anycast_test.cpp.o.d"
+  "CMakeFiles/scribe_test.dir/scribe/scope_test.cpp.o"
+  "CMakeFiles/scribe_test.dir/scribe/scope_test.cpp.o.d"
+  "CMakeFiles/scribe_test.dir/scribe/tree_test.cpp.o"
+  "CMakeFiles/scribe_test.dir/scribe/tree_test.cpp.o.d"
+  "scribe_test"
+  "scribe_test.pdb"
+  "scribe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scribe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

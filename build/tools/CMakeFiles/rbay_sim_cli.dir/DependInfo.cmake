@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/rbay_sim.cpp" "tools/CMakeFiles/rbay_sim_cli.dir/rbay_sim.cpp.o" "gcc" "tools/CMakeFiles/rbay_sim_cli.dir/rbay_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/rbay_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rbay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scribe/CMakeFiles/rbay_scribe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/rbay_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rbay_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rbay_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rbay_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/aal/CMakeFiles/rbay_aal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rbay_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbay_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rbay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

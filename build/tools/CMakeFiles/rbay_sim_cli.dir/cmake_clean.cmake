@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_sim_cli.dir/rbay_sim.cpp.o"
+  "CMakeFiles/rbay_sim_cli.dir/rbay_sim.cpp.o.d"
+  "rbay_sim"
+  "rbay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

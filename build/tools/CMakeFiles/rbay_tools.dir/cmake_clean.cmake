@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbay_tools.dir/scenario.cpp.o"
+  "CMakeFiles/rbay_tools.dir/scenario.cpp.o.d"
+  "librbay_tools.a"
+  "librbay_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbay_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
