@@ -8,10 +8,13 @@
 // Table II RTT matrix), so the shapes — who wins, growth rates, plateaus —
 // are comparable to the paper even though the absolute testbed differs.
 // All benches accept `--seed N` and default to the documented workload
-// scale; `--small` shrinks the workload for smoke runs.
+// scale; `--small` shrinks the workload for smoke runs.  Benches built on
+// EvalFederation also accept `--metrics <path>` to dump the observability
+// registry's JSON snapshot ('-' = stdout) after the run.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/cluster.hpp"
@@ -22,6 +25,7 @@ namespace rbay::bench {
 struct Args {
   std::uint64_t seed = 42;
   bool small = false;
+  std::string metrics_path;  // empty = observability disabled
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -30,11 +34,27 @@ struct Args {
         args.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(argv[i], "--small") == 0) {
         args.small = true;
+      } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+        args.metrics_path = argv[++i];
       }
     }
     return args;
   }
 };
+
+/// Writes the cluster's metrics snapshot to `path` ('-' = stdout).
+/// No-op when the cluster was built without metrics.
+inline void dump_metrics(core::RBayCluster& cluster, const std::string& path) {
+  if (path.empty() || cluster.metrics() == nullptr) return;
+  const std::string json = cluster.metrics()->to_json();
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::ofstream out{path};
+  out << json;
+  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
 
 inline void print_header(const char* id, const char* title) {
   std::printf("==============================================================\n");
@@ -74,8 +94,9 @@ inline const std::string& gaussian_instance_type(util::Rng& rng) {
 struct EvalFederation {
   core::RBayCluster cluster;
 
-  EvalFederation(std::size_t per_site, std::uint64_t seed, bool with_password = true)
-      : cluster(make_config(seed)) {
+  EvalFederation(std::size_t per_site, std::uint64_t seed, bool with_password = true,
+                 bool metrics = false)
+      : cluster(make_config(seed, metrics)) {
     for (const auto& type : instance_types()) {
       cluster.add_tree_spec(core::TreeSpec::from_predicate(
           {"instance", query::CompareOp::Eq, store::AttributeValue{type}}));
@@ -107,12 +128,13 @@ end)";
     cluster.run_for(util::SimTime::seconds(3));  // aggregation warm-up
   }
 
-  static core::ClusterConfig make_config(std::uint64_t seed) {
+  static core::ClusterConfig make_config(std::uint64_t seed, bool metrics = false) {
     core::ClusterConfig config;
     config.topology = net::Topology::ec2_eight_sites();
     config.seed = seed;
     config.node.scribe.aggregation_interval = util::SimTime::millis(250);
     config.node.query.max_attempts = 4;
+    config.metrics = metrics;
     return config;
   }
 

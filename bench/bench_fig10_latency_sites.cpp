@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   bench::print_header("Fig. 10", "avg query latency vs #requesting sites, per origin locale");
 
-  EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed};
+  EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
+                     /*with_password=*/true, /*metrics=*/!args.metrics_path.empty()};
   auto& cluster = fed.cluster;
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 10 : 50;
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
       "\n(values in ms, virtual time)\n"
       "expected shape: fast local column; growth over 2..5 sites; plateau at 5-8 sites\n"
       "once the most distant region's RTT is already part of the parallel fan-out.\n");
+  bench::dump_metrics(cluster, args.metrics_path);
   return 0;
 }

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   bench::print_header("Fig. 9", "CDF of composite query latencies (1-site .. 8-site)");
 
-  EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed};
+  EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
+                     /*with_password=*/true, /*metrics=*/!args.metrics_path.empty()};
   auto& cluster = fed.cluster;
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 20 : 100;
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: ~flat single-site CDFs; multi-site latency bounded by the RTT\n"
       "to the farthest requested site; Singapore origins shifted right vs Virginia/SP.\n");
+  bench::dump_metrics(cluster, args.metrics_path);
   return 0;
 }

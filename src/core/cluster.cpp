@@ -7,7 +7,15 @@ RBayCluster::RBayCluster(ClusterConfig config)
       engine_(config_.seed),
       overlay_(engine_, config_.topology, config_.pastry),
       tree_specs_(std::make_shared<std::vector<TreeSpec>>()),
-      taxonomy_(std::make_shared<Taxonomy>()) {}
+      taxonomy_(std::make_shared<Taxonomy>()) {
+  // Attach before any node exists so every component sees the registry
+  // from its first event (the overlay constructor only builds the network,
+  // which refreshes its metric handles lazily).
+  if (config_.metrics) {
+    metrics_ = std::make_unique<obs::Registry>();
+    engine_.set_metrics(metrics_.get());
+  }
+}
 
 RBayNode& RBayCluster::add_node(net::SiteId site, const std::string& admin) {
   RBAY_REQUIRE(!finalized_, "add_node after finalize");

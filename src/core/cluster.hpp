@@ -14,6 +14,7 @@
 
 #include "core/query_interface.hpp"
 #include "core/rbay_node.hpp"
+#include "obs/metrics.hpp"
 
 namespace rbay::core {
 
@@ -22,6 +23,10 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
   pastry::PastryConfig pastry;
   RBayNodeConfig node;
+  /// Attach an obs::Registry to the engine: every layer then records
+  /// counters/latencies and the query tracer collects spans.  Off by
+  /// default — detached instrumentation is a pointer check per event.
+  bool metrics = false;
 };
 
 class RBayCluster {
@@ -56,6 +61,8 @@ class RBayCluster {
   [[nodiscard]] pastry::Overlay& overlay() { return overlay_; }
   [[nodiscard]] net::Network& network() { return overlay_.network(); }
   [[nodiscard]] const Directory& directory() const { return *directory_; }
+  /// The observability registry, or nullptr when config.metrics is false.
+  [[nodiscard]] obs::Registry* metrics() { return metrics_.get(); }
   [[nodiscard]] const std::vector<TreeSpec>& tree_specs() const { return *tree_specs_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
@@ -76,6 +83,7 @@ class RBayCluster {
  private:
   ClusterConfig config_;
   sim::Engine engine_;
+  std::unique_ptr<obs::Registry> metrics_;
   pastry::Overlay overlay_;
   std::vector<std::unique_ptr<RBayNode>> nodes_;
   std::shared_ptr<std::vector<TreeSpec>> tree_specs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/rbay_node.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace rbay::core {
@@ -31,6 +32,10 @@ void QueryInterface::execute(query::Query query, Callback callback) {
   pending.callback = std::move(callback);
   pending.outcome.query_id = owner_.self().id.to_hex().substr(0, 12) + "#" + std::to_string(id);
   pending.outcome.started = owner_.engine().now();
+  if (auto* reg = owner_.engine().metrics()) {
+    reg->fed().counter("query.started").inc();
+    reg->tracer().begin_query(pending.outcome.query_id, pending.outcome.started);
+  }
   pending_.emplace(id, std::move(pending));
   attempt(id);
 }
@@ -82,6 +87,7 @@ void QueryInterface::attempt(std::uint64_t id) {
 
   SiteJob job;
   job.query_id = p.outcome.query_id;
+  job.attempt = p.outcome.attempts;
   job.count_only = p.query.count_only;
   job.k = p.query.group_by ? p.query.k * std::max(1, config_.groupby_oversample) : p.query.k;
   job.get_payload = p.query.payload;
@@ -98,6 +104,12 @@ void QueryInterface::attempt(std::uint64_t id) {
     if (tit == pending_.end()) return;
     auto& tp = tit->second;
     if (tp.outcome.attempts != attempt_no || tp.waiting_sites <= 0) return;
+    if (auto* reg = owner_.engine().metrics()) {
+      reg->fed().counter("query.site_timeouts").inc(
+          static_cast<std::uint64_t>(tp.waiting_sites));
+      reg->tracer().event(tp.outcome.query_id, "site_timeout", attempt_no,
+                          owner_.engine().now());
+    }
     tp.outcome.sites_timed_out += tp.waiting_sites;
     tp.waiting_sites = 0;
     finish_attempt(id);
@@ -142,6 +154,24 @@ void QueryInterface::site_done(std::uint64_t id, std::vector<Candidate> candidat
   if (--p.waiting_sites == 0) finish_attempt(id);
 }
 
+void QueryInterface::complete(std::map<std::uint64_t, Pending>::iterator it) {
+  auto& p = it->second;
+  p.outcome.finished = owner_.engine().now();
+  if (auto* reg = owner_.engine().metrics()) {
+    auto& fed = reg->fed();
+    fed.counter(p.outcome.satisfied ? "query.satisfied" : "query.failed").inc();
+    fed.counter("query.attempts").inc(static_cast<std::uint64_t>(p.outcome.attempts));
+    fed.latency("query.latency").add(p.outcome.latency());
+    reg->site(owner_.site()).latency("query.latency").add(p.outcome.latency());
+    reg->tracer().finish_query(p.outcome.query_id, p.outcome.finished, p.outcome.satisfied,
+                               p.outcome.attempts);
+  }
+  auto cb = std::move(p.callback);
+  auto outcome = std::move(p.outcome);
+  pending_.erase(it);
+  cb(outcome);
+}
+
 void QueryInterface::finish_attempt(std::uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
@@ -150,11 +180,7 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
   p.timeout.cancel();
   if (!p.outcome.error.empty()) {
     p.outcome.satisfied = false;
-    p.outcome.finished = owner_.engine().now();
-    auto cb = std::move(p.callback);
-    auto outcome = std::move(p.outcome);
-    pending_.erase(it);
-    cb(outcome);
+    complete(it);
     return;
   }
 
@@ -162,11 +188,7 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
     // Aggregate answer: no reservations, no retries.
     p.outcome.count = p.count_total;
     p.outcome.satisfied = true;
-    p.outcome.finished = owner_.engine().now();
-    auto cb = std::move(p.callback);
-    auto outcome = std::move(p.outcome);
-    pending_.erase(it);
-    cb(outcome);
+    complete(it);
     return;
   }
 
@@ -188,12 +210,15 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
       release->query_id = p.outcome.query_id;
       owner_.pastry().send_direct(p.gathered[i].node, std::move(release), kAppName);
     }
+    if (auto* reg = owner_.engine().metrics()) {
+      // Step 5: one span covering the commit/release dispatch; hops = every
+      // reservation dispositioned (k kept + surplus released).
+      const auto now = owner_.engine().now();
+      reg->tracer().add_span(p.outcome.query_id, obs::Phase::kCommit, p.outcome.attempts,
+                             now, now, static_cast<int>(p.gathered.size()));
+    }
     p.outcome.satisfied = true;
-    p.outcome.finished = owner_.engine().now();
-    auto cb = std::move(p.callback);
-    auto outcome = std::move(p.outcome);
-    pending_.erase(it);
-    cb(outcome);
+    complete(it);
     return;
   }
 
@@ -208,16 +233,17 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
 
   if (p.outcome.attempts >= config_.max_attempts) {
     p.outcome.satisfied = false;
-    p.outcome.finished = owner_.engine().now();
-    auto cb = std::move(p.callback);
-    auto outcome = std::move(p.outcome);
-    pending_.erase(it);
-    cb(outcome);
+    complete(it);
     return;
   }
 
   const query::Backoff backoff{config_.backoff_slot};
   const auto delay = backoff.delay_after(p.outcome.attempts, owner_.engine().rng());
+  if (auto* reg = owner_.engine().metrics()) {
+    reg->fed().counter("query.backoff_retries").inc();
+    reg->tracer().event(p.outcome.query_id, "backoff_retry", p.outcome.attempts,
+                        owner_.engine().now());
+  }
   owner_.engine().schedule(delay, [this, id]() { attempt(id); });
 }
 
@@ -276,6 +302,7 @@ void QueryInterface::run_site_query(
     std::vector<scribe::TopicId> topics;
     std::vector<double> sizes;
     std::size_t remaining = 0;
+    util::SimTime probe_start = util::SimTime::zero();
     std::function<void(std::vector<Candidate>, int, double)> done;
   };
   auto state = std::make_shared<ProbeState>();
@@ -284,9 +311,19 @@ void QueryInterface::run_site_query(
   state->done = std::move(done);
   state->sizes.assign(trees.size(), 0.0);
   state->remaining = trees.size();
+  state->probe_start = owner_.engine().now();
   for (const auto& tree : trees) state->topics.push_back(site_topic(tree, site_name));
 
   auto anycast_smallest = [this, state]() {
+    const auto probe_end = owner_.engine().now();
+    if (auto* reg = owner_.engine().metrics()) {
+      // Steps 1-2 finished: one probe span per site attempt, hops = trees
+      // probed (each probe is one routed request + one direct reply).
+      reg->tracer().add_span(state->job.query_id, obs::Phase::kProbe, state->job.attempt,
+                             state->probe_start, probe_end,
+                             static_cast<int>(state->topics.size()));
+      reg->fed().latency("query.phase_probe").add(probe_end - state->probe_start);
+    }
     // Step 3: "choose the tree with smaller size to send another anycast".
     std::size_t best = SIZE_MAX;
     for (std::size_t i = 0; i < state->sizes.size(); ++i) {
@@ -311,10 +348,30 @@ void QueryInterface::run_site_query(
     payload->predicates = state->job.predicates;
     payload->group_by = state->job.group_by;
     payload->hold = state->job.hold;
+    const auto anycast_start = probe_end;
+    if (auto* reg = owner_.engine().metrics()) {
+      reg->tracer().begin_span(state->job.query_id, obs::Phase::kAnycast, state->job.attempt,
+                               anycast_start);
+    }
     owner_.scribe().anycast(
         state->topics[best], std::move(payload),
-        [state](bool /*satisfied*/, int visited, scribe::AnycastPayload& result) {
+        [this, state, anycast_start](bool /*satisfied*/, int visited,
+                                     scribe::AnycastPayload& result) {
           auto& filled = dynamic_cast<CandidatePayload&>(result);
+          const auto end = owner_.engine().now();
+          if (auto* reg = owner_.engine().metrics()) {
+            auto& tracer = reg->tracer();
+            const auto& id = state->job.query_id;
+            // Step 3 span closes with the dispatch leg; steps 4a/4b share
+            // the walk's wall-clock but count different work: members
+            // visited vs slots actually filled.
+            tracer.end_span(id, obs::Phase::kAnycast, end, 1);
+            tracer.add_span(id, obs::Phase::kMemberSearch, state->job.attempt, anycast_start,
+                            end, visited);
+            tracer.add_span(id, obs::Phase::kSlotFill, state->job.attempt, anycast_start,
+                            end, static_cast<int>(filled.found.size()));
+            reg->fed().latency("query.phase_anycast").add(end - anycast_start);
+          }
           state->done(std::move(filled.found), visited, 0.0);
         },
         pastry::Scope::Site);
@@ -372,6 +429,7 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
     // Gateway role: run the query inside our site and reply to the origin.
     SiteJob job;
     job.query_id = req->query_id;
+    job.attempt = req->attempt;
     job.count_only = req->count_only;
     job.k = req->k;
     job.get_payload = req->get_payload;

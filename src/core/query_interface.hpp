@@ -78,6 +78,7 @@ class QueryInterface final : public pastry::PastryApp {
  private:
   struct SiteJob {
     std::string query_id;
+    int attempt = 1;
     bool count_only = false;
     int k = 1;
     std::string get_payload;
@@ -100,6 +101,10 @@ class QueryInterface final : public pastry::PastryApp {
   void site_done(std::uint64_t id, std::vector<Candidate> candidates, int visited,
                  double count);
   void finish_attempt(std::uint64_t id);
+
+  /// Seals the outcome, records the query-level metrics and the trace
+  /// terminus, and invokes the customer callback.
+  void complete(std::map<std::uint64_t, Pending>::iterator it);
 
   /// Runs the 5-step protocol inside this node's own site; used both for
   /// the local part of a query and when acting as a gateway for a remote

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/query_interface.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace rbay::core {
@@ -213,6 +214,8 @@ bool RBayNode::authorize_get(const std::vector<query::Predicate>& predicates,
 bool RBayNode::on_anycast(const scribe::TopicId& /*topic*/, scribe::AnycastPayload& payload) {
   auto* request = dynamic_cast<CandidatePayload*>(&payload);
   if (request == nullptr) return false;
+  auto* reg = engine().metrics();
+  if (reg != nullptr) reg->fed().counter("query.member_checks").inc();
   const auto want = static_cast<std::size_t>(request->k);
   if (request->found.size() >= want) return true;
 
@@ -227,8 +230,13 @@ bool RBayNode::on_anycast(const scribe::TopicId& /*topic*/, scribe::AnycastPaylo
   // Reserve the node for this query; an existing reservation by another
   // query makes this node unavailable (the conflict the backoff handles).
   if (!lock_.try_reserve(request->query_id, engine().now(), request->hold)) {
+    if (reg != nullptr) {
+      reg->fed().counter("query.conflicts").inc();
+      reg->tracer().event(request->query_id, "conflict", 0, engine().now());
+    }
     return false;
   }
+  if (reg != nullptr) reg->fed().counter("query.slots_filled").inc();
 
   double sort_value = 0.0;
   if (request->group_by) {

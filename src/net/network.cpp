@@ -31,16 +31,36 @@ void Network::set_partitioned(SiteId a, SiteId b, bool on) {
   }
 }
 
+void Network::refresh_metrics() {
+  auto* registry = engine_.metrics();
+  metrics_ = MetricsCache{};
+  metrics_.registry = registry;
+  if (registry == nullptr) return;
+  auto& fed = registry->fed();
+  metrics_.sent = &fed.counter("net.messages_sent");
+  metrics_.delivered = &fed.counter("net.messages_delivered");
+  metrics_.dropped = &fed.counter("net.messages_dropped");
+  metrics_.bytes = &fed.counter("net.bytes_sent");
+  metrics_.delay = &fed.latency("net.delivery_delay");
+  for (SiteId s = 0; s < topology_.site_count(); ++s) {
+    metrics_.site_sent.push_back(&registry->site(s).counter("net.messages_sent"));
+    metrics_.site_bytes.push_back(&registry->site(s).counter("net.bytes_sent"));
+  }
+}
+
 void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payload) {
   RBAY_REQUIRE(from < endpoints_.size(), "Network::send: unknown sender");
   RBAY_REQUIRE(to < endpoints_.size(), "Network::send: unknown receiver");
   RBAY_REQUIRE(payload != nullptr, "Network::send: payload required");
+
+  if (metrics_.registry != engine_.metrics()) refresh_metrics();
 
   auto& src = endpoints_[from];
   if (src.down) {
     // A dead node does not speak: its timers may still fire in the
     // simulation, but nothing leaves the machine.
     ++stats_.messages_dropped;
+    if (metrics_.dropped != nullptr) metrics_.dropped->inc();
     return;
   }
   const std::size_t size = payload->wire_size();
@@ -51,8 +71,15 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
 
   const SiteId sa = src.site;
   const SiteId sb = endpoints_[to].site;
+  if (metrics_.sent != nullptr) {
+    metrics_.sent->inc();
+    metrics_.bytes->inc(size);
+    metrics_.site_sent[sa]->inc();
+    metrics_.site_bytes[sa]->inc(size);
+  }
   if (partitioned(sa, sb) || (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
     ++stats_.messages_dropped;
+    if (metrics_.dropped != nullptr) metrics_.dropped->inc();
     return;
   }
 
@@ -67,15 +94,20 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   // std::function requires copyable callables, so the unique_ptr travels
   // inside a shared box and is moved out exactly once at delivery.
   auto box = std::make_shared<std::unique_ptr<Payload>>(std::move(payload));
-  engine_.schedule(delay, [this, from, to, box, size]() {
+  engine_.schedule(delay, [this, from, to, box, size, delay]() {
     auto& dst = endpoints_[to];
     if (dst.down) {
       ++stats_.messages_dropped;
+      if (metrics_.dropped != nullptr) metrics_.dropped->inc();
       return;
     }
     ++stats_.messages_delivered;
     ++dst.stats.received;
     dst.stats.bytes_received += size;
+    if (metrics_.delivered != nullptr) {
+      metrics_.delivered->inc();
+      metrics_.delay->add(delay);
+    }
     dst.handler(Envelope{from, to, std::move(*box)});
   });
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/contract.hpp"
 
@@ -110,6 +111,22 @@ class Network {
 
   [[nodiscard]] bool partitioned(SiteId a, SiteId b) const;
 
+  /// Cached handles into the engine's registry: send() is the hottest path
+  /// in the simulator, so per-message map lookups are unacceptable.  The
+  /// cache is invalidated by pointer comparison whenever the attached
+  /// registry changes (including attach-after-construction).
+  struct MetricsCache {
+    obs::Registry* registry = nullptr;
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::LatencyHisto* delay = nullptr;
+    std::vector<obs::Counter*> site_sent;
+    std::vector<obs::Counter*> site_bytes;
+  };
+  void refresh_metrics();
+
   sim::Engine& engine_;
   Topology topology_;
   std::vector<Endpoint> endpoints_;
@@ -117,6 +134,7 @@ class Network {
   double drop_probability_ = 0.0;
   double jitter_ = 0.1;
   NetworkStats stats_;
+  MetricsCache metrics_;
 };
 
 }  // namespace rbay::net

@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal JSON emission helpers for the observability snapshot.  Only what
+// to_json() needs: integers, escaped strings, and comma bookkeeping.  No
+// floating-point output — determinism of the snapshot depends on it.
+
+#include <cstdint>
+#include <string>
+
+namespace rbay::obs::json {
+
+inline void append_int(std::string& out, std::int64_t v) { out += std::to_string(v); }
+inline void append_uint(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+inline void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void append_key(std::string& out, const std::string& key) {
+  append_string(out, key);
+  out += ':';
+}
+
+/// Writes `,` before every element but the first.
+class Comma {
+ public:
+  void next(std::string& out) {
+    if (!first_) out += ',';
+    first_ = false;
+  }
+
+ private:
+  bool first_ = true;
+};
+
+}  // namespace rbay::obs::json

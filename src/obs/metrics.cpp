@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/contract.hpp"
+
+namespace rbay::obs {
+
+// --- LatencyHisto -----------------------------------------------------------
+
+void LatencyHisto::add_us(std::int64_t us) {
+  if (us < 0) us = 0;  // clock deltas are non-negative; clamp defensively
+  if (count_ == 0) {
+    min_us_ = max_us_ = us;
+  } else {
+    if (us < min_us_) min_us_ = us;
+    if (us > max_us_) max_us_ = us;
+  }
+  ++count_;
+  sum_us_ += us;
+  ++buckets_[bucket_index(static_cast<std::uint64_t>(us))];
+}
+
+int LatencyHisto::bucket_index(std::uint64_t v) {
+  constexpr std::uint64_t kSub = 1ULL << kSubBits;
+  if (v < kSub) return static_cast<int>(v);  // exact buckets for tiny values
+  const int top = 63 - std::countl_zero(v);  // position of the highest set bit
+  const int shift = top - kSubBits;
+  const auto sub = static_cast<int>((v >> shift) & (kSub - 1));
+  return ((shift + 1) << kSubBits) + sub;
+}
+
+std::int64_t LatencyHisto::bucket_mid(int index) {
+  constexpr int kSub = 1 << kSubBits;
+  if (index < kSub) return index;
+  const int shift = (index >> kSubBits) - 1;
+  const int sub = index & (kSub - 1);
+  const auto lo = static_cast<std::int64_t>(kSub + sub) << shift;
+  const auto width = std::int64_t{1} << shift;
+  return lo + width / 2;
+}
+
+std::int64_t LatencyHisto::percentile_us(double p) const {
+  if (count_ == 0) return 0;
+  RBAY_REQUIRE(p >= 0.0 && p <= 100.0, "LatencyHisto::percentile_us: p must be in [0, 100]");
+  const auto rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                                                      static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      const auto mid = bucket_mid(index);
+      return std::min(max_us_, std::max(min_us_, mid));
+    }
+  }
+  return max_us_;
+}
+
+void LatencyHisto::write_json(std::string& out) const {
+  out += '{';
+  json::append_key(out, "count");
+  json::append_uint(out, count_);
+  out += ',';
+  json::append_key(out, "sum_us");
+  json::append_int(out, sum_us_);
+  out += ',';
+  json::append_key(out, "min_us");
+  json::append_int(out, min_us());
+  out += ',';
+  json::append_key(out, "max_us");
+  json::append_int(out, max_us());
+  out += ',';
+  json::append_key(out, "p50_us");
+  json::append_int(out, percentile_us(50));
+  out += ',';
+  json::append_key(out, "p90_us");
+  json::append_int(out, percentile_us(90));
+  out += ',';
+  json::append_key(out, "p99_us");
+  json::append_int(out, percentile_us(99));
+  out += '}';
+}
+
+// --- Scope ------------------------------------------------------------------
+
+void Scope::write_json(std::string& out) const {
+  out += '{';
+  json::Comma section;
+  if (!counters_.empty()) {
+    section.next(out);
+    json::append_key(out, "counters");
+    out += '{';
+    json::Comma comma;
+    for (const auto& [name, c] : counters_) {
+      comma.next(out);
+      json::append_key(out, name);
+      json::append_uint(out, c.value());
+    }
+    out += '}';
+  }
+  if (!gauges_.empty()) {
+    section.next(out);
+    json::append_key(out, "gauges");
+    out += '{';
+    json::Comma comma;
+    for (const auto& [name, g] : gauges_) {
+      comma.next(out);
+      json::append_key(out, name);
+      out += '{';
+      json::append_key(out, "value");
+      json::append_int(out, g.value());
+      out += ',';
+      json::append_key(out, "max");
+      json::append_int(out, g.max());
+      out += '}';
+    }
+    out += '}';
+  }
+  if (!latencies_.empty()) {
+    section.next(out);
+    json::append_key(out, "latencies");
+    out += '{';
+    json::Comma comma;
+    for (const auto& [name, h] : latencies_) {
+      comma.next(out);
+      json::append_key(out, name);
+      h.write_json(out);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+// --- Registry ---------------------------------------------------------------
+
+std::string Registry::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += '{';
+  json::append_key(out, "federation");
+  fed_.write_json(out);
+  out += ',';
+  json::append_key(out, "sites");
+  out += '{';
+  {
+    json::Comma comma;
+    for (const auto& [site_id, scope] : sites_) {
+      comma.next(out);
+      json::append_key(out, std::to_string(site_id));
+      scope.write_json(out);
+    }
+  }
+  out += '}';
+  out += ',';
+  json::append_key(out, "nodes");
+  out += '{';
+  {
+    json::Comma comma;
+    for (const auto& [key, scope] : nodes_) {
+      comma.next(out);
+      json::append_key(out, key);
+      scope.write_json(out);
+    }
+  }
+  out += '}';
+  out += ',';
+  json::append_key(out, "traces");
+  tracer_.write_json(out);
+  out += '}';
+  out += '\n';
+  return out;
+}
+
+}  // namespace rbay::obs

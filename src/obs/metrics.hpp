@@ -1,0 +1,130 @@
+#pragma once
+
+// Observability registry: named counters, gauges, and HDR-style latency
+// histograms, organized into scopes — one federation-wide, one per site,
+// one per node — plus the query Tracer.
+//
+// Design rules (they are what make the deterministic-replay test possible):
+//   * every timestamp and latency is sim-time from the engine's virtual
+//     clock — wall time never enters;
+//   * every container is a std::map, so iteration (and therefore JSON
+//     output) is ordered and two same-seed runs serialize byte-identically;
+//   * to_json() emits integers only (counts, microseconds) — no
+//     floating-point formatting;
+//   * "disabled" means no Registry is attached to the engine: instrumented
+//     code guards on a null pointer and pays nothing else.  std::map node
+//     stability lets hot paths cache Counter*/Gauge* handles across calls.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, live reservations).  Tracks the high
+/// water mark alongside the last value.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t delta) { set(value_ + delta); }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// HDR-style log-linear histogram of non-negative microsecond values: each
+/// power-of-two range is split into 2^kSubBits linear sub-buckets, giving
+/// ~6% relative resolution over the full int64 range with a small sparse
+/// footprint.  Percentiles are reported as the midpoint of the selected
+/// bucket, clamped to the observed [min, max].
+class LatencyHisto {
+ public:
+  void add(util::SimTime latency) { add_us(latency.as_micros()); }
+  void add_us(std::int64_t us);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum_us() const { return sum_us_; }
+  [[nodiscard]] std::int64_t min_us() const { return count_ == 0 ? 0 : min_us_; }
+  [[nodiscard]] std::int64_t max_us() const { return count_ == 0 ? 0 : max_us_; }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] std::int64_t percentile_us(double p) const;
+
+  void write_json(std::string& out) const;
+
+ private:
+  static constexpr int kSubBits = 4;
+
+  static int bucket_index(std::uint64_t v);
+  static std::int64_t bucket_mid(int index);
+
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_us_ = 0;
+  std::int64_t min_us_ = 0;
+  std::int64_t max_us_ = 0;
+};
+
+/// A namespace of metrics.  Lookup creates on first use; references stay
+/// valid for the registry's lifetime (std::map node stability).
+class Scope {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHisto& latency(const std::string& name) { return latencies_[name]; }
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && latencies_.empty();
+  }
+
+  void write_json(std::string& out) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHisto> latencies_;
+};
+
+/// The root of the observability tree: federation scope, per-site scopes
+/// (keyed by site id), per-node scopes (keyed by node id hex), and the
+/// query tracer.  Attach to a sim::Engine with engine.set_metrics(&reg);
+/// detached (the default) every instrumented path is a null-check no-op.
+class Registry {
+ public:
+  Scope& fed() { return fed_; }
+  Scope& site(std::uint32_t site_id) { return sites_[site_id]; }
+  Scope& node(const std::string& node_key) { return nodes_[node_key]; }
+  Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Full snapshot: {"federation": {...}, "sites": {...}, "nodes": {...},
+  /// "traces": [...]}.  Integers only; byte-stable across same-seed runs.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  Scope fed_;
+  std::map<std::uint32_t, Scope> sites_;
+  std::map<std::string, Scope> nodes_;
+  Tracer tracer_;
+};
+
+}  // namespace rbay::obs

@@ -1,0 +1,180 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace rbay::obs {
+
+namespace {
+// Sentinel marking a span whose end_span() has not arrived yet.
+constexpr auto kOpenEnd = util::SimTime::micros(-1);
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kProbe: return "probe";
+    case Phase::kAnycast: return "anycast";
+    case Phase::kMemberSearch: return "member_search";
+    case Phase::kSlotFill: return "slot_fill";
+    case Phase::kCommit: return "commit";
+  }
+  return "unknown";
+}
+
+// --- QueryTrace -------------------------------------------------------------
+
+bool QueryTrace::has_phase(Phase phase) const { return first_span(phase) != nullptr; }
+
+const Span* QueryTrace::first_span(Phase phase) const {
+  const auto it = std::find_if(spans.begin(), spans.end(),
+                               [phase](const Span& s) { return s.phase == phase; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+bool QueryTrace::has_event(const std::string& what) const {
+  return std::any_of(events.begin(), events.end(),
+                     [&what](const TraceEvent& e) { return e.what == what; });
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+QueryTrace* Tracer::find_mut(const std::string& query_id) {
+  const auto it = traces_.find(query_id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+const QueryTrace* Tracer::find(const std::string& query_id) const {
+  const auto it = traces_.find(query_id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+void Tracer::begin_query(const std::string& query_id, util::SimTime now) {
+  if (traces_.size() >= kMaxTraces && traces_.find(query_id) == traces_.end()) {
+    ++dropped_;
+    return;
+  }
+  auto& trace = traces_[query_id];
+  trace.query_id = query_id;
+  trace.started = now;
+}
+
+void Tracer::begin_span(const std::string& query_id, Phase phase, int attempt,
+                        util::SimTime now) {
+  auto* trace = find_mut(query_id);
+  if (trace == nullptr) return;
+  trace->spans.push_back(Span{phase, attempt, now, kOpenEnd, 0});
+}
+
+void Tracer::end_span(const std::string& query_id, Phase phase, util::SimTime now, int hops) {
+  auto* trace = find_mut(query_id);
+  if (trace == nullptr) return;
+  for (auto it = trace->spans.rbegin(); it != trace->spans.rend(); ++it) {
+    if (it->phase == phase && it->end == kOpenEnd) {
+      it->end = now;
+      it->hops = hops;
+      return;
+    }
+  }
+}
+
+void Tracer::add_span(const std::string& query_id, Phase phase, int attempt,
+                      util::SimTime start, util::SimTime end, int hops) {
+  auto* trace = find_mut(query_id);
+  if (trace == nullptr) return;
+  trace->spans.push_back(Span{phase, attempt, start, end, hops});
+}
+
+void Tracer::event(const std::string& query_id, std::string what, int attempt,
+                   util::SimTime now) {
+  auto* trace = find_mut(query_id);
+  if (trace == nullptr) return;
+  trace->events.push_back(TraceEvent{now, attempt, std::move(what)});
+}
+
+void Tracer::finish_query(const std::string& query_id, util::SimTime now, bool satisfied,
+                          int attempts) {
+  auto* trace = find_mut(query_id);
+  if (trace == nullptr) return;
+  trace->finished = now;
+  trace->done = true;
+  trace->satisfied = satisfied;
+  trace->attempts = attempts;
+  // Close any span the query abandoned (e.g. a site that timed out while
+  // its probes were still in flight).
+  for (auto& span : trace->spans) {
+    if (span.end == kOpenEnd) span.end = now;
+  }
+}
+
+void Tracer::write_json(std::string& out) const {
+  out += '[';
+  json::Comma trace_comma;
+  for (const auto& [id, trace] : traces_) {
+    trace_comma.next(out);
+    out += '{';
+    json::append_key(out, "query_id");
+    json::append_string(out, trace.query_id);
+    out += ',';
+    json::append_key(out, "started_us");
+    json::append_int(out, trace.started.as_micros());
+    out += ',';
+    json::append_key(out, "finished_us");
+    json::append_int(out, (trace.done ? trace.finished : trace.started).as_micros());
+    out += ',';
+    json::append_key(out, "done");
+    out += trace.done ? "true" : "false";
+    out += ',';
+    json::append_key(out, "satisfied");
+    out += trace.satisfied ? "true" : "false";
+    out += ',';
+    json::append_key(out, "attempts");
+    json::append_int(out, trace.attempts);
+    out += ',';
+    json::append_key(out, "spans");
+    out += '[';
+    json::Comma span_comma;
+    for (const auto& span : trace.spans) {
+      span_comma.next(out);
+      out += '{';
+      json::append_key(out, "phase");
+      json::append_string(out, phase_name(span.phase));
+      out += ',';
+      json::append_key(out, "attempt");
+      json::append_int(out, span.attempt);
+      out += ',';
+      json::append_key(out, "start_us");
+      json::append_int(out, span.start.as_micros());
+      out += ',';
+      json::append_key(out, "end_us");
+      json::append_int(out, (span.end == kOpenEnd ? span.start : span.end).as_micros());
+      out += ',';
+      json::append_key(out, "hops");
+      json::append_int(out, span.hops);
+      out += '}';
+    }
+    out += ']';
+    out += ',';
+    json::append_key(out, "events");
+    out += '[';
+    json::Comma event_comma;
+    for (const auto& event : trace.events) {
+      event_comma.next(out);
+      out += '{';
+      json::append_key(out, "at_us");
+      json::append_int(out, event.at.as_micros());
+      out += ',';
+      json::append_key(out, "attempt");
+      json::append_int(out, event.attempt);
+      out += ',';
+      json::append_key(out, "what");
+      json::append_string(out, event.what);
+      out += '}';
+    }
+    out += ']';
+    out += '}';
+  }
+  out += ']';
+}
+
+}  // namespace rbay::obs

@@ -27,6 +27,21 @@ PastryNode::PastryNode(net::Network& network, net::SiteId site, std::string ip,
   site_table_ = RoutingTable{self_};
 }
 
+void PastryNode::refresh_metrics() {
+  auto* registry = network_.engine().metrics();
+  metrics_ = MetricsCache{};
+  metrics_.registry = registry;
+  if (registry == nullptr) return;
+  auto& fed = registry->fed();
+  metrics_.routes = &fed.counter("pastry.routes");
+  metrics_.forwards = &fed.counter("pastry.forwards");
+  metrics_.delivers = &fed.counter("pastry.delivers");
+  metrics_.joins = &fed.counter("pastry.joins");
+  metrics_.repairs = &fed.counter("pastry.leaf_repairs");
+  metrics_.delivery_hops = &fed.latency("pastry.delivery_hops");
+  metrics_.node_forwards = &registry->node(self_.id.to_hex()).counter("pastry.forwards");
+}
+
 void PastryNode::register_app(const std::string& app_name, PastryApp* app) {
   RBAY_REQUIRE(app != nullptr, "register_app: app required");
   apps_[app_name] = app;
@@ -54,6 +69,9 @@ void PastryNode::learn(const NodeRef& other) {
 }
 
 void PastryNode::forget(const NodeId& id) {
+  if (leaves_.contains(id) || site_leaves_.contains(id)) {
+    if (auto* c = metric(&MetricsCache::repairs)) c->inc();
+  }
   leaves_.remove(id);
   table_.remove(id);
   site_leaves_.remove(id);
@@ -100,6 +118,7 @@ std::optional<NodeRef> PastryNode::next_hop(const NodeId& key, Scope scope) cons
 void PastryNode::route(const NodeId& key, std::unique_ptr<AppMessage> msg,
                        const std::string& app_name, Scope scope) {
   RBAY_REQUIRE(msg != nullptr, "route: message required");
+  if (auto* c = metric(&MetricsCache::routes)) c->inc();
   const auto hop = next_hop(key, scope);
   if (!hop) {
     deliver_local(key, app_name, std::move(msg), 0);
@@ -135,6 +154,10 @@ void PastryNode::join(const NodeRef& bootstrap) {
 
 void PastryNode::deliver_local(const NodeId& key, const std::string& app_name,
                                std::unique_ptr<AppMessage> msg, int hops) {
+  if (metric(&MetricsCache::delivers) != nullptr) {
+    metrics_.delivers->inc();
+    metrics_.delivery_hops->add_us(hops);
+  }
   if (auto* app = find_app(app_name)) {
     app->deliver(key, *msg, hops);
   } else {
@@ -149,6 +172,10 @@ void PastryNode::handle_route(net::EndpointId /*from*/, RouteEnvelope& env) {
     return;
   }
   ++forward_count_;
+  if (metric(&MetricsCache::forwards) != nullptr) {
+    metrics_.forwards->inc();
+    metrics_.node_forwards->inc();
+  }
   if (auto* app = find_app(env.app)) {
     if (!app->forward(env.key, *env.msg, *hop)) return;
   }
@@ -199,6 +226,7 @@ void PastryNode::handle_join_reply(const JoinReply& reply) {
     network_.send(self_.endpoint, r.endpoint, std::move(ann));
   }
   joined_ = true;
+  if (auto* c = metric(&MetricsCache::joins)) c->inc();
   if (on_joined) on_joined();
 }
 

@@ -117,10 +117,30 @@ class PastryNode {
   [[nodiscard]] std::int64_t proximity_to(const NodeRef& other) const;
   [[nodiscard]] std::optional<NodeRef> rare_case_hop(const NodeId& key, Scope scope) const;
 
+  /// Cached registry handles (lazily refreshed by pointer comparison, same
+  /// contract as net::Network): routing runs per message, so the metric
+  /// lookups must not.
+  struct MetricsCache {
+    obs::Registry* registry = nullptr;
+    obs::Counter* routes = nullptr;
+    obs::Counter* forwards = nullptr;
+    obs::Counter* delivers = nullptr;
+    obs::Counter* joins = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::LatencyHisto* delivery_hops = nullptr;  // values are hop counts
+    obs::Counter* node_forwards = nullptr;       // per-node scope (Fig. 8b)
+  };
+  void refresh_metrics();
+  [[nodiscard]] obs::Counter* metric(obs::Counter* MetricsCache::* which) {
+    if (metrics_.registry != network_.engine().metrics()) refresh_metrics();
+    return metrics_.*which;
+  }
+
   net::Network& network_;
   std::string ip_;
   NodeRef self_;
   PastryConfig config_;
+  MetricsCache metrics_;
   LeafSet leaves_;
   RoutingTable table_;
   LeafSet site_leaves_;

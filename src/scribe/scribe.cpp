@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace rbay::scribe {
 
 namespace {
+
+/// Federation scope of the engine-attached registry, or nullptr when
+/// observability is off.  Scribe operations are per-query / per-round (not
+/// per-message), so a map lookup at the call site is affordable and no
+/// handle cache is needed.
+obs::Scope* fed_metrics(pastry::PastryNode& node) {
+  auto* registry = node.network().engine().metrics();
+  return registry == nullptr ? nullptr : &registry->fed();
+}
+
 /// Moves an in-flight anycast out of a borrowed message reference.
 std::unique_ptr<AnycastMsg> take_anycast(AnycastMsg& msg) {
   auto owned = std::make_unique<AnycastMsg>();
@@ -95,6 +106,7 @@ void Scribe::add_child(TopicState& st, const NodeRef& child) {
 void Scribe::subscribe(const TopicId& topic, TopicMember* member,
                        std::function<void()> on_joined, pastry::Scope scope) {
   RBAY_REQUIRE(member != nullptr, "Scribe::subscribe: member handler required");
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.subscribes").inc();
   auto& st = topic_state(topic);
   st.handler = member;
   st.scope = scope;
@@ -117,6 +129,7 @@ void Scribe::subscribe(const TopicId& topic, TopicMember* member,
 void Scribe::unsubscribe(const TopicId& topic) {
   auto* st = find_topic(topic);
   if (st == nullptr || !st->member) return;
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.unsubscribes").inc();
   st->member = false;
   st->handler = nullptr;
   maybe_prune(topic);
@@ -191,6 +204,7 @@ void Scribe::handle_join(JoinMsg& join, bool at_root) {
 // --- multicast ---------------------------------------------------------------
 
 void Scribe::multicast(const TopicId& topic, std::string data, pastry::Scope scope) {
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.multicasts").inc();
   auto msg = std::make_unique<MulticastMsg>();
   msg->topic = topic;
   msg->data = std::move(data);
@@ -200,12 +214,17 @@ void Scribe::multicast(const TopicId& topic, std::string data, pastry::Scope sco
 void Scribe::handle_multicast_down(const TopicId& topic, const std::string& data) {
   auto* st = find_topic(topic);
   if (st == nullptr) return;
+  // Snapshot the children before the local delivery: the handler may react by
+  // unsubscribing, which can prune the topic and invalidate `st`.
+  std::vector<pastry::NodeRef> children;
+  children.reserve(st->children.size());
+  for (const auto& child : st->children) children.push_back(child.ref);
   if (st->member && st->handler != nullptr) st->handler->on_multicast(topic, data);
-  for (const auto& child : st->children) {
+  for (const auto& ref : children) {
     auto msg = std::make_unique<MulticastMsg>();
     msg->topic = topic;
     msg->data = data;
-    node_.send_direct(child.ref, std::move(msg), kAppName);
+    node_.send_direct(ref, std::move(msg), kAppName);
   }
 }
 
@@ -215,6 +234,7 @@ void Scribe::handle_multicast_down(const TopicId& topic, const std::string& data
 void Scribe::anycast(const TopicId& topic, std::unique_ptr<AnycastPayload> payload,
                      AnycastCallback callback, pastry::Scope scope) {
   RBAY_REQUIRE(payload != nullptr, "Scribe::anycast: payload required");
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.anycasts").inc();
   const auto id = next_request_id_++;
   anycast_waiters_[id] = std::move(callback);
   auto msg = std::make_unique<AnycastMsg>();
@@ -242,6 +262,7 @@ void Scribe::continue_anycast(std::unique_ptr<AnycastMsg> msg) {
     msg->stack.push_back(node_.self());
     if (st->member && st->handler != nullptr) {
       ++msg->members_visited;
+      if (auto* m = fed_metrics(node_)) m->counter("scribe.anycast_visits").inc();
       if (st->handler->on_anycast(msg->topic, *msg->payload)) {
         finish_anycast(*msg, /*satisfied=*/true);
         return;
@@ -337,6 +358,7 @@ double Scribe::aggregate_value(const TopicId& topic) const {
 void Scribe::aggregation_round() {
   for (auto& [topic, st] : topics_) {
     if (!st.parent) continue;
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.agg_reports").inc();
     auto report = std::make_unique<AggReportMsg>();
     report->topic = topic;
     report->child = node_.self().id;
@@ -346,6 +368,7 @@ void Scribe::aggregation_round() {
 }
 
 void Scribe::probe_size(const TopicId& topic, SizeCallback callback, pastry::Scope scope) {
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.size_probes").inc();
   const auto id = next_request_id_++;
   size_waiters_[id] = std::move(callback);
   auto probe = std::make_unique<SizeProbeMsg>();
@@ -370,6 +393,7 @@ void Scribe::heartbeat_round() {
     });
     if (!st.member && st.children.empty()) emptied.push_back(topic);
     for (const auto& child : st.children) {
+      if (auto* m = fed_metrics(node_)) m->counter("scribe.heartbeats").inc();
       auto beat = std::make_unique<HeartbeatMsg>();
       beat->topic = topic;
       node_.send_direct(child.ref, std::move(beat), kAppName);
@@ -426,6 +450,7 @@ void Scribe::rejoin(const TopicId& topic) {
     topics_.erase(topic);
     return;
   }
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.rejoins").inc();
   auto join = std::make_unique<JoinMsg>();
   join->topic = topic;
   join->child = node_.self();

@@ -1,6 +1,14 @@
 #include "sim/engine.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace rbay::sim {
+
+void Engine::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  events_counter_ = registry == nullptr ? nullptr : &registry->fed().counter("sim.events");
+  queue_gauge_ = registry == nullptr ? nullptr : &registry->fed().gauge("sim.queue_depth");
+}
 
 void Timer::cancel() {
   if (!flag_ || !flag_->alive) return;
@@ -40,15 +48,21 @@ Timer Engine::schedule_background(SimTime delay, std::function<void()> fn) {
 Timer Engine::schedule_periodic(SimTime period, std::function<void()> fn) {
   RBAY_REQUIRE(period > SimTime::zero(), "Engine::schedule_periodic: period must be positive");
   auto flag = std::make_shared<detail::EventFlag>();
-  // The recursive lambda owns its own rescheduling; the shared flag is
-  // checked by dispatch() before every firing.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), flag, tick]() {
-    fn();
-    if (flag->alive) push(now_ + period, /*background=*/true, flag, *tick);
-  };
-  push(now_ + period, /*background=*/true, flag, *tick);
+  push_periodic(period, flag, std::move(fn));
   return Timer{std::move(flag)};
+}
+
+void Engine::push_periodic(SimTime period, std::shared_ptr<detail::EventFlag> flag,
+                           std::function<void()> fn) {
+  // Each firing owns its callback and hands it to the next firing; the
+  // chain is linear, so cancelling (or destroying the engine) frees
+  // everything.  A self-referential closure would leak as a shared_ptr
+  // cycle.
+  push(now_ + period, /*background=*/true, flag,
+       [this, period, flag, fn = std::move(fn)]() mutable {
+         fn();
+         if (flag->alive) push_periodic(period, std::move(flag), std::move(fn));
+       });
 }
 
 void Engine::dispatch(Entry e) {
@@ -59,6 +73,10 @@ void Engine::dispatch(Entry e) {
   }
   now_ = e.at;
   ++executed_;
+  if (events_counter_ != nullptr) {
+    events_counter_->inc();
+    queue_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+  }
   const bool saved = in_background_;
   in_background_ = e.background;
   e.fn();

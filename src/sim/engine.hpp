@@ -18,6 +18,12 @@
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
+namespace rbay::obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace rbay::obs
+
 namespace rbay::sim {
 
 using util::SimTime;
@@ -65,6 +71,13 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Attaches an observability registry (nullptr detaches).  Detached is
+  /// the default and costs one pointer check per event; attach *before*
+  /// building the federation so components can cache their metric handles.
+  /// The registry must outlive the engine's use of it.
+  void set_metrics(obs::Registry* registry);
+  [[nodiscard]] obs::Registry* metrics() const { return metrics_; }
 
   /// Schedules `fn` to run `delay` after the current time.  The event is
   /// foreground unless scheduled from within a background event.
@@ -116,6 +129,14 @@ class Engine {
 
   void push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
             std::function<void()> fn);
+
+  /// One firing of a periodic timer: runs `fn`, then re-pushes itself.
+  void push_periodic(SimTime period, std::shared_ptr<detail::EventFlag> flag,
+                     std::function<void()> fn);
+
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;

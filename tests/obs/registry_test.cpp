@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rbay::obs {
+namespace {
+
+using util::SimTime;
+
+// --- Counter / Gauge ---------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 12);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 12);
+}
+
+// --- LatencyHisto ------------------------------------------------------------
+
+TEST(LatencyHisto, EmptyHistogramIsAllZero) {
+  LatencyHisto h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_us(), 0);
+  EXPECT_EQ(h.min_us(), 0);
+  EXPECT_EQ(h.max_us(), 0);
+  EXPECT_EQ(h.percentile_us(50), 0);
+}
+
+TEST(LatencyHisto, TracksExactCountSumMinMax) {
+  LatencyHisto h;
+  h.add(SimTime::micros(100));
+  h.add(SimTime::micros(200));
+  h.add(SimTime::micros(300));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 600);
+  EXPECT_EQ(h.min_us(), 100);
+  EXPECT_EQ(h.max_us(), 300);
+}
+
+TEST(LatencyHisto, SmallValuesAreExact) {
+  // Values below 2^kSubBits land in unit-width buckets: percentiles exact.
+  LatencyHisto h;
+  for (int v = 0; v < 16; ++v) h.add_us(v);
+  EXPECT_EQ(h.percentile_us(1), 0);
+  EXPECT_EQ(h.percentile_us(100), 15);
+  EXPECT_EQ(h.percentile_us(50), 7);  // nearest rank: 8th of 16 values
+}
+
+TEST(LatencyHisto, PercentilesAreMonotoneAndBounded) {
+  LatencyHisto h;
+  for (int i = 1; i <= 1000; ++i) h.add_us(i * 37);
+  std::int64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const auto v = h.percentile_us(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, h.min_us());
+    EXPECT_LE(v, h.max_us());
+    prev = v;
+  }
+}
+
+TEST(LatencyHisto, LogLinearResolutionStaysWithinRelativeError) {
+  // One value per histogram: every percentile must land within ~6%
+  // (1/2^kSubBits) of the value, for magnitudes spanning the range.
+  for (std::int64_t v : {100LL, 5'000LL, 1'000'000LL, 3'600'000'000LL}) {
+    LatencyHisto h;
+    h.add_us(v);
+    const auto p50 = h.percentile_us(50);
+    EXPECT_NEAR(static_cast<double>(p50), static_cast<double>(v),
+                static_cast<double>(v) * 0.07)
+        << "value " << v;
+  }
+}
+
+// --- Scope / Registry --------------------------------------------------------
+
+TEST(Scope, LookupCreatesOnceAndReferencesAreStable) {
+  Scope s;
+  EXPECT_TRUE(s.empty());
+  Counter& a = s.counter("x");
+  a.inc();
+  // Creating unrelated metrics must not move `a` (std::map node stability).
+  for (int i = 0; i < 100; ++i) s.counter("c" + std::to_string(i));
+  s.gauge("g").set(7);
+  s.latency("l").add_us(5);
+  EXPECT_EQ(&s.counter("x"), &a);
+  EXPECT_EQ(s.counter("x").value(), 1u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Registry, JsonHasAllSectionsAndIsStable) {
+  Registry reg;
+  reg.fed().counter("events").inc(3);
+  reg.site(1).counter("msgs").inc();
+  reg.node("abcd").gauge("depth").set(2);
+  reg.fed().latency("lat").add_us(250);
+  reg.tracer().begin_query("q-1", SimTime::micros(10));
+  reg.tracer().add_span("q-1", Phase::kProbe, 1, SimTime::micros(10), SimTime::micros(20), 2);
+  reg.tracer().finish_query("q-1", SimTime::micros(30), true, 1);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"federation\""), std::string::npos);
+  EXPECT_NE(json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"q-1\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  // Pure serialization: a second call emits identical bytes.
+  EXPECT_EQ(reg.to_json(), json);
+  // Integer-only contract: no floating point formatting anywhere.
+  EXPECT_EQ(json.find('.'), std::string::npos) << json;
+}
+
+TEST(Registry, JsonEscapesStringContent) {
+  Registry reg;
+  reg.tracer().begin_query("q\"1\\\n", SimTime::zero());
+  reg.tracer().finish_query("q\"1\\\n", SimTime::micros(1), false, 1);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("q\\\"1\\\\\\n"), std::string::npos) << json;
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(Tracer, RecordsSpansAndEventsInOrder) {
+  Tracer t;
+  t.begin_query("q", SimTime::micros(0));
+  t.begin_span("q", Phase::kProbe, 1, SimTime::micros(0));
+  t.end_span("q", Phase::kProbe, SimTime::micros(40), 3);
+  t.add_span("q", Phase::kAnycast, 1, SimTime::micros(40), SimTime::micros(90), 1);
+  t.event("q", "conflict", 1, SimTime::micros(70));
+  t.finish_query("q", SimTime::micros(100), true, 1);
+
+  const QueryTrace* trace = t.find("q");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->done);
+  EXPECT_TRUE(trace->satisfied);
+  EXPECT_EQ(trace->finished, SimTime::micros(100));
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->spans[0].phase, Phase::kProbe);
+  EXPECT_EQ(trace->spans[0].latency(), SimTime::micros(40));
+  EXPECT_EQ(trace->spans[0].hops, 3);
+  EXPECT_TRUE(trace->has_phase(Phase::kAnycast));
+  EXPECT_FALSE(trace->has_phase(Phase::kCommit));
+  EXPECT_TRUE(trace->has_event("conflict"));
+  EXPECT_FALSE(trace->has_event("backoff_retry"));
+}
+
+TEST(Tracer, FinishClosesAbandonedOpenSpans) {
+  Tracer t;
+  t.begin_query("q", SimTime::micros(0));
+  t.begin_span("q", Phase::kAnycast, 1, SimTime::micros(10));
+  t.finish_query("q", SimTime::micros(50), false, 2);
+  const auto* span = t.find("q")->first_span(Phase::kAnycast);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->end, SimTime::micros(50));
+}
+
+TEST(Tracer, UnknownQueryIdIsIgnored) {
+  Tracer t;
+  t.add_span("ghost", Phase::kProbe, 1, SimTime::zero(), SimTime::micros(1), 1);
+  t.event("ghost", "x", 1, SimTime::zero());
+  t.finish_query("ghost", SimTime::micros(1), true, 1);
+  EXPECT_EQ(t.find("ghost"), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, CapsRecordedTracesAndCountsDrops) {
+  Tracer t;
+  for (std::size_t i = 0; i < Tracer::kMaxTraces + 10; ++i) {
+    t.begin_query("q" + std::to_string(i), SimTime::micros(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(t.size(), Tracer::kMaxTraces);
+  EXPECT_EQ(t.dropped(), 10u);
+}
+
+TEST(PhaseNames, AllFiveAreDistinct) {
+  EXPECT_STREQ(phase_name(Phase::kProbe), "probe");
+  EXPECT_STREQ(phase_name(Phase::kAnycast), "anycast");
+  EXPECT_STREQ(phase_name(Phase::kMemberSearch), "member_search");
+  EXPECT_STREQ(phase_name(Phase::kSlotFill), "slot_fill");
+  EXPECT_STREQ(phase_name(Phase::kCommit), "commit");
+}
+
+}  // namespace
+}  // namespace rbay::obs

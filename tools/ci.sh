@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# CI entry point: configure, build, and test under ASan/UBSan.
+#
+#   tools/ci.sh            full Debug+sanitizer build into build-ci/, then ctest
+#
+# Equivalent to the CMake presets:
+#   cmake --preset ci && cmake --build --preset ci -j && ctest --preset ci
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset ci
+cmake --build --preset ci -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset ci

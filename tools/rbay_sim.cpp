@@ -1,7 +1,8 @@
 // rbay_sim — run an RBAY federation scenario from a script file.
 //
-//   rbay_sim <scenario-file>     execute and print the report
-//   rbay_sim --help              directive reference
+//   rbay_sim <scenario-file>                execute and print the report
+//   rbay_sim --metrics <path> <scenario>    also dump a metrics JSON snapshot
+//   rbay_sim --help                         directive reference
 //
 // Scenarios build a federation, drive virtual time, issue queries, push
 // admin commands, and assert outcomes (`expect ...`), so they double as
@@ -10,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "tools/scenario.hpp"
 
@@ -17,7 +19,12 @@ namespace {
 
 constexpr const char* kHelp = R"(rbay_sim — scenario-driven RBAY federation simulator
 
-usage: rbay_sim <scenario-file>
+usage: rbay_sim [--metrics <path>] <scenario-file>
+
+  --metrics <path>   attach the observability registry and write its JSON
+                     snapshot (counters, latency histograms, query traces)
+                     to <path> after the run; '-' writes to stdout.
+                     Deterministic: same scenario + seed => identical JSON.
 
 directives (one per line; '#' comments; see tools/scenario.hpp for details):
   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
@@ -38,30 +45,66 @@ directives (one per line; '#' comments; see tools/scenario.hpp for details):
   print <text> | stats
 )";
 
+int usage(int code) {
+  std::fputs(kHelp, code == 0 ? stdout : stderr);
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::string(argv[1]) == "--help") {
-    std::fputs(kHelp, argc == 2 ? stdout : stderr);
-    return argc == 2 ? 0 : 2;
+  std::string scenario_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") return usage(0);
+    if (arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rbay_sim: --metrics requires a path\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      return usage(2);
+    }
   }
+  if (scenario_path.empty()) return usage(2);
 
-  std::ifstream file{argv[1]};
+  std::ifstream file{scenario_path};
   if (!file) {
-    std::fprintf(stderr, "rbay_sim: cannot open '%s'\n", argv[1]);
+    std::fprintf(stderr, "rbay_sim: cannot open '%s'\n", scenario_path.c_str());
     return 2;
   }
   std::ostringstream text;
   text << file.rdbuf();
 
-  const auto result = rbay::tools::run_scenario(text.str());
+  rbay::tools::ScenarioOptions options;
+  options.metrics = !metrics_path.empty();
+  const auto result = rbay::tools::run_scenario(text.str(), options);
   if (!result.ok()) {
-    std::fprintf(stderr, "rbay_sim: %s: %s\n", argv[1], result.error().c_str());
+    std::fprintf(stderr, "rbay_sim: %s: %s\n", scenario_path.c_str(),
+                 result.error().c_str());
     return 1;
   }
   const auto& report = result.value();
   for (const auto& line : report.output) std::printf("%s\n", line.c_str());
   std::printf("-- %d queries (%d satisfied), %d expectations passed\n", report.queries,
               report.queries_satisfied, report.expectations);
+
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      std::fputs(report.metrics_json.c_str(), stdout);
+    } else {
+      std::ofstream out{metrics_path};
+      if (!out) {
+        std::fprintf(stderr, "rbay_sim: cannot write '%s'\n", metrics_path.c_str());
+        return 2;
+      }
+      out << report.metrics_json;
+      std::fprintf(stderr, "rbay_sim: metrics written to %s\n", metrics_path.c_str());
+    }
+  }
   return 0;
 }

@@ -75,10 +75,15 @@ namespace {
 /// Execution state threaded through directive handlers.
 class Runner {
  public:
+  explicit Runner(ScenarioOptions options) : options_(options) {}
+
   util::Result<ScenarioReport> run(const std::vector<Directive>& directives) {
     for (const auto& d : directives) {
       auto result = apply(d);
       if (!result.ok()) return util::make_error(result.error());
+    }
+    if (cluster_ != nullptr && cluster_->metrics() != nullptr) {
+      report_.metrics_json = cluster_->metrics()->to_json();
     }
     return std::move(report_);
   }
@@ -139,6 +144,7 @@ class Runner {
     config.node.scribe.aggregation_interval = aggregation_;
     config.node.scribe.heartbeat_interval = heartbeat_;
     config.node.query.max_attempts = max_attempts_;
+    config.metrics = options_.metrics;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
     pending_specs_.clear();
@@ -490,6 +496,7 @@ class Runner {
 
   // --- state ----------------------------------------------------------------
 
+  ScenarioOptions options_;
   net::Topology topology_ = net::Topology::single_site();
   std::uint64_t seed_ = 42;
   util::SimTime aggregation_ = util::SimTime::millis(250);
@@ -506,10 +513,11 @@ class Runner {
 
 }  // namespace
 
-util::Result<ScenarioReport> run_scenario(const std::string& text) {
+util::Result<ScenarioReport> run_scenario(const std::string& text,
+                                          const ScenarioOptions& options) {
   auto directives = parse_scenario(text);
   if (!directives.ok()) return util::make_error(directives.error());
-  Runner runner;
+  Runner runner{options};
   return runner.run(directives.value());
 }
 

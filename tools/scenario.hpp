@@ -74,10 +74,18 @@ struct ScenarioReport {
   int queries_satisfied = 0;
   int expectations = 0;
   std::vector<std::string> output;  // `print`, query results, stats lines
+  std::string metrics_json;         // Registry::to_json() when metrics were on
+};
+
+struct ScenarioOptions {
+  /// Attach an obs::Registry to the federation and fill
+  /// ScenarioReport::metrics_json with its final snapshot.
+  bool metrics = false;
 };
 
 /// Parses and executes a scenario.  Returns the report, or the first
 /// error (parse error, API error, or failed expectation) with its line.
-util::Result<ScenarioReport> run_scenario(const std::string& text);
+util::Result<ScenarioReport> run_scenario(const std::string& text,
+                                          const ScenarioOptions& options = {});
 
 }  // namespace rbay::tools
