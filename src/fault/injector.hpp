@@ -1,0 +1,66 @@
+#pragma once
+
+// FaultInjector: arms a FaultSchedule on a live RBayCluster.
+//
+// Every action becomes a *background* event on the cluster's engine
+// (fault injection is ambient — it must never keep Engine::run() alive),
+// scheduled at arm time so replays are deterministic: the same cluster
+// seed and schedule produce the same crash victims, in the same order,
+// at the same virtual instants.
+//
+// The injector keeps an applied-action log (one line per executed action,
+// including the concrete nodes a crash-random picked) so a failing chaos
+// run can be reproduced and diffed from the printed trace alone.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fault/schedule.hpp"
+
+namespace rbay::fault {
+
+struct InjectorStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(core::RBayCluster& cluster) : cluster_(cluster) {}
+  ~FaultInjector() { cancel(); }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates the schedule against the cluster (site names resolve,
+  /// node indexes in range) and schedules every action relative to now.
+  /// Gateways are never crash-random victims — the paper's border
+  /// routers are assumed reliable; crash them explicitly if desired.
+  [[nodiscard]] util::Result<void> arm(const FaultSchedule& schedule);
+
+  /// Cancels all not-yet-fired actions.
+  void cancel();
+
+  /// Chronological log of applied actions ("t=1200ms crash site0/3 ...").
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  [[nodiscard]] std::string log_text() const;
+  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+
+ private:
+  void apply(const FaultAction& action);
+  void crash(std::size_t node_index);
+  void recover(std::size_t node_index);
+  void note(const std::string& what);
+  [[nodiscard]] bool is_gateway(std::size_t node_index) const;
+
+  core::RBayCluster& cluster_;
+  std::vector<sim::Timer> timers_;
+  std::vector<std::string> log_;
+  InjectorStats stats_;
+};
+
+}  // namespace rbay::fault

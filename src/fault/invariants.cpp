@@ -1,0 +1,348 @@
+#include "fault/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "core/naming.hpp"
+
+namespace rbay::fault {
+
+namespace {
+
+/// Clockwise arc length from `from` to `to` on the id ring.
+pastry::NodeId cw_distance(const pastry::NodeId& from, const pastry::NodeId& to) {
+  return to - from;
+}
+
+std::string short_id(const pastry::NodeRef& ref) { return ref.id.to_hex().substr(0, 8); }
+
+/// (spec, site) context prefix for violation details.
+std::string tree_tag(const core::TreeSpec& spec, const std::string& site_name) {
+  return "tree '" + spec.canonical + "' @ " + site_name + ": ";
+}
+
+}  // namespace
+
+void InvariantReport::add(const std::string& invariant, std::string detail) {
+  violations.push_back(Violation{invariant, std::move(detail)});
+}
+
+void InvariantReport::merge(InvariantReport other) {
+  for (auto& v : other.violations) violations.push_back(std::move(v));
+}
+
+std::string InvariantReport::to_string() const {
+  if (ok()) return "all invariants hold";
+  std::ostringstream out;
+  out << violations.size() << " invariant violation(s):\n";
+  for (const auto& v : violations) out << "  [" << v.invariant << "] " << v.detail << "\n";
+  return out.str();
+}
+
+InvariantReport check_tree_reachability(core::RBayCluster& cluster) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  const auto& directory = cluster.directory();
+  for (const auto& spec : cluster.tree_specs()) {
+    for (net::SiteId s = 0; s < directory.site_names.size(); ++s) {
+      const auto& site_name = directory.site_names[s];
+      const auto topic = core::site_topic(spec.canonical, site_name);
+      const auto tag = tree_tag(spec, site_name);
+
+      std::vector<std::size_t> members;
+      std::vector<std::size_t> roots;
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        auto& node = cluster.node(i);
+        if (node.subscribed_to(spec)) members.push_back(i);
+        if (node.scribe().is_root_of(topic)) roots.push_back(i);
+      }
+      if (members.empty() && roots.empty()) continue;
+
+      if (roots.empty()) {
+        report.add("tree-reachability",
+                   tag + std::to_string(members.size()) + " live member(s) but no live root");
+        continue;
+      }
+      if (roots.size() > 1) {
+        std::string list;
+        for (const auto r : roots) list += " " + std::to_string(r);
+        report.add("tree-reachability", tag + "split brain: multiple live roots:" + list);
+        continue;
+      }
+
+      // BFS down the child links from the single root; dead children are
+      // skipped here (child-consistency reports them separately).
+      std::set<std::size_t> visited;
+      std::deque<std::size_t> frontier{roots.front()};
+      visited.insert(roots.front());
+      while (!frontier.empty()) {
+        const auto at = frontier.front();
+        frontier.pop_front();
+        for (const auto& child : cluster.node(at).scribe().children_of(topic)) {
+          const auto ci = cluster.index_of(child.id);
+          if (overlay.is_failed(ci)) continue;
+          if (visited.insert(ci).second) frontier.push_back(ci);
+        }
+      }
+      for (const auto m : members) {
+        if (visited.count(m) == 0) {
+          report.add("tree-reachability",
+                     tag + "live member node " + std::to_string(m) + " (" +
+                         short_id(cluster.node(m).self()) +
+                         ") unreachable from root node " + std::to_string(roots.front()));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_child_consistency(core::RBayCluster& cluster) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  const auto& directory = cluster.directory();
+  for (const auto& spec : cluster.tree_specs()) {
+    for (net::SiteId s = 0; s < directory.site_names.size(); ++s) {
+      const auto& site_name = directory.site_names[s];
+      const auto topic = core::site_topic(spec.canonical, site_name);
+      const auto tag = tree_tag(spec, site_name);
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        auto& scribe = cluster.node(i).scribe();
+
+        // Downward: every ChildState on a live node must name a live node
+        // whose parent link points back here.
+        for (const auto& child : scribe.children_of(topic)) {
+          const auto ci = cluster.index_of(child.id);
+          if (overlay.is_failed(ci)) {
+            report.add("child-consistency", tag + "node " + std::to_string(i) +
+                                                " holds dead child " + std::to_string(ci) +
+                                                " (" + short_id(child) + ")");
+            continue;
+          }
+          const auto childs_parent = cluster.node(ci).scribe().parent_of(topic);
+          if (!childs_parent.has_value() ||
+              childs_parent->id != cluster.node(i).self().id) {
+            report.add("child-consistency",
+                       tag + "orphaned ChildState: node " + std::to_string(i) +
+                           " lists child " + std::to_string(ci) +
+                           " which is attached elsewhere");
+          }
+        }
+
+        // Upward: a live node's parent must be live and must list it.
+        const auto parent = scribe.parent_of(topic);
+        if (!parent.has_value()) continue;
+        const auto pi = cluster.index_of(parent->id);
+        if (overlay.is_failed(pi)) {
+          report.add("child-consistency", tag + "node " + std::to_string(i) +
+                                              " still points at dead parent " +
+                                              std::to_string(pi));
+          continue;
+        }
+        const auto siblings = cluster.node(pi).scribe().children_of(topic);
+        const bool listed = std::any_of(siblings.begin(), siblings.end(),
+                                        [&](const scribe::NodeRef& c) {
+                                          return c.id == cluster.node(i).self().id;
+                                        });
+        if (!listed) {
+          report.add("child-consistency", tag + "half-link: node " + std::to_string(i) +
+                                              "'s parent " + std::to_string(pi) +
+                                              " does not list it as a child");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_aggregates(core::RBayCluster& cluster, double tolerance) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  const auto& directory = cluster.directory();
+  for (const auto& spec : cluster.tree_specs()) {
+    for (net::SiteId s = 0; s < directory.site_names.size(); ++s) {
+      const auto& site_name = directory.site_names[s];
+      const auto topic = core::site_topic(spec.canonical, site_name);
+
+      double truth = 0.0;
+      std::vector<std::size_t> roots;
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        auto& node = cluster.node(i);
+        if (node.subscribed_to(spec)) truth += 1.0;
+        if (node.scribe().is_root_of(topic)) roots.push_back(i);
+      }
+      // Roll-up only has a defined ground truth under a single live root;
+      // the reachability checker already reports missing/split roots.
+      if (roots.size() != 1 || truth == 0.0) continue;
+      const double at_root = cluster.node(roots.front()).scribe().aggregate_value(topic);
+      if (std::abs(at_root - truth) > tolerance) {
+        report.add("aggregate", tree_tag(spec, site_name) + "root node " +
+                                    std::to_string(roots.front()) + " reports " +
+                                    std::to_string(at_root) + ", live members = " +
+                                    std::to_string(truth));
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_reservations(core::RBayCluster& cluster) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  const auto now = cluster.engine().now();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (overlay.is_failed(i)) continue;  // a dead node's lock is unobservable
+    auto& lock = cluster.node(i).lock();
+    const bool committed = lock.committed(now);
+    const bool reserved = lock.reserved(now);
+    if (!committed && !reserved) continue;
+
+    const auto where = "node " + std::to_string(i) + " held by '" + lock.holder() + "'";
+    // query_id format: first 12 hex chars of the originating node's id,
+    // then "#<seq>" — resolve the holder back to its node.
+    const auto& holder = lock.holder();
+    const auto hash = holder.find('#');
+    std::size_t origin = cluster.size();
+    if (hash == 12) {
+      const auto prefix = holder.substr(0, 12);
+      for (std::size_t j = 0; j < cluster.size(); ++j) {
+        if (cluster.node(j).self().id.to_hex().substr(0, 12) == prefix) {
+          origin = j;
+          break;
+        }
+      }
+    }
+    if (origin == cluster.size()) {
+      report.add("reservation", where + ": holder does not resolve to any node");
+      continue;
+    }
+    if (overlay.is_failed(origin)) {
+      report.add("reservation",
+                 where + ": holder's node " + std::to_string(origin) + " is dead");
+      continue;
+    }
+    if (reserved && !committed) {
+      report.add("reservation",
+                 where + ": anycast hold still pending at quiescence (expires " +
+                     std::to_string(lock.lease_expiry().as_millis()) + "ms)");
+    }
+  }
+  return report;
+}
+
+InvariantReport check_pastry(const pastry::Overlay& overlay) {
+  InvariantReport report;
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < overlay.size(); ++i) {
+    if (!overlay.is_failed(i)) live.push_back(i);
+  }
+  // God-view ring order for the symmetry check.
+  std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+    return overlay.ref(a).id < overlay.ref(b).id;
+  });
+
+  auto check_leaf_side = [&](std::size_t idx, const std::vector<pastry::NodeRef>& side,
+                             bool clockwise, int half_size) {
+    const auto who = "node " + std::to_string(idx) + " " +
+                     (clockwise ? "cw" : "ccw") + " leaf side: ";
+    if (side.size() > static_cast<std::size_t>(half_size)) {
+      report.add("pastry-leaf", who + "overflows half_size");
+    }
+    const auto& owner = overlay.ref(idx).id;
+    std::set<pastry::NodeId> seen;
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      if (side[i].id == owner) report.add("pastry-leaf", who + "contains its owner");
+      if (overlay.is_failed(overlay.index_of(side[i].id))) {
+        report.add("pastry-leaf",
+                   who + "contains dead node " + side[i].id.to_hex().substr(0, 8));
+      }
+      if (!seen.insert(side[i].id).second) {
+        report.add("pastry-leaf", who + "duplicate entry");
+      }
+      if (i == 0) continue;
+      const auto prev = clockwise ? cw_distance(owner, side[i - 1].id)
+                                  : cw_distance(side[i - 1].id, owner);
+      const auto cur = clockwise ? cw_distance(owner, side[i].id)
+                                 : cw_distance(side[i].id, owner);
+      if (!(prev < cur)) {
+        report.add("pastry-leaf", who + "not sorted by ring distance");
+      }
+    }
+  };
+
+  auto check_table = [&](std::size_t idx, const pastry::RoutingTable& table,
+                         const char* which) {
+    const auto& owner = overlay.ref(idx).id;
+    for (int row = 0; row < pastry::kDigits; ++row) {
+      for (int col = 0; col < pastry::kDigitValues; ++col) {
+        const auto entry = table.entry(row, col);
+        if (!entry.has_value()) continue;
+        const auto slot = std::string(which) + " table row " + std::to_string(row) +
+                          " col " + std::to_string(col);
+        if (entry->id == owner) {
+          report.add("pastry-routing",
+                     "node " + std::to_string(idx) + " " + slot + " holds its owner");
+          continue;
+        }
+        if (owner.shared_prefix_digits(entry->id) != row ||
+            entry->id.digit(row) != static_cast<unsigned>(col)) {
+          report.add("pastry-routing", "node " + std::to_string(idx) + " " + slot +
+                                           " violates the prefix rule (" +
+                                           entry->id.to_hex().substr(0, 8) + ")");
+        }
+      }
+    }
+  };
+
+  for (std::size_t pos = 0; pos < live.size(); ++pos) {
+    const auto idx = live[pos];
+    const auto& node = overlay.node(idx);
+    const int half = node.leaf_set().half_size();
+    check_leaf_side(idx, node.leaf_set().clockwise(), /*clockwise=*/true, half);
+    check_leaf_side(idx, node.leaf_set().counter_clockwise(), /*clockwise=*/false, half);
+    check_table(idx, node.routing_table(), "global");
+    check_table(idx, node.site_routing_table(), "site");
+
+    // Symmetry against the true ring: my immediate clockwise neighbor must
+    // be the next live id, and it must name me back.  Exact whenever leaf
+    // sets are saturated (all nodes recovered, or the live population fits
+    // within half_size per side — the regimes the chaos suite checks in).
+    if (live.size() < 2) continue;
+    const auto succ = live[(pos + 1) % live.size()];
+    const auto& cw = node.leaf_set().clockwise();
+    if (cw.empty()) {
+      report.add("pastry-leaf",
+                 "node " + std::to_string(idx) + " lost its whole clockwise side");
+      continue;
+    }
+    if (cw.front().id != overlay.ref(succ).id) {
+      report.add("pastry-leaf", "node " + std::to_string(idx) +
+                                    ": immediate successor is not the next live id");
+      continue;
+    }
+    const auto& succ_ccw = overlay.node(succ).leaf_set().counter_clockwise();
+    if (succ_ccw.empty() || succ_ccw.front().id != node.self().id) {
+      report.add("pastry-leaf", "node " + std::to_string(succ) +
+                                    " does not point back at node " + std::to_string(idx) +
+                                    " (asymmetric leaf sets)");
+    }
+  }
+  return report;
+}
+
+InvariantReport check_all(core::RBayCluster& cluster) {
+  InvariantReport report = check_tree_reachability(cluster);
+  report.merge(check_child_consistency(cluster));
+  report.merge(check_aggregates(cluster));
+  report.merge(check_reservations(cluster));
+  report.merge(check_pastry(cluster.overlay()));
+  return report;
+}
+
+}  // namespace rbay::fault

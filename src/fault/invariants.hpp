@@ -1,0 +1,63 @@
+#pragma once
+
+// Post-convergence invariant checkers for the chaos harness.
+//
+// Each checker inspects a quiesced federation with god-view access and
+// reports violations instead of asserting, so one run can surface every
+// broken invariant at once and the caller (gtest suite, scenario driver,
+// CI) decides how to fail.  The invariants are the correctness contract
+// behind the paper's §V reliability results:
+//
+//   tree-reachability   every live subscribed member of every (spec, site)
+//                       tree is reachable from that tree's single live root
+//                       by walking live children links;
+//   child-consistency   no ChildState entry names a dead node or a node
+//                       that re-attached under a different parent, and
+//                       every live child's parent link is mirrored by the
+//                       parent's child entry (no orphans, no half-links);
+//   aggregates          the root's Count roll-up equals the ground-truth
+//                       live member count recomputed from the god view;
+//   reservations        no lock is held by a dead or unresolvable holder,
+//                       and no anycast hold is still pending at quiescence;
+//   pastry              leaf-set order/symmetry and routing-table prefix
+//                       rule (the checks of tests/pastry/invariant_test).
+//
+// All checkers expect the cluster to have *quiesced*: heartbeat prune and
+// rejoin rounds done, aggregation reports propagated, anycast holds
+// expired.  Run them mid-churn and transient states will be reported —
+// that is by design (the caller chooses the observation point).
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "pastry/overlay.hpp"
+
+namespace rbay::fault {
+
+struct Violation {
+  std::string invariant;  // which checker fired, e.g. "tree-reachability"
+  std::string detail;     // what exactly is wrong, with node/topic context
+};
+
+struct InvariantReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+  void add(const std::string& invariant, std::string detail);
+  void merge(InvariantReport other);
+};
+
+InvariantReport check_tree_reachability(core::RBayCluster& cluster);
+InvariantReport check_child_consistency(core::RBayCluster& cluster);
+InvariantReport check_aggregates(core::RBayCluster& cluster, double tolerance = 1e-6);
+InvariantReport check_reservations(core::RBayCluster& cluster);
+
+/// Overlay-only checks; usable without a cluster (pastry churn tests).
+InvariantReport check_pastry(const pastry::Overlay& overlay);
+
+/// Runs every checker above and merges the reports.
+InvariantReport check_all(core::RBayCluster& cluster);
+
+}  // namespace rbay::fault

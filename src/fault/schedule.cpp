@@ -1,0 +1,178 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rbay::fault {
+
+namespace {
+
+util::Error line_error(int line, const std::string& msg) {
+  return util::make_error("schedule line " + std::to_string(line) + ": " + msg);
+}
+
+util::Result<util::SimTime> parse_duration(const std::string& word) {
+  std::size_t suffix = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(word, &suffix);
+  } catch (const std::exception&) {
+    return util::make_error("bad duration '" + word + "'");
+  }
+  const std::string unit = word.substr(suffix);
+  if (unit == "ms") return util::SimTime::millis(v);
+  if (unit == "s" || unit.empty()) return util::SimTime::seconds(v);
+  if (unit == "us") return util::SimTime::micros(static_cast<std::int64_t>(v));
+  return util::make_error("unknown duration unit '" + unit + "'");
+}
+
+util::Result<double> parse_double(const std::string& word) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(word, &used);
+    if (used != word.size()) return util::make_error("bad number '" + word + "'");
+    return v;
+  } catch (const std::exception&) {
+    return util::make_error("bad number '" + word + "'");
+  }
+}
+
+util::Result<int> parse_index(const std::string& word) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(word, &used);
+    if (used != word.size() || v < 0) return util::make_error("bad index '" + word + "'");
+    return v;
+  } catch (const std::exception&) {
+    return util::make_error("bad index '" + word + "'");
+  }
+}
+
+}  // namespace
+
+const char* action_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::Crash: return "crash";
+    case ActionKind::Recover: return "recover";
+    case ActionKind::CrashRandom: return "crash-random";
+    case ActionKind::RecoverAll: return "recover-all";
+    case ActionKind::Partition: return "partition";
+    case ActionKind::Heal: return "heal";
+    case ActionKind::HealAll: return "heal-all";
+    case ActionKind::Drop: return "drop";
+    case ActionKind::Jitter: return "jitter";
+  }
+  return "?";
+}
+
+std::string describe(const FaultAction& a) {
+  std::ostringstream out;
+  out << "at " << a.at.as_millis() << "ms " << action_name(a.kind);
+  switch (a.kind) {
+    case ActionKind::Crash:
+    case ActionKind::Recover:
+      out << " " << a.site_a << " " << a.index;
+      break;
+    case ActionKind::Partition:
+    case ActionKind::Heal:
+      out << " " << a.site_a << " " << a.site_b;
+      break;
+    case ActionKind::CrashRandom:
+    case ActionKind::Drop:
+    case ActionKind::Jitter:
+      out << " " << a.value;
+      break;
+    case ActionKind::RecoverAll:
+    case ActionKind::HealAll:
+      break;
+  }
+  return out.str();
+}
+
+util::Result<FaultSchedule> parse_schedule(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream stream(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(stream, raw)) {
+    ++line;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
+    std::istringstream words(raw);
+    std::vector<std::string> w;
+    for (std::string word; words >> word;) w.push_back(word);
+    if (w.empty()) continue;
+
+    if (w[0] != "at" || w.size() < 3) {
+      return line_error(line, "expected 'at <offset> <verb> ...', got '" + w[0] + "'");
+    }
+    auto offset = parse_duration(w[1]);
+    if (!offset.ok()) return line_error(line, offset.error());
+    if (offset.value() < util::SimTime::zero()) {
+      return line_error(line, "offset must be non-negative");
+    }
+
+    FaultAction action;
+    action.at = offset.value();
+    const std::string& verb = w[2];
+    const auto argc = w.size() - 3;
+
+    auto need = [&](std::size_t n, const char* usage) -> util::Result<void> {
+      if (argc != n) return line_error(line, std::string("usage: at <offset> ") + usage);
+      return {};
+    };
+
+    if (verb == "crash" || verb == "recover") {
+      action.kind = verb == "crash" ? ActionKind::Crash : ActionKind::Recover;
+      if (auto r = need(2, "crash|recover <site> <index>"); !r.ok()) return util::make_error(r.error());
+      action.site_a = w[3];
+      auto idx = parse_index(w[4]);
+      if (!idx.ok()) return line_error(line, idx.error());
+      action.index = idx.value();
+    } else if (verb == "crash-random") {
+      action.kind = ActionKind::CrashRandom;
+      if (auto r = need(1, "crash-random <fraction>"); !r.ok()) return util::make_error(r.error());
+      auto frac = parse_double(w[3]);
+      if (!frac.ok()) return line_error(line, frac.error());
+      if (frac.value() < 0.0 || frac.value() > 1.0) {
+        return line_error(line, "fraction must be in [0, 1]");
+      }
+      action.value = frac.value();
+    } else if (verb == "recover-all") {
+      action.kind = ActionKind::RecoverAll;
+      if (auto r = need(0, "recover-all"); !r.ok()) return util::make_error(r.error());
+    } else if (verb == "partition" || verb == "heal") {
+      if (auto r = need(2, "partition|heal <siteA> <siteB>"); !r.ok()) return util::make_error(r.error());
+      if (verb == "heal" && w[3] == "*" && w[4] == "*") {
+        action.kind = ActionKind::HealAll;
+      } else {
+        action.kind = verb == "partition" ? ActionKind::Partition : ActionKind::Heal;
+        action.site_a = w[3];
+        action.site_b = w[4];
+        if (action.site_a == action.site_b) {
+          return line_error(line, "cannot partition a site from itself");
+        }
+      }
+    } else if (verb == "drop" || verb == "jitter") {
+      action.kind = verb == "drop" ? ActionKind::Drop : ActionKind::Jitter;
+      if (auto r = need(1, "drop <p> | jitter <j>"); !r.ok()) return util::make_error(r.error());
+      auto v = parse_double(w[3]);
+      if (!v.ok()) return line_error(line, v.error());
+      if (verb == "drop" && (v.value() < 0.0 || v.value() > 1.0)) {
+        return line_error(line, "drop probability must be in [0, 1]");
+      }
+      if (verb == "jitter" && v.value() < 0.0) {
+        return line_error(line, "jitter must be non-negative");
+      }
+      action.value = v.value();
+    } else {
+      return line_error(line, "unknown fault verb '" + verb + "'");
+    }
+    schedule.actions.push_back(std::move(action));
+  }
+
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  return schedule;
+}
+
+}  // namespace rbay::fault

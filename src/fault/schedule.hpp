@@ -1,0 +1,70 @@
+#pragma once
+
+// Fault schedules: timed scripts of failure events for the chaos harness.
+//
+// A schedule is a tiny line-oriented program — "at <offset> <verb> ..." —
+// parsed once up front, then armed on a cluster by fault::FaultInjector.
+// Offsets are relative to the arm point, so the same schedule composes
+// with any warm-up.  Grammar (one directive per line, '#' comments):
+//
+//   at <t> crash <site> <i>        # fail the i-th node of <site>
+//   at <t> recover <site> <i>      # recover it (and re-join its trees)
+//   at <t> crash-random <frac>     # fail ceil(frac × cluster) live
+//                                  #   non-gateway nodes, seeded pick
+//   at <t> recover-all             # recover every failed node
+//   at <t> partition <A> <B>       # sever all links between two sites
+//   at <t> heal <A> <B>            # heal that pair ("heal * *": all pairs)
+//   at <t> drop <p>                # global message-drop probability
+//   at <t> jitter <j>              # network delay-jitter amplitude
+//
+// Durations accept the scenario DSL's units: "250ms", "1.5s", "300us",
+// bare numbers are seconds.  Actions are kept in time order (stable for
+// equal offsets), so an injector replays them deterministically.
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::fault {
+
+enum class ActionKind {
+  Crash,
+  Recover,
+  CrashRandom,
+  RecoverAll,
+  Partition,
+  Heal,
+  HealAll,
+  Drop,
+  Jitter,
+};
+
+/// Human-readable verb for logs and error messages.
+[[nodiscard]] const char* action_name(ActionKind kind);
+
+struct FaultAction {
+  util::SimTime at = util::SimTime::zero();  // offset from arm point
+  ActionKind kind = ActionKind::Crash;
+  std::string site_a;  // Crash/Recover: the site; Partition/Heal: first site
+  std::string site_b;  // Partition/Heal: second site
+  int index = -1;      // Crash/Recover: node index within the site
+  double value = 0.0;  // CrashRandom: fraction; Drop: p; Jitter: amplitude
+};
+
+struct FaultSchedule {
+  std::vector<FaultAction> actions;  // sorted by `at`, stable
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+  [[nodiscard]] std::size_t size() const { return actions.size(); }
+};
+
+/// Parses the schedule grammar above.  Errors carry the 1-based line
+/// number within `text` and a description of what went wrong.
+[[nodiscard]] util::Result<FaultSchedule> parse_schedule(const std::string& text);
+
+/// One-line rendering of an action (used by the injector's applied log).
+[[nodiscard]] std::string describe(const FaultAction& action);
+
+}  // namespace rbay::fault

@@ -86,7 +86,12 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   util::SimTime delay = topology_.one_way(sa, sb);
   if (from == to) delay = util::SimTime::micros(10);  // local dispatch
   if (jitter_ > 0.0) {
-    const double factor = 1.0 + jitter_ * engine_.rng().uniform_double();
+    // Symmetric jitter: U(-1, 1) centers the factor at 1.0 so measured
+    // latencies are unbiased estimators of the topology's nominal RTT/2.
+    // (A one-sided U(0, 1) draw inflated every delay by jitter/2 on
+    // average, overstating the latency figures.)
+    const double u = 2.0 * engine_.rng().uniform_double() - 1.0;
+    const double factor = std::max(0.0, 1.0 + jitter_ * u);
     delay = util::SimTime::micros(
         static_cast<std::int64_t>(static_cast<double>(delay.as_micros()) * factor));
   }

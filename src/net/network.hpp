@@ -89,7 +89,9 @@ class Network {
   /// Severs (or heals) all links between two sites.
   void set_partitioned(SiteId a, SiteId b, bool partitioned);
 
-  /// Multiplies every sampled delay by `1 + jitter × U(0,1)`.
+  /// Multiplies every sampled delay by `1 + jitter × U(-1,1)` — symmetric
+  /// around the nominal delay (clamped at zero), so measured latencies are
+  /// unbiased with respect to the topology's RTT matrix.
   void set_jitter(double jitter) {
     RBAY_REQUIRE(jitter >= 0.0, "jitter must be non-negative");
     jitter_ = jitter;

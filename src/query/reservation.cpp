@@ -52,20 +52,17 @@ bool ReservationLock::renew(const std::string& holder, util::SimTime now,
 }
 
 void ReservationLock::release(const std::string& holder, util::SimTime now) {
+  (void)now;
   if (holder_ != holder) return;
-  if (committed_ && committed(now)) {
-    // The tenant returns the node.
-    committed_ = false;
-    lease_bounded_ = false;
-    lease_expiry_ = util::SimTime::zero();
-    holder_.clear();
-    expiry_ = util::SimTime::zero();
-    return;
-  }
-  if (!committed_) {
-    holder_.clear();
-    expiry_ = util::SimTime::zero();
-  }
+  // The holder's release always clears its tenancy — live lease, expired
+  // lease, or plain anycast hold alike.  An expired lease must not linger
+  // as stale committed_/lease_expiry_ state until the next try_reserve:
+  // snapshots (holder(), lease_expiry()) read accurately immediately.
+  committed_ = false;
+  lease_bounded_ = false;
+  lease_expiry_ = util::SimTime::zero();
+  holder_.clear();
+  expiry_ = util::SimTime::zero();
 }
 
 util::SimTime Backoff::delay_after(int failures, util::Rng& rng) const {

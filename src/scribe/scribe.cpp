@@ -388,8 +388,11 @@ void Scribe::heartbeat_round() {
   for (auto& [topic, st] : topics_) {
     // Prune children that stopped acking: they died or re-attached
     // elsewhere; keeping them would poison multicast and the aggregate.
+    // `last_seen` is stamped at attach, so the same miss budget covers a
+    // child that never acked at all (JoinAck or first report lost) —
+    // including one attached at virtual time zero, whose stamp is 0.
     std::erase_if(st.children, [&](const ChildState& c) {
-      return c.last_seen > util::SimTime::zero() && now - c.last_seen > limit;
+      return now - c.last_seen > limit;
     });
     if (!st.member && st.children.empty()) emptied.push_back(topic);
     for (const auto& child : st.children) {

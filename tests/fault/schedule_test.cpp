@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace rbay::fault {
+namespace {
+
+TEST(FaultSchedule, ParsesEveryVerbAndSortsByOffset) {
+  const auto result = parse_schedule(R"(
+# warm-up chaos script
+at 2s recover-all
+at 100ms crash Virginia 3
+at 100ms recover Virginia 3
+at 250ms crash-random 0.15
+at 300ms partition Virginia Tokyo
+at 900ms heal Virginia Tokyo
+at 950ms heal * *
+at 50ms drop 0.05
+at 1.5s jitter 0.4
+)");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& actions = result.value().actions;
+  ASSERT_EQ(actions.size(), 9u);
+
+  // Time-sorted, stable for equal offsets.
+  for (std::size_t i = 1; i < actions.size(); ++i) {
+    EXPECT_LE(actions[i - 1].at, actions[i].at) << "actions not time-sorted at " << i;
+  }
+  EXPECT_EQ(actions.front().kind, ActionKind::Drop);
+  EXPECT_EQ(actions[1].kind, ActionKind::Crash);  // crash before recover at 100ms
+  EXPECT_EQ(actions[2].kind, ActionKind::Recover);
+  EXPECT_EQ(actions.back().kind, ActionKind::RecoverAll);
+
+  const auto& crash = actions[1];
+  EXPECT_EQ(crash.site_a, "Virginia");
+  EXPECT_EQ(crash.index, 3);
+  EXPECT_EQ(crash.at, util::SimTime::millis(100));
+
+  const auto& random = actions[3];
+  EXPECT_EQ(random.kind, ActionKind::CrashRandom);
+  EXPECT_DOUBLE_EQ(random.value, 0.15);
+
+  EXPECT_EQ(actions[4].kind, ActionKind::Partition);
+  EXPECT_EQ(actions[4].site_b, "Tokyo");
+  EXPECT_EQ(actions[5].kind, ActionKind::Heal);
+  EXPECT_EQ(actions[6].kind, ActionKind::HealAll);
+  EXPECT_EQ(actions[7].kind, ActionKind::Jitter);
+}
+
+TEST(FaultSchedule, EmptyAndCommentOnlyTextsYieldEmptySchedule) {
+  const auto result = parse_schedule("\n# nothing here\n   \n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(FaultSchedule, RejectsMalformedLinesWithLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"crash Virginia 3", "expected 'at"},
+      {"at nope crash Virginia 3", "bad duration"},
+      {"at 100ms explode Virginia", "unknown fault verb"},
+      {"at 100ms crash Virginia", "usage:"},
+      {"at 100ms crash Virginia -2", "bad index"},
+      {"at 100ms crash-random 1.5", "fraction must be in [0, 1]"},
+      {"at 100ms drop 2", "drop probability must be in [0, 1]"},
+      {"at 100ms jitter -0.5", "jitter must be non-negative"},
+      {"at 100ms partition Tokyo Tokyo", "itself"},
+      {"at -5ms recover-all", "non-negative"},
+      {"at 100ms recover-all extra", "usage:"},
+  };
+  for (const auto& c : cases) {
+    const auto result = parse_schedule(c.text);
+    ASSERT_FALSE(result.ok()) << "accepted: " << c.text;
+    EXPECT_NE(result.error().find(c.needle), std::string::npos)
+        << "error for '" << c.text << "' was: " << result.error();
+    EXPECT_NE(result.error().find("line 1"), std::string::npos) << result.error();
+  }
+}
+
+TEST(FaultSchedule, ErrorsNameTheOffendingLine) {
+  const auto result = parse_schedule("at 1s drop 0.1\n\nat 2s explode\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("line 3"), std::string::npos) << result.error();
+}
+
+TEST(FaultSchedule, DescribeRoundTripsTheVerb) {
+  const auto result = parse_schedule(
+      "at 10ms crash A 1\nat 20ms partition A B\nat 30ms crash-random 0.2\n"
+      "at 40ms recover-all\nat 50ms jitter 0.3");
+  ASSERT_TRUE(result.ok()) << result.error();
+  for (const auto& a : result.value().actions) {
+    const auto text = describe(a);
+    EXPECT_NE(text.find(action_name(a.kind)), std::string::npos) << text;
+  }
+}
+
+}  // namespace
+}  // namespace rbay::fault

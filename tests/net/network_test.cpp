@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace rbay::net {
 namespace {
 
@@ -50,8 +52,41 @@ TEST(Network, DeliversWithOneWayDelayPlusJitter) {
   EXPECT_EQ(f.received[0].first, b);
   const double ms = f.arrival_times[0].as_millis();
   const double one_way = 275.549 / 2.0;
-  EXPECT_GE(ms, one_way - 1e-6);
-  EXPECT_LE(ms, one_way * 1.1 + 1e-6);  // default jitter is 10%
+  // Default jitter is 10%, symmetric: the factor is 1 + 0.1·U(-1,1).
+  EXPECT_GE(ms, one_way * 0.9 - 1e-6);
+  EXPECT_LE(ms, one_way * 1.1 + 1e-6);
+}
+
+TEST(Network, JitterIsSymmetricAroundNominalDelay) {
+  Fixture f;
+  f.net.set_jitter(0.2);
+  const auto vir = f.net.topology().site_by_name("Virginia");
+  const auto sin = f.net.topology().site_by_name("Singapore");
+  const auto a = f.endpoint(vir);
+  const auto b = f.endpoint(sin);
+  const int kSends = 500;
+  for (int i = 0; i < kSends; ++i) f.send(a, b, i);
+  f.engine.run();
+  ASSERT_EQ(f.arrival_times.size(), static_cast<std::size_t>(kSends));
+
+  const double one_way = 275.549 / 2.0;
+  double sum = 0.0;
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto t : f.arrival_times) {
+    const double ms = t.as_millis();
+    EXPECT_GE(ms, one_way * 0.8 - 1e-6);
+    EXPECT_LE(ms, one_way * 1.2 + 1e-6);
+    sum += ms;
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  // Unbiased: the sample mean sits at the nominal delay (±1.5% — a
+  // one-sided U(0,1) draw would put it ~10% above), and both directions
+  // actually occur.
+  EXPECT_NEAR(sum / kSends, one_way, one_way * 0.015);
+  EXPECT_LT(lo, one_way * 0.985) << "no delay ever below nominal: jitter is one-sided";
+  EXPECT_GT(hi, one_way * 1.015);
 }
 
 TEST(Network, IntraSiteDeliveryIsFast) {

@@ -24,6 +24,7 @@
 #include <set>
 #include <vector>
 
+#include "fault/invariants.hpp"
 #include "pastry/overlay.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"
@@ -189,6 +190,11 @@ class ChurnHarness {
       ASSERT_EQ(succ_ccw.front().id, node.self().id)
           << "successor does not point back (asymmetric leaf sets)";
     }
+
+    // The chaos harness ports these same checks as a library; the two
+    // implementations must always agree.
+    const auto report = fault::check_pastry(overlay_);
+    ASSERT_TRUE(report.ok()) << report.to_string();
   }
 
   [[nodiscard]] std::size_t live_count() const {

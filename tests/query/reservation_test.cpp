@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <utility>
+
 namespace rbay::query {
 namespace {
 
@@ -96,6 +100,51 @@ TEST(ReservationLock, IndefiniteCommitNeedsNoRenewal) {
   EXPECT_TRUE(lock.committed(SimTime::seconds(1'000'000)));
 }
 
+TEST(ReservationLock, ReleaseAfterLeaseExpiryClearsTenancyImmediately) {
+  // Regression: release() used to no-op once the committed lease had
+  // expired (committed(now) was already false), leaving holder_ and
+  // lease_expiry_ stale until some later try_reserve.  The holder's
+  // release must wipe its tenancy no matter when it arrives.
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1), SimTime::seconds(10)));
+  ASSERT_FALSE(lock.committed(SimTime::seconds(11)));  // lease ran out
+
+  lock.release("q1", SimTime::seconds(11));
+  EXPECT_TRUE(lock.holder().empty()) << "stale holder survived a late release";
+  EXPECT_EQ(lock.lease_expiry(), SimTime::zero()) << "stale lease_expiry survived";
+  EXPECT_FALSE(lock.reserved(SimTime::seconds(11)));
+  EXPECT_TRUE(lock.try_reserve("q2", SimTime::seconds(12), SimTime::millis(500)));
+}
+
+TEST(ReservationLock, RenewAfterLeaseExpiryFailsAndLeavesLockFree) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1), SimTime::seconds(10)));
+  // Too late: the tenancy lapsed, renewal must not resurrect it.
+  EXPECT_FALSE(lock.renew("q1", SimTime::seconds(11), SimTime::seconds(10)));
+  EXPECT_FALSE(lock.committed(SimTime::seconds(12)));
+  EXPECT_FALSE(lock.reserved(SimTime::seconds(12)));
+}
+
+TEST(ReservationLock, DifferentHolderReservesOverExpiredCommit) {
+  ReservationLock lock;
+  ASSERT_TRUE(lock.try_reserve("q1", SimTime::zero(), SimTime::millis(500)));
+  ASSERT_TRUE(lock.commit("q1", SimTime::millis(1), SimTime::seconds(10)));
+
+  // q2 takes the node straight off the expired commit — and from there the
+  // full lifecycle works as if the lock were fresh.
+  ASSERT_TRUE(lock.try_reserve("q2", SimTime::seconds(11), SimTime::millis(500)));
+  EXPECT_EQ(lock.holder(), "q2");
+  EXPECT_FALSE(lock.committed(SimTime::seconds(11)));  // hold, not tenancy
+  // The previous tenant lost all rights.
+  EXPECT_FALSE(lock.commit("q1", SimTime::seconds(11)));
+  EXPECT_TRUE(lock.commit("q2", SimTime::seconds(11), SimTime::seconds(5)));
+  EXPECT_TRUE(lock.committed(SimTime::seconds(12)));
+  lock.release("q2", SimTime::seconds(13));
+  EXPECT_FALSE(lock.reserved(SimTime::seconds(13)));
+}
+
 TEST(Backoff, DelayWithinTruncatedExponentialRange) {
   util::Rng rng{11};
   const Backoff backoff{SimTime::millis(10), /*max_exponent=*/6};
@@ -126,6 +175,46 @@ TEST(Backoff, ExpectedDelayGrowsWithFailures) {
   // Aggressive customers wait longer: mean of U[0, 2^c-1] ≈ (2^c-1)/2 slots.
   EXPECT_NEAR(d1, 5.0, 2.0);    // (2^1-1)/2 = 0.5 slots → 5 ms
   EXPECT_NEAR(d5, 155.0, 25.0);  // (2^5-1)/2 = 15.5 slots → 155 ms
+}
+
+TEST(Backoff, DistributionCoversAllSlotsAndTruncatesAtMaxExponent) {
+  util::Rng rng{23};
+  const Backoff backoff{SimTime::millis(10), /*max_exponent=*/3};
+
+  // failures=2 → uniform over {0..3} slots: every slot occurs, roughly
+  // evenly (4000 draws, expected 1000 per slot).
+  std::array<int, 4> histogram{};
+  for (int i = 0; i < 4000; ++i) {
+    const auto d = backoff.delay_after(2, rng);
+    const auto slot = d.as_micros() / backoff.slot().as_micros();
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+    EXPECT_EQ(d.as_micros() % backoff.slot().as_micros(), 0)
+        << "delay must be a whole number of slots";
+    ++histogram[static_cast<std::size_t>(slot)];
+  }
+  for (int count : histogram) EXPECT_NEAR(count, 1000, 150);
+
+  // Beyond max_exponent_ the window stops growing: failures 3, 4 and 40
+  // all draw from {0..7} slots with the same mean.
+  auto stats_for = [&](int failures) {
+    double sum = 0;
+    std::int64_t max_slot = 0;
+    for (int i = 0; i < 4000; ++i) {
+      const auto d = backoff.delay_after(failures, rng);
+      const auto slot = d.as_micros() / backoff.slot().as_micros();
+      EXPECT_LE(slot, 7) << "truncation at 2^3 - 1 slots violated";
+      max_slot = std::max(max_slot, slot);
+      sum += static_cast<double>(slot);
+    }
+    return std::pair{sum / 4000.0, max_slot};
+  };
+  const auto [mean3, max3] = stats_for(3);
+  const auto [mean40, max40] = stats_for(40);
+  EXPECT_EQ(max3, 7);
+  EXPECT_EQ(max40, 7) << "window kept growing past max_exponent_";
+  EXPECT_NEAR(mean3, 3.5, 0.3);
+  EXPECT_NEAR(mean40, 3.5, 0.3);
 }
 
 TEST(Backoff, FirstFailureRequired) {

@@ -138,5 +138,33 @@ TEST(ScribeTree, CrossSiteTreeSpansAllSites) {
   }
 }
 
+TEST(ScribeTree, HeartbeatPrunesChildThatAttachedAtTimeZeroAndNeverAcks) {
+  // Regression: the prune loop used to skip children with last_seen == 0,
+  // so a child that attached at t=0 and then went silent was immortal.
+  // Only node A gets a Scribe; B exists as a pastry endpoint but runs no
+  // scribe app, so it can never answer heartbeats.
+  sim::Engine engine{7};
+  pastry::Overlay overlay{engine, net::Topology::single_site()};
+  auto& a = overlay.create_node(0);
+  auto& b = overlay.create_node(0);
+  overlay.build_static();
+
+  ScribeConfig config;
+  config.heartbeat_interval = util::SimTime::millis(100);  // misses = 3
+  Scribe scribe{a, config};
+
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  JoinMsg join;
+  join.topic = topic;
+  join.child = b.self();
+  scribe.deliver(topic, join, 0);  // ChildState stamped last_seen = 0
+  ASSERT_EQ(scribe.children_of(topic).size(), 1u);
+
+  // Miss budget is interval * (misses + 1) = 400 ms from attach time.
+  engine.run_for(util::SimTime::seconds(1));
+  EXPECT_TRUE(scribe.children_of(topic).empty())
+      << "silent child attached at t=0 was never pruned";
+}
+
 }  // namespace
 }  // namespace rbay::scribe

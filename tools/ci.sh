@@ -12,3 +12,8 @@ cd "$(dirname "$0")/.."
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
+
+# Chaos gate: the seed-matrixed fault-injection storms must pass under
+# the sanitizers too (they are part of the full run above; re-running the
+# label by itself makes an invariant violation fail CI loudly on its own).
+ctest --preset ci -L chaos --output-on-failure

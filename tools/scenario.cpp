@@ -4,6 +4,10 @@
 #include <cctype>
 #include <sstream>
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/schedule.hpp"
+
 namespace rbay::tools {
 
 namespace {
@@ -187,6 +191,8 @@ class Runner {
     if (kw == "admin-deliver") return do_admin_deliver(d);
     if (kw == "hide" || kw == "expose") return do_hide_expose(d);
     if (kw == "fail" || kw == "recover") return do_fail_recover(d);
+    if (kw == "fault-schedule") return do_fault_schedule(d);
+    if (kw == "check-invariants") return do_check_invariants(d);
     if (kw == "expect") return do_expect(d);
     if (kw == "print") {
       report_.output.push_back(d.raw_tail);
@@ -447,6 +453,59 @@ class Runner {
     return {};
   }
 
+  util::Result<void> do_fault_schedule(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "fault-schedule before finalize");
+    if (d.heredoc.empty()) return error_at(d.line, "fault-schedule needs a heredoc body");
+    auto schedule = fault::parse_schedule(d.heredoc);
+    if (!schedule.ok()) return error_at(d.line, schedule.error());
+    // One injector per scenario: its applied-action log accumulates across
+    // schedules and is echoed when a later check-invariants fails.
+    if (injector_ == nullptr) {
+      injector_ = std::make_unique<fault::FaultInjector>(*cluster_);
+    }
+    auto armed = injector_->arm(schedule.value());
+    if (!armed.ok()) return error_at(d.line, armed.error());
+    report_.output.push_back("fault-schedule armed: " +
+                             std::to_string(schedule.value().size()) + " action(s)");
+    return {};
+  }
+
+  util::Result<void> do_check_invariants(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "check-invariants before finalize");
+    fault::InvariantReport report;
+    if (d.args.empty()) {
+      report = fault::check_all(*cluster_);
+    } else {
+      for (const auto& which : d.args) {
+        if (which == "trees") {
+          report.merge(fault::check_tree_reachability(*cluster_));
+        } else if (which == "children") {
+          report.merge(fault::check_child_consistency(*cluster_));
+        } else if (which == "aggregates") {
+          report.merge(fault::check_aggregates(*cluster_));
+        } else if (which == "reservations") {
+          report.merge(fault::check_reservations(*cluster_));
+        } else if (which == "pastry") {
+          report.merge(fault::check_pastry(cluster_->overlay()));
+        } else {
+          return error_at(d.line, "unknown checker '" + which +
+                                      "' (trees|children|aggregates|reservations|pastry)");
+        }
+      }
+    }
+    ++report_.expectations;
+    if (!report.ok()) {
+      std::string msg =
+          "invariant check failed (seed " + std::to_string(seed_) + "):\n" + report.to_string();
+      if (injector_ != nullptr && !injector_->log().empty()) {
+        msg += "applied fault log:\n" + injector_->log_text();
+      }
+      return error_at(d.line, msg);
+    }
+    report_.output.push_back("invariants ok");
+    return {};
+  }
+
   util::Result<void> do_expect(const Directive& d) {
     ++report_.expectations;
     if (d.args.empty()) return error_at(d.line, "expect needs a condition");
@@ -505,6 +564,7 @@ class Runner {
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
   std::unique_ptr<core::RBayCluster> cluster_;
+  std::unique_ptr<fault::FaultInjector> injector_;  // after cluster_: dtor order
   bool finalized_ = false;
   std::size_t last_query_node_ = SIZE_MAX;
   core::QueryOutcome last_outcome_;

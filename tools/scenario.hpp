@@ -41,6 +41,13 @@
 //   admin-deliver <site> <tree-canonical> <attr> <payload>
 //   hide <site> <attr> | expose <site> <attr>
 //   fail <site> <i> | recover <site> <i>
+//   fault-schedule <<EOF ... EOF     arm a timed fault script (after
+//                                    finalize; offsets relative to now —
+//                                    see docs/FAULT_INJECTION.md)
+//   check-invariants [checker...]    run post-convergence invariant
+//                                    checkers (trees children aggregates
+//                                    reservations pastry; default: all);
+//                                    violations fail the scenario
 //   expect satisfied | expect denied | expect nodes N | expect count N
 //   print <text...> | stats
 //
