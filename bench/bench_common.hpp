@@ -10,7 +10,11 @@
 // All benches accept `--seed N` and default to the documented workload
 // scale; `--small` shrinks the workload for smoke runs.  Benches built on
 // EvalFederation also accept `--metrics <path>` to dump the observability
-// registry's JSON snapshot ('-' = stdout) after the run.
+// registry's JSON snapshot ('-' = stdout) after the run.  The figure
+// benches additionally accept `--json <path>` (machine-readable result
+// summary, integer microseconds — CI archives these as BENCH_<id>.json)
+// and `--trace <path>` (Chrome trace-event export of the run's causal
+// message log).
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,8 @@
 #include <string>
 
 #include "core/cluster.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/json.hpp"
 #include "util/stats.hpp"
 
 namespace rbay::bench {
@@ -26,6 +32,8 @@ struct Args {
   std::uint64_t seed = 42;
   bool small = false;
   std::string metrics_path;  // empty = observability disabled
+  std::string json_path;     // empty = no machine-readable summary
+  std::string trace_path;    // empty = no Chrome trace export
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -36,9 +44,18 @@ struct Args {
         args.small = true;
       } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
         args.metrics_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        args.trace_path = argv[++i];
       }
     }
     return args;
+  }
+
+  /// Tracing rides on the obs registry, so --trace implies metrics.
+  [[nodiscard]] bool wants_metrics() const {
+    return !metrics_path.empty() || !trace_path.empty();
   }
 };
 
@@ -55,6 +72,104 @@ inline void dump_metrics(core::RBayCluster& cluster, const std::string& path) {
   out << json;
   std::fprintf(stderr, "metrics written to %s\n", path.c_str());
 }
+
+/// Writes the cluster's causal log as Chrome trace-event JSON to `path`
+/// ('-' = stdout).  No-op when the cluster was built without metrics.
+inline void dump_trace(core::RBayCluster& cluster, const std::string& path) {
+  if (path.empty() || cluster.metrics() == nullptr) return;
+  const std::string json =
+      obs::write_chrome_trace(cluster.metrics()->causal_log(), cluster.chrome_labels());
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::ofstream out{path};
+  out << json;
+  std::fprintf(stderr, "trace written to %s\n", path.c_str());
+}
+
+/// Machine-readable result summary for the figure benches — the file CI
+/// archives as BENCH_<id>.json.  Integer microseconds of VIRTUAL time
+/// only, so same-seed runs produce byte-identical files.
+struct BenchJson {
+  std::string bench;  // e.g. "fig9"
+  std::uint64_t seed = 0;
+  std::size_t sites = 0;
+  std::size_t nodes = 0;
+
+  struct Series {
+    std::string origin;
+    std::size_t sites_queried = 0;
+    int queries = 0;
+    int satisfied = 0;
+    std::int64_t p50_us = 0;
+    std::int64_t p99_us = 0;
+  };
+  std::vector<Series> series;
+
+  void add(const std::string& origin, std::size_t sites_queried, int queries,
+           int satisfied, const util::Samples& latency_us) {
+    series.push_back(Series{origin, sites_queried, queries, satisfied,
+                            static_cast<std::int64_t>(latency_us.percentile(50)),
+                            static_cast<std::int64_t>(latency_us.percentile(99))});
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    obs::json::append_key(out, "bench");
+    obs::json::append_string(out, bench);
+    out += ",";
+    obs::json::append_key(out, "seed");
+    obs::json::append_uint(out, seed);
+    out += ",";
+    obs::json::append_key(out, "sites");
+    obs::json::append_uint(out, sites);
+    out += ",";
+    obs::json::append_key(out, "nodes");
+    obs::json::append_uint(out, nodes);
+    out += ",";
+    obs::json::append_key(out, "series");
+    out += "[";
+    obs::json::Comma comma;
+    for (const auto& s : series) {
+      comma.next(out);
+      out += "{";
+      obs::json::append_key(out, "origin");
+      obs::json::append_string(out, s.origin);
+      out += ",";
+      obs::json::append_key(out, "sites_queried");
+      obs::json::append_uint(out, s.sites_queried);
+      out += ",";
+      obs::json::append_key(out, "queries");
+      obs::json::append_int(out, s.queries);
+      out += ",";
+      obs::json::append_key(out, "satisfied");
+      obs::json::append_int(out, s.satisfied);
+      out += ",";
+      obs::json::append_key(out, "p50_us");
+      obs::json::append_int(out, s.p50_us);
+      out += ",";
+      obs::json::append_key(out, "p99_us");
+      obs::json::append_int(out, s.p99_us);
+      out += "}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes the summary to `path` ('-' = stdout); no-op on empty path.
+  void dump(const std::string& path) const {
+    if (path.empty()) return;
+    const std::string json = to_json();
+    if (path == "-") {
+      std::fputs(json.c_str(), stdout);
+      return;
+    }
+    std::ofstream out{path};
+    out << json;
+    std::fprintf(stderr, "bench summary written to %s\n", path.c_str());
+  }
+};
 
 inline void print_header(const char* id, const char* title) {
   std::printf("==============================================================\n");

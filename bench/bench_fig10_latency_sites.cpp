@@ -17,10 +17,16 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 10", "avg query latency vs #requesting sites, per origin locale");
 
   EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
-                     /*with_password=*/true, /*metrics=*/!args.metrics_path.empty()};
+                     /*with_password=*/true, /*metrics=*/args.wants_metrics()};
   auto& cluster = fed.cluster;
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 10 : 50;
+
+  bench::BenchJson summary;
+  summary.bench = "fig10";
+  summary.seed = args.seed;
+  summary.sites = names.size();
+  summary.nodes = cluster.size();
 
   std::printf("%-12s", "origin");
   for (std::size_t n = 1; n <= names.size(); ++n) {
@@ -43,6 +49,8 @@ int main(int argc, char** argv) {
         ++added;
       }
       util::Samples latency;
+      util::Samples latency_us;
+      int satisfied = 0;
       for (int q = 0; q < queries; ++q) {
         const auto& type = bench::gaussian_instance_type(cluster.engine().rng());
         const auto outcome =
@@ -50,7 +58,10 @@ int main(int argc, char** argv) {
                                            "' AND CPU_utilization < 0.95 AND Matlab != 'none' "
                                            "WITH \"rbay\"");
         latency.add(outcome.latency().as_millis());
+        latency_us.add(static_cast<double>(outcome.latency().as_micros()));
+        if (outcome.satisfied) ++satisfied;
       }
+      summary.add(origin_name, n_sites, queries, satisfied, latency_us);
       std::printf(" %6.1f±%-6.1f", latency.mean(), latency.stddev());
     }
     std::printf("\n");
@@ -60,5 +71,7 @@ int main(int argc, char** argv) {
       "expected shape: fast local column; growth over 2..5 sites; plateau at 5-8 sites\n"
       "once the most distant region's RTT is already part of the parallel fan-out.\n");
   bench::dump_metrics(cluster, args.metrics_path);
+  bench::dump_trace(cluster, args.trace_path);
+  summary.dump(args.json_path);
   return 0;
 }

@@ -18,10 +18,16 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 9", "CDF of composite query latencies (1-site .. 8-site)");
 
   EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
-                     /*with_password=*/true, /*metrics=*/!args.metrics_path.empty()};
+                     /*with_password=*/true, /*metrics=*/args.wants_metrics()};
   auto& cluster = fed.cluster;
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 20 : 100;
+
+  bench::BenchJson summary;
+  summary.bench = "fig9";
+  summary.seed = args.seed;
+  summary.sites = names.size();
+  summary.nodes = cluster.size();
 
   const std::vector<std::string> origins = {"Virginia", "Singapore", "SaoPaulo"};
   for (const auto& origin_name : origins) {
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
       }
 
       util::Samples latency;
+      util::Samples latency_us;
       int satisfied = 0;
       for (int q = 0; q < queries; ++q) {
         const auto& type = bench::gaussian_instance_type(cluster.engine().rng());
@@ -53,8 +60,10 @@ int main(int argc, char** argv) {
                              "' AND CPU_utilization < 0.95 AND Matlab != 'none' "
                              "WITH \"rbay\"");
         latency.add(outcome.latency().as_millis());
+        latency_us.add(static_cast<double>(outcome.latency().as_micros()));
         if (outcome.satisfied) ++satisfied;
       }
+      summary.add(origin_name, n_sites, queries, satisfied, latency_us);
       std::printf("%8zu %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %9.0f%%\n", n_sites,
                   latency.percentile(10), latency.percentile(25), latency.percentile(50),
                   latency.percentile(75), latency.percentile(90), latency.percentile(99),
@@ -65,5 +74,7 @@ int main(int argc, char** argv) {
       "\nexpected shape: ~flat single-site CDFs; multi-site latency bounded by the RTT\n"
       "to the farthest requested site; Singapore origins shifted right vs Virginia/SP.\n");
   bench::dump_metrics(cluster, args.metrics_path);
+  bench::dump_trace(cluster, args.trace_path);
+  summary.dump(args.json_path);
   return 0;
 }

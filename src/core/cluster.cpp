@@ -80,4 +80,17 @@ void RBayCluster::resubscribe_all() {
   for (auto& node : nodes_) node->reevaluate_subscriptions();
 }
 
+obs::ChromeTraceLabels RBayCluster::chrome_labels() const {
+  obs::ChromeTraceLabels labels;
+  for (net::SiteId s = 0; s < config_.topology.site_count(); ++s) {
+    labels.sites[s] = config_.topology.site(s).name;
+  }
+  for (const auto& node : nodes_) {
+    const auto& self = node->self();
+    labels.endpoints[self.endpoint] =
+        obs::ChromeEndpoint{self.site, "node " + self.id.to_hex().substr(0, 12)};
+  }
+  return labels;
+}
+
 }  // namespace rbay::core

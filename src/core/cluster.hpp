@@ -14,6 +14,7 @@
 
 #include "core/query_interface.hpp"
 #include "core/rbay_node.hpp"
+#include "obs/export_chrome.hpp"
 #include "obs/metrics.hpp"
 
 namespace rbay::core {
@@ -67,6 +68,10 @@ class RBayCluster {
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
   [[nodiscard]] std::vector<std::size_t> nodes_in_site(net::SiteId site) const;
+
+  /// Display labels for the Chrome-trace exporter: one "process" per site
+  /// (topology names), one "thread" per node (short hex id).
+  [[nodiscard]] obs::ChromeTraceLabels chrome_labels() const;
 
   /// Nodes' indices by NodeId (for test assertions).
   [[nodiscard]] std::size_t index_of(const pastry::NodeId& id) const {

@@ -8,6 +8,17 @@
 
 namespace rbay::core {
 
+namespace {
+
+/// Causal log of the engine-attached registry, or nullptr when
+/// observability is off.
+obs::CausalLog* causal_log(sim::Engine& engine) {
+  auto* registry = engine.metrics();
+  return registry == nullptr ? nullptr : &registry->causal();
+}
+
+}  // namespace
+
 QueryInterface::QueryInterface(RBayNode& owner, QueryConfig config)
     : owner_(owner), config_(config) {
   owner_.pastry().register_app(kAppName, this);
@@ -35,6 +46,8 @@ void QueryInterface::execute(query::Query query, Callback callback) {
   if (auto* reg = owner_.engine().metrics()) {
     reg->fed().counter("query.started").inc();
     reg->tracer().begin_query(pending.outcome.query_id, pending.outcome.started);
+    pending.ctx = reg->causal().begin_trace(pending.outcome.query_id, owner_.site(),
+                                            owner_.self().endpoint, pending.outcome.started);
   }
   pending_.emplace(id, std::move(pending));
   attempt(id);
@@ -75,6 +88,15 @@ void QueryInterface::attempt(std::uint64_t id) {
   p.gathered.clear();
   p.count_total = 0.0;
 
+  // Everything this attempt dispatches descends from the stored context:
+  // the trace root on attempt 1, the backoff_retry event on later attempts.
+  // The dispatch legs (site requests, size probes) are Probe-phase work.
+  auto* causal = causal_log(owner_.engine());
+  p.ctx.attempt = static_cast<std::uint8_t>(std::min(p.outcome.attempts, 255));
+  obs::TraceContext actx = p.ctx;
+  actx.phase = static_cast<std::uint8_t>(obs::Phase::kProbe);
+  obs::ContextScope attempt_scope(causal, actx);
+
   std::string error;
   auto sites = resolve_sites(p.query, error);
   if (!error.empty() || sites.empty()) {
@@ -104,6 +126,16 @@ void QueryInterface::attempt(std::uint64_t id) {
     if (tit == pending_.end()) return;
     auto& tp = tit->second;
     if (tp.outcome.attempts != attempt_no || tp.waiting_sites <= 0) return;
+    // A timer firing has no ambient context; rejoin the trace through the
+    // stored per-query context so the timeout (and whatever finish_attempt
+    // does next) stays on the causal chain.
+    auto* tcausal = causal_log(owner_.engine());
+    obs::ContextScope rejoin(tcausal, tp.ctx);
+    obs::ContextScope fire(tcausal,
+                           tcausal != nullptr
+                               ? tcausal->local(owner_.site(), owner_.self().endpoint,
+                                                "query.site_timeout", owner_.engine().now())
+                               : obs::TraceContext{});
     if (auto* reg = owner_.engine().metrics()) {
       reg->fed().counter("query.site_timeouts").inc(
           static_cast<std::uint64_t>(tp.waiting_sites));
@@ -165,6 +197,11 @@ void QueryInterface::complete(std::map<std::uint64_t, Pending>::iterator it) {
     reg->site(owner_.site()).latency("query.latency").add(p.outcome.latency());
     reg->tracer().finish_query(p.outcome.query_id, p.outcome.finished, p.outcome.satisfied,
                                p.outcome.attempts);
+    // Terminus of the causal chain: its parent is the ambient span (the
+    // final reply/timeout that completed the query), making the walk from
+    // here backward the critical path.
+    reg->causal().finish_trace(p.ctx, owner_.site(), owner_.self().endpoint,
+                               p.outcome.finished);
   }
   auto cb = std::move(p.callback);
   auto outcome = std::move(p.outcome);
@@ -201,9 +238,19 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
     return a.node.id < b.node.id;
   });
 
+  // Attachment point for commit/retry causal work: the ambient span when it
+  // belongs to this trace (the reply that closed the attempt), else the
+  // stored per-query context.
+  auto* causal = causal_log(owner_.engine());
+  obs::TraceContext base = causal != nullptr ? causal->current() : obs::TraceContext{};
+  if (!base.active() || base.trace_id != p.ctx.trace_id) base = p.ctx;
+
   const auto want = static_cast<std::size_t>(p.query.k);
   if (p.gathered.size() >= want) {
     p.outcome.nodes.assign(p.gathered.begin(), p.gathered.begin() + static_cast<long>(want));
+    obs::TraceContext cctx = base;
+    cctx.phase = static_cast<std::uint8_t>(obs::Phase::kCommit);
+    obs::ContextScope commit_scope(causal, cctx);
     // Release the surplus reservations immediately.
     for (std::size_t i = want; i < p.gathered.size(); ++i) {
       auto release = std::make_unique<ReleaseMsg>();
@@ -224,10 +271,15 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
 
   // Not enough: release everything and retry after truncated exponential
   // backoff, or give up after max_attempts.
-  for (const auto& c : p.gathered) {
-    auto release = std::make_unique<ReleaseMsg>();
-    release->query_id = p.outcome.query_id;
-    owner_.pastry().send_direct(c.node, std::move(release), kAppName);
+  {
+    obs::TraceContext rctx = base;
+    rctx.phase = static_cast<std::uint8_t>(obs::Phase::kCommit);
+    obs::ContextScope release_scope(causal, rctx);
+    for (const auto& c : p.gathered) {
+      auto release = std::make_unique<ReleaseMsg>();
+      release->query_id = p.outcome.query_id;
+      owner_.pastry().send_direct(c.node, std::move(release), kAppName);
+    }
   }
   p.gathered.clear();
 
@@ -243,6 +295,15 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
     reg->fed().counter("query.backoff_retries").inc();
     reg->tracer().event(p.outcome.query_id, "backoff_retry", p.outcome.attempts,
                         owner_.engine().now());
+  }
+  if (causal != nullptr) {
+    // Move the re-attachment point to a "query.backoff_retry" event hanging
+    // off the reply that ended this attempt: the next attempt's messages
+    // chain through it, so the critical path covers the failed attempt and
+    // the backoff wait.
+    obs::ContextScope retry_scope(causal, base);
+    p.ctx = causal->local(owner_.site(), owner_.self().endpoint, "query.backoff_retry",
+                          owner_.engine().now(), static_cast<int>(obs::kPhaseNone));
   }
   owner_.engine().schedule(delay, [this, id]() { attempt(id); });
 }
@@ -353,6 +414,13 @@ void QueryInterface::run_site_query(
       reg->tracer().begin_span(state->job.query_id, obs::Phase::kAnycast, state->job.attempt,
                                anycast_start);
     }
+    // The dispatch leg toward the tree carries the Anycast phase; the first
+    // tree node remaps it to MemberSearch for the DFS walk.
+    auto* causal = causal_log(owner_.engine());
+    obs::TraceContext dispatch_ctx =
+        causal != nullptr ? causal->current() : obs::TraceContext{};
+    dispatch_ctx.phase = static_cast<std::uint8_t>(obs::Phase::kAnycast);
+    obs::ContextScope dispatch_scope(causal, dispatch_ctx);
     owner_.scribe().anycast(
         state->topics[best], std::move(payload),
         [this, state, anycast_start](bool /*satisfied*/, int visited,
@@ -377,7 +445,13 @@ void QueryInterface::run_site_query(
         pastry::Scope::Site);
   };
 
-  // Steps 1-2: probe every predicate tree's size in parallel.
+  // Steps 1-2: probe every predicate tree's size in parallel.  Probe
+  // requests are Probe-phase causal children of whatever dispatched this
+  // site query (local attempt or gateway request).
+  auto* causal = causal_log(owner_.engine());
+  obs::TraceContext probe_ctx = causal != nullptr ? causal->current() : obs::TraceContext{};
+  probe_ctx.phase = static_cast<std::uint8_t>(obs::Phase::kProbe);
+  obs::ContextScope probe_scope(causal, probe_ctx);
   for (std::size_t i = 0; i < state->topics.size(); ++i) {
     owner_.scribe().probe_size(
         state->topics[i],

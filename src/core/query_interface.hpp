@@ -23,6 +23,7 @@
 #include "core/messages.hpp"
 #include "core/naming.hpp"
 #include "core/query_config.hpp"
+#include "obs/context.hpp"
 #include "pastry/node.hpp"
 #include "query/reservation.hpp"
 #include "query/sql.hpp"
@@ -95,6 +96,11 @@ class QueryInterface final : public pastry::PastryApp {
     double count_total = 0.0;
     std::vector<Candidate> gathered;
     sim::Timer timeout;
+    /// Causal re-attachment point for continuations that fire outside any
+    /// delivery (site timeout, backoff retry).  Starts at the trace root;
+    /// a backoff retry moves it to the "query.backoff_retry" event so the
+    /// critical path chains through the failed attempt.
+    obs::TraceContext ctx;
   };
 
   void attempt(std::uint64_t id);

@@ -236,7 +236,13 @@ bool RBayNode::on_anycast(const scribe::TopicId& /*topic*/, scribe::AnycastPaylo
     }
     return false;
   }
-  if (reg != nullptr) reg->fed().counter("query.slots_filled").inc();
+  if (reg != nullptr) {
+    reg->fed().counter("query.slots_filled").inc();
+    // Causal point for step 4b; the hop-attribution test cross-checks its
+    // count against the SlotFill span's hops.
+    reg->causal().local(site(), self().endpoint, "query.slot_fill", engine().now(),
+                        static_cast<int>(obs::Phase::kSlotFill));
+  }
 
   double sort_value = 0.0;
   if (request->group_by) {

@@ -27,11 +27,22 @@ std::string tree_tag(const core::TreeSpec& spec, const std::string& site_name) {
 }  // namespace
 
 void InvariantReport::add(const std::string& invariant, std::string detail) {
-  violations.push_back(Violation{invariant, std::move(detail)});
+  violations.push_back(Violation{invariant, std::move(detail), {}});
+}
+
+void InvariantReport::add(const std::string& invariant, std::string detail,
+                          std::vector<std::size_t> nodes) {
+  violations.push_back(Violation{invariant, std::move(detail), std::move(nodes)});
 }
 
 void InvariantReport::merge(InvariantReport other) {
   for (auto& v : other.violations) violations.push_back(std::move(v));
+}
+
+std::vector<std::size_t> InvariantReport::named_nodes() const {
+  std::set<std::size_t> unique;
+  for (const auto& v : violations) unique.insert(v.nodes.begin(), v.nodes.end());
+  return {unique.begin(), unique.end()};
 }
 
 std::string InvariantReport::to_string() const {
@@ -64,13 +75,15 @@ InvariantReport check_tree_reachability(core::RBayCluster& cluster) {
 
       if (roots.empty()) {
         report.add("tree-reachability",
-                   tag + std::to_string(members.size()) + " live member(s) but no live root");
+                   tag + std::to_string(members.size()) + " live member(s) but no live root",
+                   members);
         continue;
       }
       if (roots.size() > 1) {
         std::string list;
         for (const auto r : roots) list += " " + std::to_string(r);
-        report.add("tree-reachability", tag + "split brain: multiple live roots:" + list);
+        report.add("tree-reachability", tag + "split brain: multiple live roots:" + list,
+                   roots);
         continue;
       }
 
@@ -93,7 +106,8 @@ InvariantReport check_tree_reachability(core::RBayCluster& cluster) {
           report.add("tree-reachability",
                      tag + "live member node " + std::to_string(m) + " (" +
                          short_id(cluster.node(m).self()) +
-                         ") unreachable from root node " + std::to_string(roots.front()));
+                         ") unreachable from root node " + std::to_string(roots.front()),
+                     {m, roots.front()});
         }
       }
     }
@@ -119,9 +133,10 @@ InvariantReport check_child_consistency(core::RBayCluster& cluster) {
         for (const auto& child : scribe.children_of(topic)) {
           const auto ci = cluster.index_of(child.id);
           if (overlay.is_failed(ci)) {
-            report.add("child-consistency", tag + "node " + std::to_string(i) +
-                                                " holds dead child " + std::to_string(ci) +
-                                                " (" + short_id(child) + ")");
+            report.add("child-consistency",
+                       tag + "node " + std::to_string(i) + " holds dead child " +
+                           std::to_string(ci) + " (" + short_id(child) + ")",
+                       {i, ci});
             continue;
           }
           const auto childs_parent = cluster.node(ci).scribe().parent_of(topic);
@@ -130,7 +145,8 @@ InvariantReport check_child_consistency(core::RBayCluster& cluster) {
             report.add("child-consistency",
                        tag + "orphaned ChildState: node " + std::to_string(i) +
                            " lists child " + std::to_string(ci) +
-                           " which is attached elsewhere");
+                           " which is attached elsewhere",
+                       {i, ci});
           }
         }
 
@@ -139,9 +155,10 @@ InvariantReport check_child_consistency(core::RBayCluster& cluster) {
         if (!parent.has_value()) continue;
         const auto pi = cluster.index_of(parent->id);
         if (overlay.is_failed(pi)) {
-          report.add("child-consistency", tag + "node " + std::to_string(i) +
-                                              " still points at dead parent " +
-                                              std::to_string(pi));
+          report.add("child-consistency",
+                     tag + "node " + std::to_string(i) + " still points at dead parent " +
+                         std::to_string(pi),
+                     {i, pi});
           continue;
         }
         const auto siblings = cluster.node(pi).scribe().children_of(topic);
@@ -150,9 +167,10 @@ InvariantReport check_child_consistency(core::RBayCluster& cluster) {
                                           return c.id == cluster.node(i).self().id;
                                         });
         if (!listed) {
-          report.add("child-consistency", tag + "half-link: node " + std::to_string(i) +
-                                              "'s parent " + std::to_string(pi) +
-                                              " does not list it as a child");
+          report.add("child-consistency",
+                     tag + "half-link: node " + std::to_string(i) + "'s parent " +
+                         std::to_string(pi) + " does not list it as a child",
+                     {i, pi});
         }
       }
     }
@@ -182,10 +200,11 @@ InvariantReport check_aggregates(core::RBayCluster& cluster, double tolerance) {
       if (roots.size() != 1 || truth == 0.0) continue;
       const double at_root = cluster.node(roots.front()).scribe().aggregate_value(topic);
       if (std::abs(at_root - truth) > tolerance) {
-        report.add("aggregate", tree_tag(spec, site_name) + "root node " +
-                                    std::to_string(roots.front()) + " reports " +
-                                    std::to_string(at_root) + ", live members = " +
-                                    std::to_string(truth));
+        report.add("aggregate",
+                   tree_tag(spec, site_name) + "root node " + std::to_string(roots.front()) +
+                       " reports " + std::to_string(at_root) + ", live members = " +
+                       std::to_string(truth),
+                   {roots.front()});
       }
     }
   }
@@ -204,6 +223,7 @@ InvariantReport check_reservations(core::RBayCluster& cluster) {
     if (!committed && !reserved) continue;
 
     const auto where = "node " + std::to_string(i) + " held by '" + lock.holder() + "'";
+    const std::size_t self_idx = i;
     // query_id format: first 12 hex chars of the originating node's id,
     // then "#<seq>" — resolve the holder back to its node.
     const auto& holder = lock.holder();
@@ -219,18 +239,21 @@ InvariantReport check_reservations(core::RBayCluster& cluster) {
       }
     }
     if (origin == cluster.size()) {
-      report.add("reservation", where + ": holder does not resolve to any node");
+      report.add("reservation", where + ": holder does not resolve to any node",
+                 {self_idx});
       continue;
     }
     if (overlay.is_failed(origin)) {
       report.add("reservation",
-                 where + ": holder's node " + std::to_string(origin) + " is dead");
+                 where + ": holder's node " + std::to_string(origin) + " is dead",
+                 {self_idx, origin});
       continue;
     }
     if (reserved && !committed) {
       report.add("reservation",
                  where + ": anycast hold still pending at quiescence (expires " +
-                     std::to_string(lock.lease_expiry().as_millis()) + "ms)");
+                     std::to_string(lock.lease_expiry().as_millis()) + "ms)",
+                 {self_idx, origin});
     }
   }
   return report;
@@ -252,18 +275,19 @@ InvariantReport check_pastry(const pastry::Overlay& overlay) {
     const auto who = "node " + std::to_string(idx) + " " +
                      (clockwise ? "cw" : "ccw") + " leaf side: ";
     if (side.size() > static_cast<std::size_t>(half_size)) {
-      report.add("pastry-leaf", who + "overflows half_size");
+      report.add("pastry-leaf", who + "overflows half_size", {idx});
     }
     const auto& owner = overlay.ref(idx).id;
     std::set<pastry::NodeId> seen;
     for (std::size_t i = 0; i < side.size(); ++i) {
-      if (side[i].id == owner) report.add("pastry-leaf", who + "contains its owner");
+      if (side[i].id == owner) report.add("pastry-leaf", who + "contains its owner", {idx});
       if (overlay.is_failed(overlay.index_of(side[i].id))) {
         report.add("pastry-leaf",
-                   who + "contains dead node " + side[i].id.to_hex().substr(0, 8));
+                   who + "contains dead node " + side[i].id.to_hex().substr(0, 8),
+                   {idx, overlay.index_of(side[i].id)});
       }
       if (!seen.insert(side[i].id).second) {
-        report.add("pastry-leaf", who + "duplicate entry");
+        report.add("pastry-leaf", who + "duplicate entry", {idx});
       }
       if (i == 0) continue;
       const auto prev = clockwise ? cw_distance(owner, side[i - 1].id)
@@ -271,7 +295,7 @@ InvariantReport check_pastry(const pastry::Overlay& overlay) {
       const auto cur = clockwise ? cw_distance(owner, side[i].id)
                                  : cw_distance(side[i].id, owner);
       if (!(prev < cur)) {
-        report.add("pastry-leaf", who + "not sorted by ring distance");
+        report.add("pastry-leaf", who + "not sorted by ring distance", {idx});
       }
     }
   };
@@ -287,14 +311,16 @@ InvariantReport check_pastry(const pastry::Overlay& overlay) {
                           " col " + std::to_string(col);
         if (entry->id == owner) {
           report.add("pastry-routing",
-                     "node " + std::to_string(idx) + " " + slot + " holds its owner");
+                     "node " + std::to_string(idx) + " " + slot + " holds its owner", {idx});
           continue;
         }
         if (owner.shared_prefix_digits(entry->id) != row ||
             entry->id.digit(row) != static_cast<unsigned>(col)) {
-          report.add("pastry-routing", "node " + std::to_string(idx) + " " + slot +
-                                           " violates the prefix rule (" +
-                                           entry->id.to_hex().substr(0, 8) + ")");
+          report.add("pastry-routing",
+                     "node " + std::to_string(idx) + " " + slot +
+                         " violates the prefix rule (" + entry->id.to_hex().substr(0, 8) +
+                         ")",
+                     {idx});
         }
       }
     }
@@ -318,19 +344,22 @@ InvariantReport check_pastry(const pastry::Overlay& overlay) {
     const auto& cw = node.leaf_set().clockwise();
     if (cw.empty()) {
       report.add("pastry-leaf",
-                 "node " + std::to_string(idx) + " lost its whole clockwise side");
+                 "node " + std::to_string(idx) + " lost its whole clockwise side", {idx});
       continue;
     }
     if (cw.front().id != overlay.ref(succ).id) {
-      report.add("pastry-leaf", "node " + std::to_string(idx) +
-                                    ": immediate successor is not the next live id");
+      report.add("pastry-leaf",
+                 "node " + std::to_string(idx) +
+                     ": immediate successor is not the next live id",
+                 {idx, succ});
       continue;
     }
     const auto& succ_ccw = overlay.node(succ).leaf_set().counter_clockwise();
     if (succ_ccw.empty() || succ_ccw.front().id != node.self().id) {
-      report.add("pastry-leaf", "node " + std::to_string(succ) +
-                                    " does not point back at node " + std::to_string(idx) +
-                                    " (asymmetric leaf sets)");
+      report.add("pastry-leaf",
+                 "node " + std::to_string(succ) + " does not point back at node " +
+                     std::to_string(idx) + " (asymmetric leaf sets)",
+                 {succ, idx});
     }
   }
   return report;
@@ -343,6 +372,27 @@ InvariantReport check_all(core::RBayCluster& cluster) {
   report.merge(check_reservations(cluster));
   report.merge(check_pastry(cluster.overlay()));
   return report;
+}
+
+std::string failure_dump(core::RBayCluster& cluster, const InvariantReport& report) {
+  std::ostringstream out;
+  out << "=== chaos failure dump ===\n" << report.to_string();
+  auto* registry = cluster.metrics();
+  if (registry == nullptr) {
+    out << "no obs registry attached: flight recorder and metrics unavailable\n";
+    return out.str();
+  }
+  const auto& causal = registry->causal_log();
+  for (const auto idx : report.named_nodes()) {
+    if (idx >= cluster.size()) continue;
+    const auto& self = cluster.node(idx).self();
+    out << "--- flight recorder: node " << idx << " (" << self.id.to_hex().substr(0, 12)
+        << ", site " << self.site << ", endpoint " << self.endpoint << ") ---\n";
+    const std::string ring = causal.dump_flight(self.endpoint);
+    out << (ring.empty() ? std::string("(empty ring)\n") : ring);
+  }
+  out << "--- obs registry ---\n" << registry->to_json() << "\n";
+  return out.str();
 }
 
 }  // namespace rbay::fault

@@ -38,6 +38,9 @@ namespace rbay::fault {
 struct Violation {
   std::string invariant;  // which checker fired, e.g. "tree-reachability"
   std::string detail;     // what exactly is wrong, with node/topic context
+  /// Cluster indices of the nodes named in `detail` — drives the flight
+  /// recorder dump in failure_dump().
+  std::vector<std::size_t> nodes;
 };
 
 struct InvariantReport {
@@ -46,7 +49,10 @@ struct InvariantReport {
   [[nodiscard]] bool ok() const { return violations.empty(); }
   [[nodiscard]] std::string to_string() const;
   void add(const std::string& invariant, std::string detail);
+  void add(const std::string& invariant, std::string detail, std::vector<std::size_t> nodes);
   void merge(InvariantReport other);
+  /// Every node index named by any violation, deduplicated and sorted.
+  [[nodiscard]] std::vector<std::size_t> named_nodes() const;
 };
 
 InvariantReport check_tree_reachability(core::RBayCluster& cluster);
@@ -59,5 +65,13 @@ InvariantReport check_pastry(const pastry::Overlay& overlay);
 
 /// Runs every checker above and merges the reports.
 InvariantReport check_all(core::RBayCluster& cluster);
+
+/// Diagnostic payload for a failing report: the per-node flight-recorder
+/// rings of every node named in the violations, followed by the full obs
+/// registry JSON — so a failing chaos seed ships with the message history
+/// that produced it and is diagnosable without a rerun.  Requires the
+/// cluster to run with metrics attached; says so when it does not.
+[[nodiscard]] std::string failure_dump(core::RBayCluster& cluster,
+                                       const InvariantReport& report);
 
 }  // namespace rbay::fault

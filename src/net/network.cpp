@@ -42,6 +42,7 @@ void Network::refresh_metrics() {
   metrics_.dropped = &fed.counter("net.messages_dropped");
   metrics_.bytes = &fed.counter("net.bytes_sent");
   metrics_.delay = &fed.latency("net.delivery_delay");
+  metrics_.causal = &registry->causal();
   for (SiteId s = 0; s < topology_.site_count(); ++s) {
     metrics_.site_sent.push_back(&registry->site(s).counter("net.messages_sent"));
     metrics_.site_bytes.push_back(&registry->site(s).counter("net.bytes_sent"));
@@ -56,11 +57,16 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   if (metrics_.registry != engine_.metrics()) refresh_metrics();
 
   auto& src = endpoints_[from];
+  const SiteId sa = src.site;
   if (src.down) {
     // A dead node does not speak: its timers may still fire in the
     // simulation, but nothing leaves the machine.
     ++stats_.messages_dropped;
     if (metrics_.dropped != nullptr) metrics_.dropped->inc();
+    if (metrics_.causal != nullptr) {
+      metrics_.causal->on_drop(metrics_.causal->current(), sa, from, payload->type_name(),
+                               engine_.now());
+    }
     return;
   }
   const std::size_t size = payload->wire_size();
@@ -69,7 +75,6 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   ++src.stats.sent;
   src.stats.bytes_sent += size;
 
-  const SiteId sa = src.site;
   const SiteId sb = endpoints_[to].site;
   if (metrics_.sent != nullptr) {
     metrics_.sent->inc();
@@ -77,9 +82,18 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     metrics_.site_sent[sa]->inc();
     metrics_.site_bytes[sa]->inc(size);
   }
+  // Stamp the causal identity: a fresh span whose parent is whatever
+  // context is ambient right now (the delivery that triggered this send).
+  obs::TraceContext trace;
+  if (metrics_.causal != nullptr) {
+    trace = metrics_.causal->on_send(sa, from, payload->type_name(), engine_.now());
+  }
   if (partitioned(sa, sb) || (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
     ++stats_.messages_dropped;
     if (metrics_.dropped != nullptr) metrics_.dropped->inc();
+    if (metrics_.causal != nullptr) {
+      metrics_.causal->on_drop(trace, sa, from, payload->type_name(), engine_.now());
+    }
     return;
   }
 
@@ -99,11 +113,14 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   // std::function requires copyable callables, so the unique_ptr travels
   // inside a shared box and is moved out exactly once at delivery.
   auto box = std::make_shared<std::unique_ptr<Payload>>(std::move(payload));
-  engine_.schedule(delay, [this, from, to, box, size, delay]() {
+  engine_.schedule(delay, [this, from, to, box, size, delay, trace]() {
     auto& dst = endpoints_[to];
     if (dst.down) {
       ++stats_.messages_dropped;
       if (metrics_.dropped != nullptr) metrics_.dropped->inc();
+      if (metrics_.causal != nullptr) {
+        metrics_.causal->on_drop(trace, dst.site, to, (*box)->type_name(), engine_.now());
+      }
       return;
     }
     ++stats_.messages_delivered;
@@ -113,7 +130,15 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
       metrics_.delivered->inc();
       metrics_.delay->add(delay);
     }
-    dst.handler(Envelope{from, to, std::move(*box)});
+    if (metrics_.causal != nullptr) {
+      metrics_.causal->on_recv(trace, dst.site, to, (*box)->type_name(), engine_.now());
+    }
+    // Re-establish the message's context around the handler: every send or
+    // recorded local op the handler performs becomes a child span of this
+    // message.  That one rule propagates causality through pastry, scribe,
+    // and the query protocol without any per-protocol plumbing.
+    obs::ContextScope scope(metrics_.causal, trace);
+    dst.handler(Envelope{from, to, std::move(*box), trace});
   });
 }
 

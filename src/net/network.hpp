@@ -36,6 +36,10 @@ struct Envelope {
   EndpointId from = kInvalidEndpoint;
   EndpointId to = kInvalidEndpoint;
   std::unique_ptr<Payload> payload;
+  /// Causal identity stamped at send time (inactive when tracing is off or
+  /// no trace was ambient).  The network re-establishes it as the ambient
+  /// context around the handler, so most receivers never read it directly.
+  obs::TraceContext trace;
 };
 
 struct NetworkStats {
@@ -124,6 +128,7 @@ class Network {
     obs::Counter* dropped = nullptr;
     obs::Counter* bytes = nullptr;
     obs::LatencyHisto* delay = nullptr;
+    obs::CausalLog* causal = nullptr;
     std::vector<obs::Counter*> site_sent;
     std::vector<obs::Counter*> site_bytes;
   };

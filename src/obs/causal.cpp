@@ -1,0 +1,243 @@
+#include "obs/causal.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rbay::obs {
+
+const char* causal_kind_name(CausalKind kind) {
+  switch (kind) {
+    case CausalKind::kSend: return "send";
+    case CausalKind::kRecv: return "recv";
+    case CausalKind::kDrop: return "drop";
+    case CausalKind::kLocal: return "local";
+  }
+  return "?";
+}
+
+const char* phase_label(std::uint8_t phase) {
+  if (phase < static_cast<std::uint8_t>(kPhaseCount)) {
+    return phase_name(static_cast<Phase>(phase));
+  }
+  return "none";
+}
+
+TraceContext CausalLog::begin_trace(const std::string& query_id, std::uint32_t site,
+                                    std::uint32_t endpoint, util::SimTime at) {
+  if (traces_.size() >= kMaxTraces) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = ++next_trace_;
+  ctx.span_id = mint_span();
+  ctx.parent_span_id = 0;
+
+  TraceMeta meta;
+  meta.query_id = query_id;
+  meta.root_span = ctx.span_id;
+  meta.started = at;
+  traces_.emplace(ctx.trace_id, std::move(meta));
+  by_query_[query_id] = ctx.trace_id;
+
+  CausalEvent ev;
+  ev.kind = CausalKind::kLocal;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = 0;
+  ev.at = at;
+  ev.what = "query.start";
+  record(std::move(ev));
+  return ctx;
+}
+
+void CausalLog::finish_trace(const TraceContext& fallback, std::uint32_t site,
+                             std::uint32_t endpoint, util::SimTime at) {
+  const TraceContext& parent =
+      (current_.active() && current_.trace_id == fallback.trace_id) ? current_ : fallback;
+  if (!parent.active()) return;
+
+  CausalEvent ev;
+  ev.kind = CausalKind::kLocal;
+  ev.phase = kPhaseNone;
+  ev.attempt = parent.attempt;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = parent.trace_id;
+  ev.span_id = mint_span();
+  ev.parent_span_id = parent.span_id;
+  ev.at = at;
+  ev.what = "query.finish";
+
+  auto it = traces_.find(parent.trace_id);
+  if (it != traces_.end()) {
+    it->second.terminus_span = ev.span_id;
+    it->second.finished = at;
+    it->second.done = true;
+  }
+  record(std::move(ev));
+}
+
+const TraceMeta* CausalLog::find_trace(std::uint64_t trace_id) const {
+  auto it = traces_.find(trace_id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t CausalLog::trace_id_for(const std::string& query_id) const {
+  auto it = by_query_.find(query_id);
+  return it == by_query_.end() ? 0 : it->second;
+}
+
+TraceContext CausalLog::on_send(std::uint32_t site, std::uint32_t endpoint, const char* what,
+                                util::SimTime at) {
+  TraceContext ctx = current_;
+  if (ctx.active()) {
+    ctx.parent_span_id = current_.span_id;
+    ctx.span_id = mint_span();
+  }
+  CausalEvent ev;
+  ev.kind = CausalKind::kSend;
+  ev.phase = ctx.phase;
+  ev.attempt = ctx.attempt;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = ctx.parent_span_id;
+  ev.at = at;
+  ev.what = what;
+  record(std::move(ev));
+  return ctx;
+}
+
+void CausalLog::on_recv(const TraceContext& ctx, std::uint32_t site, std::uint32_t endpoint,
+                        const char* what, util::SimTime at) {
+  CausalEvent ev;
+  ev.kind = CausalKind::kRecv;
+  ev.phase = ctx.phase;
+  ev.attempt = ctx.attempt;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = ctx.parent_span_id;
+  ev.at = at;
+  ev.what = what;
+  record(std::move(ev));
+}
+
+void CausalLog::on_drop(const TraceContext& ctx, std::uint32_t site, std::uint32_t endpoint,
+                        const char* what, util::SimTime at) {
+  CausalEvent ev;
+  ev.kind = CausalKind::kDrop;
+  ev.phase = ctx.phase;
+  ev.attempt = ctx.attempt;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = ctx.parent_span_id;
+  ev.at = at;
+  ev.what = what;
+  record(std::move(ev));
+}
+
+TraceContext CausalLog::local(std::uint32_t site, std::uint32_t endpoint, const char* what,
+                              util::SimTime at, int phase_override) {
+  TraceContext ctx = current_;
+  if (ctx.active()) {
+    ctx.parent_span_id = current_.span_id;
+    ctx.span_id = mint_span();
+  }
+  if (phase_override >= 0) ctx.phase = static_cast<std::uint8_t>(phase_override);
+  CausalEvent ev;
+  ev.kind = CausalKind::kLocal;
+  ev.phase = ctx.phase;
+  ev.attempt = ctx.attempt;
+  ev.site = site;
+  ev.endpoint = endpoint;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.parent_span_id = ctx.parent_span_id;
+  ev.at = at;
+  ev.what = what;
+  record(std::move(ev));
+  return ctx;
+}
+
+void CausalLog::set_flight_capacity(std::size_t capacity) {
+  flight_capacity_ = capacity == 0 ? 1 : capacity;
+  // Existing rings keep their contents up to the new capacity; simplest
+  // deterministic behavior is to restart them.
+  rings_.clear();
+}
+
+std::vector<CausalEvent> CausalLog::flight_events(std::uint32_t endpoint) const {
+  std::vector<CausalEvent> out;
+  if (endpoint >= rings_.size()) return out;
+  const FlightRing& ring = rings_[endpoint];
+  const std::size_t n = ring.slots.size();
+  out.reserve(n);
+  // When the ring has wrapped, `next` points at the oldest slot.
+  const std::size_t start = (ring.total > n) ? ring.next : 0;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring.slots[(start + i) % n]);
+  return out;
+}
+
+std::string CausalLog::dump_flight(std::uint32_t endpoint) const {
+  std::string out;
+  const auto evs = flight_events(endpoint);
+  const std::uint64_t total = endpoint < rings_.size() ? rings_[endpoint].total : 0;
+  out += "flight recorder endpoint " + std::to_string(endpoint) + " (last " +
+         std::to_string(evs.size()) + " of " + std::to_string(total) + " events)\n";
+  for (const CausalEvent& ev : evs) {
+    out += "  t=" + std::to_string(ev.at.as_micros()) + "us " + causal_kind_name(ev.kind) +
+           " " + ev.what + " site=" + std::to_string(ev.site) +
+           " trace=" + std::to_string(ev.trace_id) + " span=" + std::to_string(ev.span_id) +
+           " parent=" + std::to_string(ev.parent_span_id) + " phase=" + phase_label(ev.phase) +
+           " attempt=" + std::to_string(ev.attempt) + "\n";
+  }
+  return out;
+}
+
+std::vector<const CausalEvent*> CausalLog::trace_events(std::uint64_t trace_id) const {
+  std::vector<const CausalEvent*> out;
+  for (const CausalEvent& ev : events_) {
+    if (ev.trace_id == trace_id) out.push_back(&ev);
+  }
+  return out;
+}
+
+void CausalLog::bind_counters(Counter* events, Counter* dropped) {
+  events_counter_ = events;
+  dropped_counter_ = dropped;
+}
+
+void CausalLog::record(CausalEvent ev) {
+  // Flight ring first: it sees every event, traced or not.
+  if (ev.endpoint >= rings_.size()) rings_.resize(ev.endpoint + 1);
+  FlightRing& ring = rings_[ev.endpoint];
+  ++ring.total;
+  const bool wrapped = ring.slots.size() >= flight_capacity_;
+  if (wrapped) {
+    ring.slots[ring.next] = ev;
+    ring.next = (ring.next + 1) % flight_capacity_;
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
+  } else {
+    ring.slots.push_back(ev);
+    ring.next = ring.slots.size() % flight_capacity_;
+  }
+
+  if (ev.trace_id == 0) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
+    return;
+  }
+  events_.push_back(std::move(ev));
+  if (events_counter_ != nullptr) events_counter_->inc();
+}
+
+}  // namespace rbay::obs

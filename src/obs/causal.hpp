@@ -1,0 +1,183 @@
+#pragma once
+
+// Causal event log + ambient context + per-endpoint flight recorder.
+//
+// The CausalLog lives inside the obs::Registry and is the single authority
+// for span identity.  Three cooperating mechanisms:
+//
+//   * Ambient context.  The simulator is single-threaded, so "the context
+//     of the code currently running" is one TraceContext slot.  The network
+//     sets it (via ContextScope) around every delivery handler; trace roots
+//     and timer continuations set it explicitly.  on_send()/local() mint
+//     child spans of whatever is ambient — that is the whole propagation
+//     rule.
+//   * Global causal log.  Every event that belongs to a trace
+//     (trace_id != 0) is appended to one bounded, append-only vector in
+//     simulation order.  The critical-path analyzer and the Chrome exporter
+//     read it.  Bounded by kMaxEvents; past that, traced events are counted
+//     in trace.dropped instead of recorded.
+//   * Flight recorder.  Every event — traced or not — is also written into
+//     a small per-endpoint ring (set_flight_capacity), so when a chaos
+//     invariant fails the harness can dump the last N causal events of the
+//     nodes named in the report.  Ring overwrites count into trace.dropped.
+//
+// Determinism: timestamps are sim-time, ids are minted from sequential
+// counters, containers are ordered — same-seed runs produce byte-identical
+// logs (and therefore byte-identical Chrome exports; a replay test pins it).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::obs {
+
+class Counter;
+
+enum class CausalKind : std::uint8_t {
+  kSend = 0,   // message handed to the network at the sender
+  kRecv = 1,   // message delivered to the receiver's handler
+  kDrop = 2,   // message lost (dead endpoint, partition, loss probability)
+  kLocal = 3,  // local operation worth a causal point (deliver, slot fill, ...)
+};
+
+[[nodiscard]] const char* causal_kind_name(CausalKind kind);
+/// "probe".."commit" for obs::Phase values, "none" for kPhaseNone.
+[[nodiscard]] const char* phase_label(std::uint8_t phase);
+
+struct CausalEvent {
+  CausalKind kind = CausalKind::kLocal;
+  std::uint8_t phase = kPhaseNone;
+  std::uint8_t attempt = 0;
+  std::uint32_t site = 0;      // site where the event happened
+  std::uint32_t endpoint = 0;  // endpoint where the event happened
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  util::SimTime at = util::SimTime::zero();
+  std::string what;  // payload type name or local-op label
+};
+
+struct TraceMeta {
+  std::string query_id;
+  std::uint64_t root_span = 0;
+  std::uint64_t terminus_span = 0;  // span of the "query.finish" event
+  util::SimTime started = util::SimTime::zero();
+  util::SimTime finished = util::SimTime::zero();
+  bool done = false;
+};
+
+class CausalLog {
+ public:
+  /// Global log bound: ~256k events.  Long bench runs saturate this; the
+  /// critical-path analyzer reports such traces as incomplete rather than
+  /// wrong.
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 18;
+  static constexpr std::size_t kMaxTraces = 4096;
+  static constexpr std::size_t kDefaultFlightCapacity = 64;
+
+  // --- ambient context ---------------------------------------------------
+  [[nodiscard]] const TraceContext& current() const { return current_; }
+  TraceContext exchange(TraceContext ctx) {
+    TraceContext prev = current_;
+    current_ = ctx;
+    return prev;
+  }
+
+  // --- trace lifecycle ---------------------------------------------------
+  /// Mints a trace + root span and records the "query.start" event.
+  /// Returns an inactive context once kMaxTraces traces exist.
+  TraceContext begin_trace(const std::string& query_id, std::uint32_t site,
+                           std::uint32_t endpoint, util::SimTime at);
+  /// Records the "query.finish" terminus.  Its parent is the ambient span
+  /// when that belongs to the same trace (the reply/timeout that completed
+  /// the query — which makes the parent chain the critical path), else
+  /// `fallback` (the stored per-query context).
+  void finish_trace(const TraceContext& fallback, std::uint32_t site, std::uint32_t endpoint,
+                    util::SimTime at);
+
+  [[nodiscard]] const TraceMeta* find_trace(std::uint64_t trace_id) const;
+  /// 0 when the query was never traced.
+  [[nodiscard]] std::uint64_t trace_id_for(const std::string& query_id) const;
+
+  // --- event recording ---------------------------------------------------
+  /// Mints a child span of the ambient context and records kSend.  Returns
+  /// the context to stamp on the message (inactive when no trace is
+  /// ambient; the event still reaches the flight ring).
+  TraceContext on_send(std::uint32_t site, std::uint32_t endpoint, const char* what,
+                       util::SimTime at);
+  void on_recv(const TraceContext& ctx, std::uint32_t site, std::uint32_t endpoint,
+               const char* what, util::SimTime at);
+  void on_drop(const TraceContext& ctx, std::uint32_t site, std::uint32_t endpoint,
+               const char* what, util::SimTime at);
+  /// Records a local operation as a child span of the ambient context.
+  /// `phase_override` (an obs::Phase value) replaces the inherited phase;
+  /// pass -1 to inherit.  Returns the minted context.
+  TraceContext local(std::uint32_t site, std::uint32_t endpoint, const char* what,
+                     util::SimTime at, int phase_override = -1);
+
+  // --- flight recorder ---------------------------------------------------
+  void set_flight_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t flight_capacity() const { return flight_capacity_; }
+  /// Ring contents for `endpoint`, oldest first.
+  [[nodiscard]] std::vector<CausalEvent> flight_events(std::uint32_t endpoint) const;
+  /// Human-readable ring dump ("  t=... send pastry.Route trace=3 ...").
+  [[nodiscard]] std::string dump_flight(std::uint32_t endpoint) const;
+
+  // --- access ------------------------------------------------------------
+  [[nodiscard]] const std::vector<CausalEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<const CausalEvent*> trace_events(std::uint64_t trace_id) const;
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Binds the trace.events / trace.dropped counters.  The Registry calls
+  /// this lazily from its causal() accessor so a registry that never traces
+  /// never grows the counters.
+  void bind_counters(Counter* events, Counter* dropped);
+
+ private:
+  struct FlightRing {
+    std::vector<CausalEvent> slots;  // insertion order wraps at capacity
+    std::size_t next = 0;
+    std::uint64_t total = 0;
+  };
+
+  std::uint64_t mint_span() { return ++next_span_; }
+  void record(CausalEvent ev);
+
+  TraceContext current_{};
+  std::uint64_t next_trace_ = 0;
+  std::uint64_t next_span_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<CausalEvent> events_;
+  std::map<std::uint64_t, TraceMeta> traces_;
+  std::map<std::string, std::uint64_t> by_query_;
+  std::vector<FlightRing> rings_;  // indexed by endpoint, grown on demand
+  std::size_t flight_capacity_ = kDefaultFlightCapacity;
+  Counter* events_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+};
+
+/// RAII swap of the ambient context.  Null-log tolerant so instrumented
+/// paths need no branches of their own.
+class ContextScope {
+ public:
+  ContextScope() = default;
+  ContextScope(CausalLog* log, TraceContext ctx) : log_(log) {
+    if (log_ != nullptr) prev_ = log_->exchange(ctx);
+  }
+  ~ContextScope() {
+    if (log_ != nullptr) log_->exchange(prev_);
+  }
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  CausalLog* log_ = nullptr;
+  TraceContext prev_{};
+};
+
+}  // namespace rbay::obs

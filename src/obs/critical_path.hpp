@@ -1,0 +1,71 @@
+#pragma once
+
+// Critical-path analysis over the causal log.
+//
+// A query's completion is event-driven: each phase ends when its *last*
+// outstanding reply (or timeout) arrives, and the "query.finish" terminus
+// is recorded with that final event as its parent.  The parent chain walked
+// backward from the terminus is therefore the slowest causal chain — the
+// critical path — and because every child event happens at or after its
+// parent, the per-segment durations telescope exactly:
+//
+//     sum(segment durations) == terminus.at - root.at == end-to-end latency
+//
+// (the reconciliation the acceptance test pins).  Segments alternate
+// between network legs (a span's send→recv edge, attributed to the
+// site→site link and the message's phase) and local processing (the gap
+// between arriving at a node and the next causal step it takes).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/causal.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::obs {
+
+struct CriticalSegment {
+  bool network = false;  // send→recv message leg vs local processing gap
+  std::uint8_t phase = kPhaseNone;
+  std::uint32_t from_site = 0;
+  std::uint32_t to_site = 0;   // == from_site for local segments
+  std::uint32_t endpoint = 0;  // endpoint where the segment ends
+  util::SimTime start = util::SimTime::zero();
+  util::SimTime end = util::SimTime::zero();
+  std::string what;  // message type (network) or next causal step (local)
+
+  [[nodiscard]] util::SimTime duration() const { return end - start; }
+};
+
+struct CriticalPath {
+  std::uint64_t trace_id = 0;
+  std::string query_id;
+  /// True when the walk reached the trace's "query.start" root.  False for
+  /// traces truncated by the causal-log bound.
+  bool complete = false;
+  util::SimTime total = util::SimTime::zero();
+  std::vector<CriticalSegment> segments;  // in time order
+  /// Attributions: summed critical-path sim-time per phase, per site (local
+  /// segments), and per directed site→site link (network segments).
+  std::map<std::uint8_t, util::SimTime> by_phase;
+  std::map<std::uint32_t, util::SimTime> by_site;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, util::SimTime> by_link;
+  /// The chain's events, time order — lets tests assert the path crosses
+  /// specific steps (e.g. "query.backoff_retry").
+  std::vector<CausalEvent> chain;
+
+  [[nodiscard]] util::SimTime segment_sum() const;
+  [[nodiscard]] bool crosses(const std::string& what) const;
+
+  [[nodiscard]] std::string to_string() const;
+  void write_json(std::string& out) const;
+};
+
+[[nodiscard]] CriticalPath analyze_critical_path(const CausalLog& log, std::uint64_t trace_id);
+[[nodiscard]] CriticalPath analyze_critical_path(const CausalLog& log,
+                                                 const std::string& query_id);
+
+}  // namespace rbay::obs

@@ -1,0 +1,422 @@
+#include "obs/export_chrome.hpp"
+
+#include <cctype>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rbay::obs {
+
+namespace {
+
+std::string site_label(const ChromeTraceLabels& labels, std::uint32_t site) {
+  auto it = labels.sites.find(site);
+  return it != labels.sites.end() ? it->second : "site-" + std::to_string(site);
+}
+
+std::string endpoint_label(const ChromeTraceLabels& labels, std::uint32_t ep) {
+  auto it = labels.endpoints.find(ep);
+  return it != labels.endpoints.end() ? it->second.name : "ep-" + std::to_string(ep);
+}
+
+void open_event(std::string& out, json::Comma& comma, const char* ph, const std::string& name,
+                const char* cat, std::uint32_t pid, std::uint32_t tid) {
+  comma.next(out);
+  out += "\n{";
+  json::append_key(out, "ph");
+  json::append_string(out, ph);
+  out += ',';
+  json::append_key(out, "name");
+  json::append_string(out, name);
+  out += ',';
+  json::append_key(out, "cat");
+  json::append_string(out, cat);
+  out += ',';
+  json::append_key(out, "pid");
+  json::append_uint(out, pid);
+  out += ',';
+  json::append_key(out, "tid");
+  json::append_uint(out, tid);
+}
+
+void append_span_args(std::string& out, const CausalEvent& ev) {
+  out += ',';
+  json::append_key(out, "args");
+  out += '{';
+  json::append_key(out, "trace");
+  json::append_uint(out, ev.trace_id);
+  out += ',';
+  json::append_key(out, "span");
+  json::append_uint(out, ev.span_id);
+  out += ',';
+  json::append_key(out, "parent");
+  json::append_uint(out, ev.parent_span_id);
+  out += ',';
+  json::append_key(out, "attempt");
+  json::append_uint(out, ev.attempt);
+  out += '}';
+}
+
+}  // namespace
+
+std::string write_chrome_trace(const CausalLog& log, const ChromeTraceLabels& labels) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  json::Comma comma;
+
+  // Metadata: name every site (process) and endpoint (thread) that either
+  // the labels or the log mention, in sorted order for byte stability.
+  std::set<std::uint32_t> sites;
+  std::set<std::uint32_t> endpoints;
+  for (const auto& [site, name] : labels.sites) sites.insert(site);
+  for (const auto& [ep, info] : labels.endpoints) endpoints.insert(ep);
+  for (const CausalEvent& ev : log.events()) {
+    sites.insert(ev.site);
+    endpoints.insert(ev.endpoint);
+  }
+  for (const std::uint32_t site : sites) {
+    open_event(out, comma, "M", "process_name", "__metadata", site, 0);
+    out += ",\"args\":{";
+    json::append_key(out, "name");
+    json::append_string(out, site_label(labels, site));
+    out += "}}";
+  }
+  for (const std::uint32_t ep : endpoints) {
+    auto it = labels.endpoints.find(ep);
+    const std::uint32_t pid = it != labels.endpoints.end() ? it->second.site : 0;
+    open_event(out, comma, "M", "thread_name", "__metadata", pid, ep);
+    out += ",\"args\":{";
+    json::append_key(out, "name");
+    json::append_string(out, endpoint_label(labels, ep));
+    out += "}}";
+  }
+
+  // Pair each send with its delivery so the slice duration is known.
+  std::map<std::uint64_t, const CausalEvent*> recv_by_span;
+  for (const CausalEvent& ev : log.events()) {
+    if (ev.kind == CausalKind::kRecv) recv_by_span.emplace(ev.span_id, &ev);
+  }
+
+  for (const CausalEvent& ev : log.events()) {
+    const char* cat = phase_label(ev.phase);
+    switch (ev.kind) {
+      case CausalKind::kSend: {
+        auto it = recv_by_span.find(ev.span_id);
+        if (it != recv_by_span.end()) {
+          open_event(out, comma, "X", ev.what, cat, ev.site, ev.endpoint);
+          out += ',';
+          json::append_key(out, "ts");
+          json::append_int(out, ev.at.as_micros());
+          out += ',';
+          json::append_key(out, "dur");
+          json::append_int(out, (it->second->at - ev.at).as_micros());
+          append_span_args(out, ev);
+          out += '}';
+        } else {
+          open_event(out, comma, "i", "send:" + ev.what, cat, ev.site, ev.endpoint);
+          out += ",\"s\":\"t\",";
+          json::append_key(out, "ts");
+          json::append_int(out, ev.at.as_micros());
+          append_span_args(out, ev);
+          out += '}';
+        }
+        break;
+      }
+      case CausalKind::kRecv: {
+        open_event(out, comma, "i", "recv:" + ev.what, cat, ev.site, ev.endpoint);
+        out += ",\"s\":\"t\",";
+        json::append_key(out, "ts");
+        json::append_int(out, ev.at.as_micros());
+        append_span_args(out, ev);
+        out += '}';
+        break;
+      }
+      case CausalKind::kDrop: {
+        open_event(out, comma, "i", "drop:" + ev.what, cat, ev.site, ev.endpoint);
+        out += ",\"s\":\"t\",";
+        json::append_key(out, "ts");
+        json::append_int(out, ev.at.as_micros());
+        append_span_args(out, ev);
+        out += '}';
+        break;
+      }
+      case CausalKind::kLocal: {
+        open_event(out, comma, "i", ev.what, cat, ev.site, ev.endpoint);
+        out += ",\"s\":\"t\",";
+        json::append_key(out, "ts");
+        json::append_int(out, ev.at.as_micros());
+        append_span_args(out, ev);
+        out += '}';
+        break;
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// --- minimal JSON parser for validation ------------------------------------
+
+namespace {
+
+struct JValue {
+  enum Kind : std::uint8_t { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool boolean = false;
+  double num = 0.0;
+  bool integral = false;
+  std::string str;
+  std::vector<JValue> arr;
+  std::vector<std::pair<std::string, JValue>> obj;
+
+  [[nodiscard]] const JValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(JValue& out, std::string& error) {
+    if (!value(out)) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      error += " (at byte " + std::to_string(pos_) + ")";
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing garbage after JSON value (at byte " + std::to_string(pos_) + ")";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  bool value(JValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        out.kind = JValue::kStr;
+        return string(out.str);
+      }
+      case 't':
+        out.kind = JValue::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JValue::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JValue::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JValue& out) {
+    out.kind = JValue::kObj;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JValue v;
+      if (!value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JValue& out) {
+    out.kind = JValue::kArr;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_ + 1];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return fail("bad \\u escape");
+            out += '?';  // exact code point irrelevant for validation
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail("expected value");
+    out.kind = JValue::kNum;
+    out.integral = !fractional;
+    out.num = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool check_int_field(const JValue& ev, const char* key, std::size_t index,
+                     std::string& error) {
+  const JValue* v = ev.get(key);
+  if (v == nullptr || v->kind != JValue::kNum || !v->integral) {
+    error = "traceEvents[" + std::to_string(index) + "]: missing integer \"" + key + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string& error) {
+  JValue root;
+  Parser parser(json);
+  if (!parser.parse(root, error)) return false;
+  if (root.kind != JValue::kObj) {
+    error = "top level is not an object";
+    return false;
+  }
+  const JValue* events = root.get("traceEvents");
+  if (events == nullptr || events->kind != JValue::kArr) {
+    error = "missing \"traceEvents\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const JValue& ev = events->arr[i];
+    if (ev.kind != JValue::kObj) {
+      error = "traceEvents[" + std::to_string(i) + "] is not an object";
+      return false;
+    }
+    const JValue* ph = ev.get("ph");
+    if (ph == nullptr || ph->kind != JValue::kStr || ph->str.size() != 1) {
+      error = "traceEvents[" + std::to_string(i) + "]: missing one-char \"ph\"";
+      return false;
+    }
+    const JValue* name = ev.get("name");
+    if (name == nullptr || name->kind != JValue::kStr || name->str.empty()) {
+      error = "traceEvents[" + std::to_string(i) + "]: missing string \"name\"";
+      return false;
+    }
+    if (!check_int_field(ev, "pid", i, error)) return false;
+    if (!check_int_field(ev, "tid", i, error)) return false;
+    if (ph->str == "M") continue;  // metadata needs no timestamp
+    if (!check_int_field(ev, "ts", i, error)) return false;
+    if (ph->str == "X" && !check_int_field(ev, "dur", i, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace rbay::obs

@@ -19,6 +19,7 @@
 #include <map>
 #include <string>
 
+#include "obs/causal.hpp"
 #include "obs/trace.hpp"
 #include "util/sim_time.hpp"
 
@@ -116,6 +117,19 @@ class Registry {
   Tracer& tracer() { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return tracer_; }
 
+  /// Causal tracing log.  The mutable accessor lazily binds the
+  /// trace.events / trace.dropped counters into the federation scope, so a
+  /// registry whose causal log is never touched keeps a counter-free
+  /// snapshot (the registry JSON stability test depends on it).
+  CausalLog& causal() {
+    if (!causal_bound_) {
+      causal_.bind_counters(&fed_.counter("trace.events"), &fed_.counter("trace.dropped"));
+      causal_bound_ = true;
+    }
+    return causal_;
+  }
+  [[nodiscard]] const CausalLog& causal_log() const { return causal_; }
+
   /// Full snapshot: {"federation": {...}, "sites": {...}, "nodes": {...},
   /// "traces": [...]}.  Integers only; byte-stable across same-seed runs.
   [[nodiscard]] std::string to_json() const;
@@ -125,6 +139,8 @@ class Registry {
   std::map<std::uint32_t, Scope> sites_;
   std::map<std::string, Scope> nodes_;
   Tracer tracer_;
+  CausalLog causal_;
+  bool causal_bound_ = false;
 };
 
 }  // namespace rbay::obs

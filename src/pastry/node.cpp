@@ -40,6 +40,7 @@ void PastryNode::refresh_metrics() {
   metrics_.repairs = &fed.counter("pastry.leaf_repairs");
   metrics_.delivery_hops = &fed.latency("pastry.delivery_hops");
   metrics_.node_forwards = &registry->node(self_.id.to_hex()).counter("pastry.forwards");
+  metrics_.causal = &registry->causal();
 }
 
 void PastryNode::register_app(const std::string& app_name, PastryApp* app) {
@@ -157,6 +158,10 @@ void PastryNode::deliver_local(const NodeId& key, const std::string& app_name,
   if (metric(&MetricsCache::delivers) != nullptr) {
     metrics_.delivers->inc();
     metrics_.delivery_hops->add_us(hops);
+    // One causal point per routed delivery: the hop-attribution test
+    // cross-checks its count against the delivery_hops sample count.
+    metrics_.causal->local(network_.site_of(self_.endpoint), self_.endpoint, "pastry.deliver",
+                           network_.engine().now());
   }
   if (auto* app = find_app(app_name)) {
     app->deliver(key, *msg, hops);

@@ -129,6 +129,7 @@ class PastryNode {
     obs::Counter* repairs = nullptr;
     obs::LatencyHisto* delivery_hops = nullptr;  // values are hop counts
     obs::Counter* node_forwards = nullptr;       // per-node scope (Fig. 8b)
+    obs::CausalLog* causal = nullptr;
   };
   void refresh_metrics();
   [[nodiscard]] obs::Counter* metric(obs::Counter* MetricsCache::* which) {

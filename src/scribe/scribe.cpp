@@ -19,6 +19,13 @@ obs::Scope* fed_metrics(pastry::PastryNode& node) {
   return registry == nullptr ? nullptr : &registry->fed();
 }
 
+/// Causal log of the engine-attached registry, or nullptr when
+/// observability is off.
+obs::CausalLog* causal_log(pastry::PastryNode& node) {
+  auto* registry = node.network().engine().metrics();
+  return registry == nullptr ? nullptr : &registry->causal();
+}
+
 /// Moves an in-flight anycast out of a borrowed message reference.
 std::unique_ptr<AnycastMsg> take_anycast(AnycastMsg& msg) {
   auto owned = std::make_unique<AnycastMsg>();
@@ -247,6 +254,17 @@ void Scribe::anycast(const TopicId& topic, std::unique_ptr<AnycastPayload> paylo
 }
 
 void Scribe::continue_anycast(std::unique_ptr<AnycastMsg> msg) {
+  // Once the anycast reaches the tree, every hop of the DFS walk belongs to
+  // the MemberSearch phase: remap the ambient context so the causal log
+  // attributes this walk's sends and visits correctly.
+  auto* causal = causal_log(node_);
+  obs::TraceContext walk_ctx = causal != nullptr ? causal->current() : obs::TraceContext{};
+  if (walk_ctx.active() &&
+      walk_ctx.phase == static_cast<std::uint8_t>(obs::Phase::kAnycast)) {
+    walk_ctx.phase = static_cast<std::uint8_t>(obs::Phase::kMemberSearch);
+  }
+  obs::ContextScope walk_scope(causal, walk_ctx);
+
   auto* st = find_topic(msg->topic);
   if (st == nullptr) {
     // Entry node has no tree state: the topic has no members.
@@ -263,7 +281,21 @@ void Scribe::continue_anycast(std::unique_ptr<AnycastMsg> msg) {
     if (st->member && st->handler != nullptr) {
       ++msg->members_visited;
       if (auto* m = fed_metrics(node_)) m->counter("scribe.anycast_visits").inc();
-      if (st->handler->on_anycast(msg->topic, *msg->payload)) {
+      bool taken = false;
+      {
+        // The member's on_anycast (slot fill, reservation) runs as a child
+        // of the recorded visit, so its causal points hang off this walk.
+        obs::ContextScope visit_scope(
+            causal,
+            causal != nullptr
+                ? causal->local(node_.network().site_of(node_.self().endpoint),
+                                node_.self().endpoint, "scribe.member_visit",
+                                node_.network().engine().now(),
+                                static_cast<int>(obs::Phase::kMemberSearch))
+                : obs::TraceContext{});
+        taken = st->handler->on_anycast(msg->topic, *msg->payload);
+      }
+      if (taken) {
         finish_anycast(*msg, /*satisfied=*/true);
         return;
       }

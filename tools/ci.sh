@@ -17,3 +17,17 @@ ctest --preset ci
 # the sanitizers too (they are part of the full run above; re-running the
 # label by itself makes an invariant violation fail CI loudly on its own).
 ctest --preset ci -L chaos --output-on-failure
+
+# Observability gate: causal tracing, critical path, and Chrome export.
+ctest --preset ci -L obs --output-on-failure
+
+# Exercise the --trace path end to end under the sanitizers, then check the
+# exported JSON against the minimal Chrome trace-event schema.
+mkdir -p build-ci/artifacts
+build-ci/tools/rbay_sim --trace build-ci/artifacts/trace_smoke.json scenarios/geo_federation.rbay
+build-ci/tools/trace_check build-ci/artifacts/trace_smoke.json
+
+# Archive machine-readable latency summaries for the paper's Fig. 9/10
+# (small workload: CI wants the files and the schema, not the full sweep).
+build-ci/bench/bench_fig9_latency_cdf --small --json build-ci/artifacts/BENCH_fig9.json
+build-ci/bench/bench_fig10_latency_sites --small --json build-ci/artifacts/BENCH_fig10.json

@@ -2,6 +2,7 @@
 //
 //   rbay_sim <scenario-file>                execute and print the report
 //   rbay_sim --metrics <path> <scenario>    also dump a metrics JSON snapshot
+//   rbay_sim --trace <path> <scenario>      also export a Chrome trace (Perfetto)
 //   rbay_sim --help                         directive reference
 //
 // Scenarios build a federation, drive virtual time, issue queries, push
@@ -19,12 +20,18 @@ namespace {
 
 constexpr const char* kHelp = R"(rbay_sim — scenario-driven RBAY federation simulator
 
-usage: rbay_sim [--metrics <path>] <scenario-file>
+usage: rbay_sim [--metrics <path>] [--trace <path>] <scenario-file>
 
   --metrics <path>   attach the observability registry and write its JSON
                      snapshot (counters, latency histograms, query traces)
                      to <path> after the run; '-' writes to stdout.
                      Deterministic: same scenario + seed => identical JSON.
+  --trace <path>     record the causal message log and write it as Chrome
+                     trace-event JSON to <path> after the run; '-' writes
+                     to stdout.  Load in Perfetto (ui.perfetto.dev) or
+                     chrome://tracing: one process per site, one thread
+                     per node.  Deterministic: same scenario + seed =>
+                     byte-identical file.
 
 directives (one per line; '#' comments; see tools/scenario.hpp for details):
   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
@@ -55,6 +62,7 @@ int usage(int code) {
 int main(int argc, char** argv) {
   std::string scenario_path;
   std::string metrics_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help") return usage(0);
@@ -64,6 +72,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_path = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rbay_sim: --trace requires a path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (scenario_path.empty()) {
       scenario_path = arg;
     } else {
@@ -82,6 +96,7 @@ int main(int argc, char** argv) {
 
   rbay::tools::ScenarioOptions options;
   options.metrics = !metrics_path.empty();
+  options.trace = !trace_path.empty();
   const auto result = rbay::tools::run_scenario(text.str(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "rbay_sim: %s: %s\n", scenario_path.c_str(),
@@ -104,6 +119,19 @@ int main(int argc, char** argv) {
       }
       out << report.metrics_json;
       std::fprintf(stderr, "rbay_sim: metrics written to %s\n", metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    if (trace_path == "-") {
+      std::fputs(report.trace_json.c_str(), stdout);
+    } else {
+      std::ofstream out{trace_path};
+      if (!out) {
+        std::fprintf(stderr, "rbay_sim: cannot write '%s'\n", trace_path.c_str());
+        return 2;
+      }
+      out << report.trace_json;
+      std::fprintf(stderr, "rbay_sim: trace written to %s\n", trace_path.c_str());
     }
   }
   return 0;

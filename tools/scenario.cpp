@@ -88,6 +88,10 @@ class Runner {
     }
     if (cluster_ != nullptr && cluster_->metrics() != nullptr) {
       report_.metrics_json = cluster_->metrics()->to_json();
+      if (options_.trace) {
+        report_.trace_json = obs::write_chrome_trace(cluster_->metrics()->causal_log(),
+                                                     cluster_->chrome_labels());
+      }
     }
     return std::move(report_);
   }
@@ -148,7 +152,7 @@ class Runner {
     config.node.scribe.aggregation_interval = aggregation_;
     config.node.scribe.heartbeat_interval = heartbeat_;
     config.node.query.max_attempts = max_attempts_;
-    config.metrics = options_.metrics;
+    config.metrics = options_.metrics || options_.trace;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
     pending_specs_.clear();
@@ -500,6 +504,7 @@ class Runner {
       if (injector_ != nullptr && !injector_->log().empty()) {
         msg += "applied fault log:\n" + injector_->log_text();
       }
+      msg += fault::failure_dump(*cluster_, report);
       return error_at(d.line, msg);
     }
     report_.output.push_back("invariants ok");

@@ -82,12 +82,16 @@ struct ScenarioReport {
   int expectations = 0;
   std::vector<std::string> output;  // `print`, query results, stats lines
   std::string metrics_json;         // Registry::to_json() when metrics were on
+  std::string trace_json;           // Chrome trace export when tracing was on
 };
 
 struct ScenarioOptions {
   /// Attach an obs::Registry to the federation and fill
   /// ScenarioReport::metrics_json with its final snapshot.
   bool metrics = false;
+  /// Export the causal log as Chrome trace-event JSON into
+  /// ScenarioReport::trace_json (implies metrics).
+  bool trace = false;
 };
 
 /// Parses and executes a scenario.  Returns the report, or the first

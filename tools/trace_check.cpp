@@ -1,0 +1,46 @@
+// trace_check — validate a Chrome trace-event JSON file against the
+// minimal schema the exporter promises (top-level object, traceEvents
+// array, per-event ph/name/pid/tid/ts shape).  Exit 0 on pass, 1 on a
+// schema violation (printed), 2 on usage/IO errors.
+//
+//   trace_check <trace.json>      validate a file
+//   trace_check -                 validate stdin
+//
+// CI runs every exported trace through this before archiving it, so a
+// malformed export fails the build instead of failing silently in
+// Perfetto.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/export_chrome.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help") {
+    std::fprintf(stderr, "usage: trace_check <trace.json|->\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ostringstream text;
+  if (path == "-") {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream file{path};
+    if (!file) {
+      std::fprintf(stderr, "trace_check: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    text << file.rdbuf();
+  }
+
+  std::string error;
+  if (!rbay::obs::validate_chrome_trace(text.str(), error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("trace_check: %s: ok\n", path.c_str());
+  return 0;
+}
