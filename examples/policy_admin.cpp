@@ -67,10 +67,12 @@ end
   double size = -1;
   auto probe = [&]() {
     cluster.node(1).scribe().probe_size(cluster.node(1).topic_of(gpu_tree),
-                                        [&](double s) { size = s; }, pastry::Scope::Site);
+                                        [&](const scribe::Scribe::SizeInfo& i) { size = i.value; },
+                                        pastry::Scope::Site);
     cluster.run_for(util::SimTime::seconds(2));  // re-aggregate
     cluster.node(1).scribe().probe_size(cluster.node(1).topic_of(gpu_tree),
-                                        [&](double s) { size = s; }, pastry::Scope::Site);
+                                        [&](const scribe::Scribe::SizeInfo& i) { size = i.value; },
+                                        pastry::Scope::Site);
     cluster.run();
     return size;
   };

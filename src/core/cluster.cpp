@@ -15,6 +15,29 @@ RBayCluster::RBayCluster(ClusterConfig config)
     metrics_ = std::make_unique<obs::Registry>();
     engine_.set_metrics(metrics_.get());
   }
+  // Crash-release: a crashed node's reservations and leases — including
+  // indefinite (lease-bounded == false) commits, which never expire — must
+  // not pin resources forever.  Fires from every fail path (injector,
+  // churn, scenario, bench) since they all go through Overlay::fail_node.
+  overlay_.on_fail = [this](std::size_t index) { on_node_crashed(index); };
+}
+
+void RBayCluster::on_node_crashed(std::size_t index) {
+  if (index >= nodes_.size()) return;  // overlay-only tests, pre-add_node
+  // Query holders are "<12-hex-digit id prefix>#<seq>" (QueryInterface
+  // naming); match any reservation the crashed node originated.
+  const std::string prefix = nodes_[index]->pastry().self().id.to_hex().substr(0, 12) + "#";
+  const auto now = engine_.now();
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    auto& lock = nodes_[j]->lock();
+    const std::string holder = lock.holder();  // copy: release() clears it
+    if (holder.size() > prefix.size() && holder.compare(0, prefix.size(), prefix) == 0) {
+      lock.release(holder, now);
+      if (metrics_ != nullptr) {
+        metrics_->fed().counter("reservation.crash_releases").inc();
+      }
+    }
+  }
 }
 
 RBayNode& RBayCluster::add_node(net::SiteId site, const std::string& admin) {

@@ -86,6 +86,10 @@ class RBayCluster {
   void resubscribe_all();
 
  private:
+  /// Overlay fail hook: releases reservations/leases held by the crashed
+  /// node on every live resource (see ctor).
+  void on_node_crashed(std::size_t index);
+
   ClusterConfig config_;
   sim::Engine engine_;
   std::unique_ptr<obs::Registry> metrics_;

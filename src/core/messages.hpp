@@ -37,6 +37,9 @@ struct CandidatePayload final : scribe::AnycastPayload {
     for (const auto& p : predicates) size += 24 + p.attribute.size() + p.literal.wire_size();
     return size;
   }
+  [[nodiscard]] std::unique_ptr<scribe::AnycastPayload> clone() const override {
+    return std::make_unique<CandidatePayload>(*this);
+  }
 };
 
 /// Query interface → remote site gateway: run this query inside your site.
@@ -67,10 +70,14 @@ struct SiteQueryReply final : pastry::AppMessage {
   net::SiteId site = 0;
   int members_visited = 0;
   double count = 0.0;  // for count-only queries
+  /// Degraded read: the count came from a promoted root's replicated
+  /// snapshot, `staleness` sim-time old.
+  bool stale = false;
+  util::SimTime staleness = util::SimTime::zero();
   std::vector<Candidate> candidates;
 
   [[nodiscard]] std::size_t wire_size() const override {
-    return 32 + candidates.size() * 32;
+    return 41 + candidates.size() * 32;
   }
   [[nodiscard]] const char* type_name() const override { return "rbay.SiteQueryReply"; }
 };

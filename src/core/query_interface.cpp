@@ -149,11 +149,10 @@ void QueryInterface::attempt(std::uint64_t id) {
   for (const auto site : sites) {
     if (site == owner_.site()) {
       // Local part runs on this very node's query interface.
-      run_site_query(job, [this, id, attempt_no](std::vector<Candidate> cands, int visited,
-                                                 double count) {
+      run_site_query(job, [this, id, attempt_no](SiteResult result) {
         auto pit = pending_.find(id);
         if (pit == pending_.end() || pit->second.outcome.attempts != attempt_no) return;
-        site_done(id, std::move(cands), visited, count);
+        site_done(id, std::move(result));
       });
     } else {
       const auto* dir = owner_.directory();
@@ -175,14 +174,17 @@ void QueryInterface::attempt(std::uint64_t id) {
   }
 }
 
-void QueryInterface::site_done(std::uint64_t id, std::vector<Candidate> candidates,
-                               int visited, double count) {
+void QueryInterface::site_done(std::uint64_t id, SiteResult result) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   auto& p = it->second;
-  p.outcome.members_visited += visited;
-  p.count_total += count;
-  for (auto& c : candidates) p.gathered.push_back(std::move(c));
+  p.outcome.members_visited += result.visited;
+  p.count_total += result.count;
+  if (result.stale) {
+    p.outcome.stale = true;
+    p.outcome.staleness = std::max(p.outcome.staleness, result.staleness);
+  }
+  for (auto& c : result.candidates) p.gathered.push_back(std::move(c));
   if (--p.waiting_sites == 0) finish_attempt(id);
 }
 
@@ -222,9 +224,18 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
   }
 
   if (p.query.count_only) {
-    // Aggregate answer: no reservations, no retries.
+    // Aggregate answer: no reservations, no retries.  A degraded read (a
+    // promoted root answered from its replicated snapshot) still satisfies
+    // the query — tagged so the customer can judge the bounded staleness.
     p.outcome.count = p.count_total;
     p.outcome.satisfied = true;
+    if (p.outcome.stale) {
+      if (auto* reg = owner_.engine().metrics()) {
+        reg->fed().counter("query.stale_answers").inc();
+        reg->tracer().event(p.outcome.query_id, "stale_answer", p.outcome.attempts,
+                            owner_.engine().now());
+      }
+    }
     complete(it);
     return;
   }
@@ -340,15 +351,14 @@ std::vector<std::optional<std::string>> QueryInterface::tree_canonicals(
   return out;
 }
 
-void QueryInterface::run_site_query(
-    SiteJob job, std::function<void(std::vector<Candidate>, int visited, double count)> done) {
+void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)> done) {
   const auto canonicals = tree_canonicals(job.predicates);
   std::vector<std::string> trees;
   for (const auto& c : canonicals) {
     if (c && std::find(trees.begin(), trees.end(), *c) == trees.end()) trees.push_back(*c);
   }
   if (trees.empty()) {
-    done({}, 0, 0.0);
+    done({});
     return;
   }
 
@@ -364,7 +374,11 @@ void QueryInterface::run_site_query(
     std::vector<double> sizes;
     std::size_t remaining = 0;
     util::SimTime probe_start = util::SimTime::zero();
-    std::function<void(std::vector<Candidate>, int, double)> done;
+    // Degraded-read accumulation across the probed trees: stale if any
+    // root answered stale; staleness is the oldest such snapshot's age.
+    bool stale = false;
+    util::SimTime staleness = util::SimTime::zero();
+    std::function<void(SiteResult)> done;
   };
   auto state = std::make_shared<ProbeState>();
   state->job = std::move(job);
@@ -392,14 +406,18 @@ void QueryInterface::run_site_query(
       if (best == SIZE_MAX || state->sizes[i] < state->sizes[best]) best = i;
     }
     if (best == SIZE_MAX) {
-      state->done({}, 0, 0.0);  // no tree has members: nothing matches here
+      state->done({});  // no tree has members: nothing matches here
       return;
     }
     if (state->job.count_only) {
       // SELECT COUNT stops after steps 1-2: the root's aggregate IS the
       // answer (exact for a single tree-backed predicate; the smallest
       // tree's size is the tight upper bound for conjunctions).
-      state->done({}, 0, state->sizes[best]);
+      SiteResult result;
+      result.count = state->sizes[best];
+      result.stale = state->stale;
+      result.staleness = state->staleness;
+      state->done(std::move(result));
       return;
     }
     auto payload = std::make_unique<CandidatePayload>();
@@ -440,7 +458,12 @@ void QueryInterface::run_site_query(
                             end, static_cast<int>(filled.found.size()));
             reg->fed().latency("query.phase_anycast").add(end - anycast_start);
           }
-          state->done(std::move(filled.found), visited, 0.0);
+          SiteResult site_result;
+          site_result.candidates = std::move(filled.found);
+          site_result.visited = visited;
+          site_result.stale = state->stale;
+          site_result.staleness = state->staleness;
+          state->done(std::move(site_result));
         },
         pastry::Scope::Site);
   };
@@ -455,8 +478,12 @@ void QueryInterface::run_site_query(
   for (std::size_t i = 0; i < state->topics.size(); ++i) {
     owner_.scribe().probe_size(
         state->topics[i],
-        [state, i, anycast_smallest](double size) {
-          state->sizes[i] = size;
+        [state, i, anycast_smallest](const scribe::Scribe::SizeInfo& info) {
+          state->sizes[i] = info.value;
+          if (info.stale) {
+            state->stale = true;
+            state->staleness = std::max(state->staleness, info.age);
+          }
           if (--state->remaining == 0) anycast_smallest();
         },
         pastry::Scope::Site);
@@ -513,18 +540,18 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
     const auto request_id = req->request_id;
     const auto attempt_no = req->attempt;
     const auto origin = req->origin;
-    run_site_query(std::move(job),
-                   [this, request_id, attempt_no, origin](std::vector<Candidate> cands,
-                                                          int visited, double count) {
-                     auto reply = std::make_unique<SiteQueryReply>();
-                     reply->request_id = request_id;
-                     reply->attempt = attempt_no;
-                     reply->site = owner_.site();
-                     reply->members_visited = visited;
-                     reply->count = count;
-                     reply->candidates = std::move(cands);
-                     owner_.pastry().send_direct(origin, std::move(reply), kAppName);
-                   });
+    run_site_query(std::move(job), [this, request_id, attempt_no, origin](SiteResult result) {
+      auto reply = std::make_unique<SiteQueryReply>();
+      reply->request_id = request_id;
+      reply->attempt = attempt_no;
+      reply->site = owner_.site();
+      reply->members_visited = result.visited;
+      reply->count = result.count;
+      reply->stale = result.stale;
+      reply->staleness = result.staleness;
+      reply->candidates = std::move(result.candidates);
+      owner_.pastry().send_direct(origin, std::move(reply), kAppName);
+    });
     return;
   }
   if (auto* reply = dynamic_cast<SiteQueryReply*>(&msg)) {
@@ -540,8 +567,13 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
       }
       return;
     }
-    site_done(reply->request_id, std::move(reply->candidates), reply->members_visited,
-              reply->count);
+    SiteResult result;
+    result.candidates = std::move(reply->candidates);
+    result.visited = reply->members_visited;
+    result.count = reply->count;
+    result.stale = reply->stale;
+    result.staleness = reply->staleness;
+    site_done(reply->request_id, std::move(result));
     return;
   }
   if (auto* commit = dynamic_cast<CommitMsg*>(&msg)) {

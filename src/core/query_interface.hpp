@@ -45,6 +45,11 @@ struct QueryOutcome {
   /// SELECT COUNT result: matching members across the queried sites, read
   /// from the tree roots' aggregates (no anycast, no reservations).
   double count = 0.0;
+  /// Degraded read: at least one answering tree root was a freshly
+  /// promoted replica serving a pre-failover snapshot.  `staleness` is the
+  /// oldest such snapshot's age (bounded by the root's max_staleness).
+  bool stale = false;
+  util::SimTime staleness = util::SimTime::zero();
   util::SimTime started = util::SimTime::zero();
   util::SimTime finished = util::SimTime::zero();
 
@@ -103,9 +108,17 @@ class QueryInterface final : public pastry::PastryApp {
     obs::TraceContext ctx;
   };
 
+  /// Per-site completion data threaded from run_site_query to site_done.
+  struct SiteResult {
+    std::vector<Candidate> candidates;
+    int visited = 0;
+    double count = 0.0;
+    bool stale = false;
+    util::SimTime staleness = util::SimTime::zero();
+  };
+
   void attempt(std::uint64_t id);
-  void site_done(std::uint64_t id, std::vector<Candidate> candidates, int visited,
-                 double count);
+  void site_done(std::uint64_t id, SiteResult result);
   void finish_attempt(std::uint64_t id);
 
   /// Seals the outcome, records the query-level metrics and the trace
@@ -116,8 +129,7 @@ class QueryInterface final : public pastry::PastryApp {
   /// the local part of a query and when acting as a gateway for a remote
   /// query interface.  For count-only jobs, stops after steps 1-2 (size
   /// probes) and reports the smallest tree's aggregate.
-  void run_site_query(SiteJob job,
-                      std::function<void(std::vector<Candidate>, int visited, double count)> done);
+  void run_site_query(SiteJob job, std::function<void(SiteResult)> done);
 
   [[nodiscard]] std::vector<net::SiteId> resolve_sites(const query::Query& q,
                                                        std::string& error) const;

@@ -365,11 +365,86 @@ InvariantReport check_pastry(const pastry::Overlay& overlay) {
   return report;
 }
 
+InvariantReport check_replicas(core::RBayCluster& cluster) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  const auto& directory = cluster.directory();
+  for (const auto& spec : cluster.tree_specs()) {
+    for (net::SiteId s = 0; s < directory.site_names.size(); ++s) {
+      const auto& site_name = directory.site_names[s];
+      const auto topic = core::site_topic(spec.canonical, site_name);
+
+      std::vector<std::size_t> roots;
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        if (cluster.node(i).scribe().is_root_of(topic)) roots.push_back(i);
+      }
+      // Replica epochs only have a defined ordering against a single live
+      // root (reachability reports missing/split roots separately).
+      if (roots.size() != 1) continue;
+      const std::size_t root = roots.front();
+      auto& root_scribe = cluster.node(root).scribe();
+      const auto root_epoch = root_scribe.root_epoch_of(topic);
+
+      // At quiescence the repair window is over: the root must be serving
+      // its live view again, not a replicated snapshot.
+      if (root_scribe.is_degraded(topic)) {
+        report.add("replica-consistency",
+                   tree_tag(spec, site_name) + "root node " + std::to_string(root) +
+                       " still degraded (serving a stale snapshot) at quiescence",
+                   {root});
+      }
+      // No live node may hold a replica from the future of the root's own
+      // epoch — that would mean a failover could move the epoch backwards.
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        const auto* replica = cluster.node(i).scribe().replica_of(topic);
+        if (replica != nullptr && replica->epoch > root_epoch) {
+          report.add("replica-consistency",
+                     tree_tag(spec, site_name) + "node " + std::to_string(i) +
+                         " holds replica epoch " + std::to_string(replica->epoch) +
+                         " ahead of root node " + std::to_string(root) + " epoch " +
+                         std::to_string(root_epoch),
+                     {i, root});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport check_waiters(core::RBayCluster& cluster) {
+  InvariantReport report;
+  auto& overlay = cluster.overlay();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (overlay.is_failed(i)) continue;
+    auto& scribe = cluster.node(i).scribe();
+    if (scribe.anycast_waiter_count() > 0) {
+      report.add("leaked-waiters",
+                 "node " + std::to_string(i) + " has " +
+                     std::to_string(scribe.anycast_waiter_count()) +
+                     " anycast waiter(s) pending at quiescence (walk died without a "
+                     "timeout to reap it)",
+                 {i});
+    }
+    if (scribe.size_waiter_count() > 0) {
+      report.add("leaked-waiters",
+                 "node " + std::to_string(i) + " has " +
+                     std::to_string(scribe.size_waiter_count()) +
+                     " size-probe waiter(s) pending at quiescence",
+                 {i});
+    }
+  }
+  return report;
+}
+
 InvariantReport check_all(core::RBayCluster& cluster) {
   InvariantReport report = check_tree_reachability(cluster);
   report.merge(check_child_consistency(cluster));
   report.merge(check_aggregates(cluster));
   report.merge(check_reservations(cluster));
+  report.merge(check_replicas(cluster));
+  report.merge(check_waiters(cluster));
   report.merge(check_pastry(cluster.overlay()));
   return report;
 }

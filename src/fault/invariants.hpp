@@ -19,6 +19,12 @@
 //                       live member count recomputed from the god view;
 //   reservations        no lock is held by a dead or unresolvable holder,
 //                       and no anycast hold is still pending at quiescence;
+//   replica-consistency no live node holds a root-state replica whose
+//                       epoch is ahead of the live root's own epoch, and
+//                       no root is still serving a degraded (stale)
+//                       snapshot at quiescence;
+//   leaked-waiters      every anycast / size-probe waiter map is empty
+//                       (walks complete or time out; none die silently);
 //   pastry              leaf-set order/symmetry and routing-table prefix
 //                       rule (the checks of tests/pastry/invariant_test).
 //
@@ -59,6 +65,14 @@ InvariantReport check_tree_reachability(core::RBayCluster& cluster);
 InvariantReport check_child_consistency(core::RBayCluster& cluster);
 InvariantReport check_aggregates(core::RBayCluster& cluster, double tolerance = 1e-6);
 InvariantReport check_reservations(core::RBayCluster& cluster);
+/// Replica-consistency: with a single live root, no live node holds a
+/// replica epoch ahead of the root's (a failover could then regress the
+/// epoch), and the root is no longer degraded at quiescence.
+InvariantReport check_replicas(core::RBayCluster& cluster);
+/// No anycast/size-probe waiter may still be registered after quiescence
+/// (the pre-timeout leak: a walk that died on a crashed node parked its
+/// waiter forever).
+InvariantReport check_waiters(core::RBayCluster& cluster);
 
 /// Overlay-only checks; usable without a cluster (pastry churn tests).
 InvariantReport check_pastry(const pastry::Overlay& overlay);

@@ -70,13 +70,19 @@ void PastryNode::learn(const NodeRef& other) {
 }
 
 void PastryNode::forget(const NodeId& id) {
-  if (leaves_.contains(id) || site_leaves_.contains(id)) {
+  const bool in_leaf_set = leaves_.contains(id) || site_leaves_.contains(id);
+  if (in_leaf_set) {
     if (auto* c = metric(&MetricsCache::repairs)) c->inc();
   }
   leaves_.remove(id);
   table_.remove(id);
   site_leaves_.remove(id);
   site_table_.remove(id);
+  if (in_leaf_set) {
+    // Notify after the removal so apps querying next_hop() see the
+    // post-transfer ownership of keys the dead neighbor used to cover.
+    for (auto& entry : apps_) entry.second->neighbor_failed(id);
+  }
 }
 
 std::optional<NodeRef> PastryNode::rare_case_hop(const NodeId& key, Scope scope) const {

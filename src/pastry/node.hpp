@@ -45,6 +45,12 @@ class PastryApp {
     (void)from;
     (void)msg;
   }
+
+  /// A leaf-set neighbor was forgotten (crash detected / purged).  Key
+  /// ownership may just have transferred to this node — Scribe uses this
+  /// to promote replicated tree-root state without waiting for heartbeat
+  /// repair.  Fires only for leaf-set members, not routing-table entries.
+  virtual void neighbor_failed(const NodeId& id) { (void)id; }
 };
 
 struct PastryConfig {

@@ -205,12 +205,14 @@ void Overlay::recover_node(std::size_t i) {
 
 void Overlay::fail_node(std::size_t i) {
   RBAY_REQUIRE(i < nodes_.size(), "Overlay::fail_node: index out of range");
+  if (failed_[i]) return;  // double-crash is a no-op, not a re-notification
   failed_[i] = true;
   network_.set_endpoint_down(nodes_[i]->self().endpoint, true);
   const NodeId dead = nodes_[i]->self().id;
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
     if (j != i && !failed_[j]) nodes_[j]->forget(dead);
   }
+  if (on_fail) on_fail(i);
 }
 
 }  // namespace rbay::pastry

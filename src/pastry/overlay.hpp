@@ -10,6 +10,7 @@
 //     become tractable on one core.  Both paths produce state with the same
 //     invariants, verified by the property tests.
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,11 @@ class Overlay {
   /// neighbors re-learned on both sides (global and site rings).  Routing
   /// table entries repopulate lazily through normal traffic.
   void recover_node(std::size_t i);
+
+  /// Invoked after fail_node() finishes purging the dead node from every
+  /// live routing table, with the failed node's index.  The cluster layer
+  /// hooks this to release reservations held by the crashed node.
+  std::function<void(std::size_t)> on_fail;
 
  private:
   sim::Engine& engine_;

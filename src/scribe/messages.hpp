@@ -7,18 +7,24 @@
 #include <vector>
 
 #include "pastry/messages.hpp"
+#include "util/sim_time.hpp"
 
 namespace rbay::scribe {
 
 using TopicId = pastry::NodeId;
 using pastry::NodeRef;
 
+/// Composable aggregation functions (hierarchical computation property).
+enum class AggregateKind { Count, Sum, Min, Max };
+
 /// Mutable payload carried by an anycast as it walks the tree.  Concrete
 /// payloads (e.g. the query plane's k-slot candidate buffer) subclass this;
-/// member handlers mutate it in place.
+/// member handlers mutate it in place.  `clone()` exists so the originator
+/// can keep a pristine copy to retry with after an anycast timeout.
 struct AnycastPayload {
   virtual ~AnycastPayload() = default;
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<AnycastPayload> clone() const = 0;
 };
 
 /// Routed toward the TopicId; absorbed by the first tree node on the path.
@@ -122,9 +128,37 @@ struct SizeReplyMsg final : pastry::AppMessage {
   TopicId topic;
   std::uint64_t request_id = 0;
   double size = 0.0;
+  /// Monotone per-root replication epoch of the answering root's view.
+  std::uint64_t epoch = 0;
+  /// Degraded read: the answer is a replicated pre-failover snapshot,
+  /// `age` sim-time old (always ≤ the root's `max_staleness`).
+  bool stale = false;
+  util::SimTime age = util::SimTime::zero();
 
-  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::size_t wire_size() const override { return 49; }
   [[nodiscard]] const char* type_name() const override { return "scribe.SizeReply"; }
+};
+
+/// Root → leaf-set successor: incremental replication of the rendezvous
+/// state a warm standby needs to take over the tree on root failure — the
+/// children/subscriber set, the latest aggregate snapshot (stamped with a
+/// monotone epoch), and the reservation holders active at the root.
+struct RootReplicaMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::Scope scope = pastry::Scope::Global;
+  std::uint64_t epoch = 0;
+  AggregateKind agg_kind = AggregateKind::Count;
+  double value = 0.0;
+  util::SimTime snapshot_time = util::SimTime::zero();
+  std::vector<NodeRef> children;
+  std::vector<std::string> holders;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t holders_bytes = 0;
+    for (const auto& h : holders) holders_bytes += h.size();
+    return 48 + children.size() * 24 + holders_bytes;
+  }
+  [[nodiscard]] const char* type_name() const override { return "scribe.RootReplica"; }
 };
 
 /// Parent→child liveness beacon for tree repair.

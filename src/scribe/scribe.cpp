@@ -80,6 +80,9 @@ Scribe::Scribe(pastry::PastryNode& node, ScribeConfig config) : node_(node), con
 Scribe::~Scribe() {
   agg_timer_.cancel();
   beat_timer_.cancel();
+  promote_timer_.cancel();
+  for (auto& [id, waiter] : anycast_waiters_) waiter.deadline.cancel();
+  for (auto& [id, waiter] : size_waiters_) waiter.deadline.cancel();
 }
 
 Scribe::TopicState& Scribe::topic_state(const TopicId& topic) { return topics_[topic]; }
@@ -146,6 +149,13 @@ void Scribe::maybe_prune(const TopicId& topic) {
   auto* st = find_topic(topic);
   if (st == nullptr) return;
   if (st->member || !st->children.empty()) return;
+  // A freshly promoted root may be a pure forwarder until its adopted
+  // children rejoin; keep it alive through the degraded window so the
+  // replicated aggregate stays servable.
+  if (st->degraded &&
+      node_.network().engine().now() - st->stale_at <= config_.max_staleness) {
+    return;
+  }
   if (st->parent) {
     auto leave = std::make_unique<LeaveMsg>();
     leave->topic = topic;
@@ -243,7 +253,17 @@ void Scribe::anycast(const TopicId& topic, std::unique_ptr<AnycastPayload> paylo
   RBAY_REQUIRE(payload != nullptr, "Scribe::anycast: payload required");
   if (auto* m = fed_metrics(node_)) m->counter("scribe.anycasts").inc();
   const auto id = next_request_id_++;
-  anycast_waiters_[id] = std::move(callback);
+  auto& waiter = anycast_waiters_[id];
+  waiter.callback = std::move(callback);
+  waiter.topic = topic;
+  waiter.scope = scope;
+  if (config_.anycast_timeout > util::SimTime::zero()) {
+    // Keep a pristine payload so an expired walk can restart from here,
+    // and arm the deadline that makes a dead walk observable at all.
+    waiter.retry_payload = payload->clone();
+    waiter.deadline = node_.network().engine().schedule(
+        config_.anycast_timeout, [this, id]() { on_anycast_deadline(id); });
+  }
   auto msg = std::make_unique<AnycastMsg>();
   msg->topic = topic;
   msg->scope = scope;
@@ -354,13 +374,43 @@ void Scribe::finish_anycast(AnycastMsg& msg, bool satisfied) {
     // Local shortcut: invoke the waiter without a network round-trip.
     auto it = anycast_waiters_.find(result->request_id);
     if (it != anycast_waiters_.end()) {
-      auto cb = std::move(it->second);
+      auto waiter = std::move(it->second);
       anycast_waiters_.erase(it);
-      cb(result->satisfied, result->members_visited, *result->payload);
+      waiter.deadline.cancel();
+      waiter.callback(result->satisfied, result->members_visited, *result->payload);
     }
     return;
   }
   node_.send_direct(msg.originator, std::move(result), kAppName);
+}
+
+void Scribe::on_anycast_deadline(std::uint64_t request_id) {
+  auto it = anycast_waiters_.find(request_id);
+  if (it == anycast_waiters_.end()) return;
+  auto& waiter = it->second;
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.anycast_timeouts").inc();
+  if (waiter.timeouts++ == 0 && waiter.retry_payload != nullptr) {
+    // First expiry: the walk died on a dead link (node crashed mid-DFS).
+    // Retry once from the entry node — by now the tree has usually been
+    // repaired around the failure — under a fresh deadline.
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.anycast_retries").inc();
+    auto msg = std::make_unique<AnycastMsg>();
+    msg->topic = waiter.topic;
+    msg->scope = waiter.scope;
+    msg->request_id = request_id;
+    msg->originator = node_.self();
+    msg->payload = waiter.retry_payload->clone();
+    waiter.deadline = node_.network().engine().schedule(
+        config_.anycast_timeout, [this, request_id]() { on_anycast_deadline(request_id); });
+    node_.route(waiter.topic, std::move(msg), kAppName, waiter.scope);
+    return;
+  }
+  // Second expiry: complete with a miss so the caller's backoff machinery
+  // takes over, and drop the waiter — the map must drain to empty.
+  auto payload = std::move(waiter.retry_payload);
+  auto cb = std::move(waiter.callback);
+  anycast_waiters_.erase(it);
+  cb(false, 0, *payload);
 }
 
 // --- aggregation ---------------------------------------------------------------
@@ -388,7 +438,20 @@ double Scribe::aggregate_value(const TopicId& topic) const {
 }
 
 void Scribe::aggregation_round() {
+  const auto now = node_.network().engine().now();
   for (auto& [topic, st] : topics_) {
+    // A promoted root exits the degraded window once every adopted child
+    // has reported into the live view, or the snapshot aged past the
+    // staleness bound (probes then fall back to the partial live view).
+    if (st.degraded) {
+      const bool all_reported =
+          std::all_of(st.children.begin(), st.children.end(),
+                      [](const ChildState& c) { return c.has_report; });
+      if ((all_reported && (st.member || !st.children.empty())) ||
+          now - st.stale_at > config_.max_staleness) {
+        st.degraded = false;
+      }
+    }
     if (!st.parent) continue;
     if (auto* m = fed_metrics(node_)) m->counter("scribe.agg_reports").inc();
     auto report = std::make_unique<AggReportMsg>();
@@ -397,17 +460,163 @@ void Scribe::aggregation_round() {
     report->value = subtree_value(topic, st);
     node_.send_direct(*st.parent, std::move(report), kAppName);
   }
+  replicate_roots();
+}
+
+void Scribe::replicate_roots() {
+  if (config_.root_replicas <= 0) return;
+  const auto now = node_.network().engine().now();
+  for (auto& [topic, st] : topics_) {
+    if (!st.root || (!st.member && st.children.empty())) continue;
+    ++st.epoch;
+    // While degraded, replicate the snapshot we are actually serving so a
+    // chained failover inherits the same (value, age) view.
+    const bool window = st.degraded && now - st.stale_at <= config_.max_staleness;
+
+    // Alternate successor/predecessor so copies straddle the root on the
+    // id ring: whichever neighbor inherits the TreeId holds one.
+    const auto& leaves =
+        st.scope == pastry::Scope::Site ? node_.site_leaf_set() : node_.leaf_set();
+    std::vector<NodeRef> targets;
+    const auto& cw = leaves.clockwise();
+    const auto& ccw = leaves.counter_clockwise();
+    for (std::size_t i = 0; i < std::max(cw.size(), ccw.size()); ++i) {
+      if (i < cw.size()) targets.push_back(cw[i]);
+      if (i < ccw.size()) targets.push_back(ccw[i]);
+    }
+    std::vector<NodeRef> picked;
+    for (const auto& target : targets) {
+      if (static_cast<int>(picked.size()) >= config_.root_replicas) break;
+      if (target.id == node_.self().id) continue;
+      const bool dup = std::any_of(picked.begin(), picked.end(),
+                                   [&](const NodeRef& p) { return p.id == target.id; });
+      if (!dup) picked.push_back(target);
+    }
+    if (picked.empty()) continue;
+
+    auto proto = std::make_unique<RootReplicaMsg>();
+    proto->topic = topic;
+    proto->scope = st.scope;
+    proto->epoch = st.epoch;
+    proto->agg_kind = st.agg_kind;
+    proto->value = window ? st.stale_value : subtree_value(topic, st);
+    proto->snapshot_time = window ? st.stale_at : now;
+    proto->children.reserve(st.children.size());
+    for (const auto& child : st.children) proto->children.push_back(child.ref);
+    if (reservation_reporter_) proto->holders = reservation_reporter_();
+    for (const auto& target : picked) {
+      auto msg = std::make_unique<RootReplicaMsg>(*proto);
+      if (auto* m = fed_metrics(node_)) m->counter("scribe.root_replications").inc();
+      node_.send_direct(target, std::move(msg), kAppName);
+    }
+  }
+}
+
+void Scribe::handle_replica(const RootReplicaMsg& msg) {
+  auto& rep = replicas_[msg.topic];
+  if (msg.epoch < rep.epoch) return;  // late copy from an older round
+  rep.epoch = msg.epoch;
+  rep.agg_kind = msg.agg_kind;
+  rep.scope = msg.scope;
+  rep.value = msg.value;
+  rep.snapshot_time = msg.snapshot_time;
+  rep.received_at = node_.network().engine().now();
+  rep.children = msg.children;
+  rep.holders = msg.holders;
+}
+
+void Scribe::neighbor_failed(const pastry::NodeId& /*id*/) {
+  if (replicas_.empty() || promote_pending_) return;
+  // Deferred by one (same-instant) event: the leaf-set notification can
+  // arrive mid-rejoin with a TopicState reference live upstack, and
+  // promotion mutates topics_.
+  promote_pending_ = true;
+  promote_timer_ = node_.network().engine().schedule(util::SimTime::zero(), [this]() {
+    promote_pending_ = false;
+    promotion_check();
+  });
+}
+
+void Scribe::promotion_check() {
+  std::vector<std::pair<TopicId, ReplicaState>> to_promote;
+  for (auto& [topic, rep] : replicas_) {
+    const auto* st = find_topic(topic);
+    if (st != nullptr && st->root) continue;  // already own the TreeId
+    // Ownership test: with the dead root purged from routing state, a null
+    // next hop means this node is now numerically closest to the TreeId.
+    if (node_.next_hop(topic, rep.scope).has_value()) continue;
+    to_promote.emplace_back(topic, rep);
+  }
+  for (auto& [topic, rep] : to_promote) {
+    replicas_.erase(topic);
+    promote_from_replica(topic, std::move(rep));
+  }
+}
+
+void Scribe::promote_from_replica(const TopicId& topic, ReplicaState replica) {
+  auto& st = topic_state(topic);
+  st.root = true;
+  st.parent.reset();
+  st.scope = replica.scope;
+  st.agg_kind = replica.agg_kind;
+  // Epoch carries over monotonically: probes crossing the failover never
+  // see it regress.
+  st.epoch = std::max(st.epoch, replica.epoch);
+  st.degraded = true;
+  st.stale_value = replica.value;
+  st.stale_at = replica.snapshot_time;
+  for (const auto& child : replica.children) {
+    if (child.id == node_.self().id) continue;
+    add_child(st, child);
+  }
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.root_failovers").inc();
+  if (auto* causal = causal_log(node_)) {
+    causal->local(node_.network().site_of(node_.self().endpoint), node_.self().endpoint,
+                  "root.failover", node_.network().engine().now());
+  }
+}
+
+Scribe::SizeInfo Scribe::probe_answer(const TopicId& topic, TopicState& st) {
+  SizeInfo info;
+  info.epoch = st.epoch;
+  if (st.degraded) {
+    const auto age = node_.network().engine().now() - st.stale_at;
+    if (age <= config_.max_staleness) {
+      info.value = st.stale_value;
+      info.stale = true;
+      info.age = age;
+      if (auto* m = fed_metrics(node_)) m->counter("scribe.stale_reads").inc();
+      return info;
+    }
+    st.degraded = false;  // bound exceeded: serve the (partial) live view
+  }
+  info.value = subtree_value(topic, st);
+  return info;
 }
 
 void Scribe::probe_size(const TopicId& topic, SizeCallback callback, pastry::Scope scope) {
   if (auto* m = fed_metrics(node_)) m->counter("scribe.size_probes").inc();
   const auto id = next_request_id_++;
-  size_waiters_[id] = std::move(callback);
+  auto& waiter = size_waiters_[id];
+  waiter.callback = std::move(callback);
+  if (config_.anycast_timeout > util::SimTime::zero()) {
+    waiter.deadline = node_.network().engine().schedule(
+        config_.anycast_timeout, [this, id]() { on_probe_deadline(id); });
+  }
   auto probe = std::make_unique<SizeProbeMsg>();
   probe->topic = topic;
   probe->request_id = id;
   probe->originator = node_.self();
   node_.route(topic, std::move(probe), kAppName, scope);
+}
+
+void Scribe::on_probe_deadline(std::uint64_t request_id) {
+  auto it = size_waiters_.find(request_id);
+  if (it == size_waiters_.end()) return;
+  auto cb = std::move(it->second.callback);
+  size_waiters_.erase(it);
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.size_probe_timeouts").inc();
+  cb(SizeInfo{});  // value 0: the caller treats an unreachable tree as empty
 }
 
 // --- repair ---------------------------------------------------------------------
@@ -435,6 +644,12 @@ void Scribe::heartbeat_round() {
     }
   }
   for (const auto& topic : emptied) maybe_prune(topic);
+  // Replicas stop refreshing when their root died (promotion consumes
+  // them) or when this node fell out of the root's leaf set; either way
+  // a copy several staleness windows old is garbage.
+  std::erase_if(replicas_, [&](const auto& entry) {
+    return now - entry.second.received_at > config_.max_staleness * std::int64_t{4};
+  });
 }
 
 void Scribe::check_parents() {
@@ -514,19 +729,25 @@ void Scribe::deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int /*h
     return;
   }
   if (auto* probe = dynamic_cast<SizeProbeMsg*>(&msg)) {
-    auto reply = std::make_unique<SizeReplyMsg>();
-    reply->topic = probe->topic;
-    reply->request_id = probe->request_id;
-    reply->size = aggregate_value(probe->topic);
+    SizeInfo info;
+    if (auto* st = find_topic(probe->topic)) info = probe_answer(probe->topic, *st);
     if (probe->originator.id == node_.self().id) {
-      auto it = size_waiters_.find(reply->request_id);
+      auto it = size_waiters_.find(probe->request_id);
       if (it != size_waiters_.end()) {
-        auto cb = std::move(it->second);
+        auto waiter = std::move(it->second);
         size_waiters_.erase(it);
-        cb(reply->size);
+        waiter.deadline.cancel();
+        waiter.callback(info);
       }
       return;
     }
+    auto reply = std::make_unique<SizeReplyMsg>();
+    reply->topic = probe->topic;
+    reply->request_id = probe->request_id;
+    reply->size = info.value;
+    reply->epoch = info.epoch;
+    reply->stale = info.stale;
+    reply->age = info.age;
     node_.send_direct(probe->originator, std::move(reply), kAppName);
     return;
   }
@@ -563,11 +784,14 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
     return;
   }
   if (auto* result = dynamic_cast<AnycastResultMsg*>(&msg)) {
+    // A result landing after the deadline completed the waiter finds no
+    // entry and is dropped — exactly-once completion either way.
     auto it = anycast_waiters_.find(result->request_id);
     if (it != anycast_waiters_.end()) {
-      auto cb = std::move(it->second);
+      auto waiter = std::move(it->second);
       anycast_waiters_.erase(it);
-      cb(result->satisfied, result->members_visited, *result->payload);
+      waiter.deadline.cancel();
+      waiter.callback(result->satisfied, result->members_visited, *result->payload);
     }
     return;
   }
@@ -608,10 +832,20 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
   if (auto* reply = dynamic_cast<SizeReplyMsg*>(&msg)) {
     auto it = size_waiters_.find(reply->request_id);
     if (it != size_waiters_.end()) {
-      auto cb = std::move(it->second);
+      auto waiter = std::move(it->second);
       size_waiters_.erase(it);
-      cb(reply->size);
+      waiter.deadline.cancel();
+      SizeInfo info;
+      info.value = reply->size;
+      info.epoch = reply->epoch;
+      info.stale = reply->stale;
+      info.age = reply->age;
+      waiter.callback(info);
     }
+    return;
+  }
+  if (auto* replica = dynamic_cast<RootReplicaMsg*>(&msg)) {
+    handle_replica(*replica);
     return;
   }
   RBAY_WARN("scribe", "unhandled direct message " << msg.type_name());
@@ -634,6 +868,21 @@ std::optional<NodeRef> Scribe::parent_of(const TopicId& topic) const {
 bool Scribe::is_root_of(const TopicId& topic) const {
   const auto* st = find_topic(topic);
   return st != nullptr && st->root;
+}
+
+std::uint64_t Scribe::root_epoch_of(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st == nullptr ? 0 : st->epoch;
+}
+
+bool Scribe::is_degraded(const TopicId& topic) const {
+  const auto* st = find_topic(topic);
+  return st != nullptr && st->degraded;
+}
+
+const Scribe::ReplicaState* Scribe::replica_of(const TopicId& topic) const {
+  auto it = replicas_.find(topic);
+  return it == replicas_.end() ? nullptr : &it->second;
 }
 
 }  // namespace rbay::scribe

@@ -45,9 +45,6 @@ class TopicMember {
   }
 };
 
-/// Composable aggregation functions (hierarchical computation property).
-enum class AggregateKind { Count, Sum, Min, Max };
-
 double combine(AggregateKind kind, double a, double b);
 
 struct ScribeConfig {
@@ -57,6 +54,16 @@ struct ScribeConfig {
   util::SimTime heartbeat_interval = util::SimTime::zero();
   /// Missed-beat multiple after which a child declares its parent dead.
   int heartbeat_misses = 3;
+  /// Leaf-set successors each tree root replicates rendezvous state to,
+  /// every aggregation round (zero disables replication/failover).
+  int root_replicas = 2;
+  /// Longest a promoted root may serve a replicated aggregate snapshot as
+  /// a degraded (stale-tagged) read before failing back to its live view.
+  util::SimTime max_staleness = util::SimTime::seconds(5);
+  /// Deadline for anycast walks and size probes; zero disables timeouts
+  /// (an expired anycast is retried once from the entry node, then
+  /// completed with a miss).
+  util::SimTime anycast_timeout = util::SimTime::zero();
 };
 
 class Scribe final : public pastry::PastryApp {
@@ -96,10 +103,28 @@ class Scribe final : public pastry::PastryApp {
   /// whole tree).  Count aggregation yields tree size.
   [[nodiscard]] double aggregate_value(const TopicId& topic) const;
 
+  /// A root's answer to a size probe.  `stale` marks a degraded read: a
+  /// freshly promoted root serving the last replicated snapshot, `age`
+  /// sim-time old.  `epoch` is the root's replication epoch — it never
+  /// moves backwards across a failover.
+  struct SizeInfo {
+    double value = 0.0;
+    std::uint64_t epoch = 0;
+    bool stale = false;
+    util::SimTime age = util::SimTime::zero();
+  };
+
   /// Asks the topic root for its aggregate (Fig. 7 steps 1-2).
-  using SizeCallback = std::function<void(double size)>;
+  using SizeCallback = std::function<void(const SizeInfo& info)>;
   void probe_size(const TopicId& topic, SizeCallback callback,
                   pastry::Scope scope = pastry::Scope::Global);
+
+  /// Reports this node's active reservation holders for inclusion in root
+  /// replicas (set by the RBAY core node; may be null).
+  using ReservationReporter = std::function<std::vector<std::string>()>;
+  void set_reservation_reporter(ReservationReporter reporter) {
+    reservation_reporter_ = std::move(reporter);
+  }
 
   /// Children registered on this node for `topic` (tree introspection).
   [[nodiscard]] std::vector<NodeRef> children_of(const TopicId& topic) const;
@@ -107,11 +132,32 @@ class Scribe final : public pastry::PastryApp {
   [[nodiscard]] bool is_root_of(const TopicId& topic) const;
   [[nodiscard]] std::size_t topic_count() const { return topics_.size(); }
 
+  /// Failover introspection (invariant checkers, tests).
+  [[nodiscard]] std::size_t anycast_waiter_count() const { return anycast_waiters_.size(); }
+  [[nodiscard]] std::size_t size_waiter_count() const { return size_waiters_.size(); }
+  [[nodiscard]] std::uint64_t root_epoch_of(const TopicId& topic) const;
+  [[nodiscard]] bool is_degraded(const TopicId& topic) const;
+
+  /// Replicated rendezvous state held on behalf of a (possibly failed)
+  /// tree root.
+  struct ReplicaState {
+    std::uint64_t epoch = 0;
+    AggregateKind agg_kind = AggregateKind::Count;
+    pastry::Scope scope = pastry::Scope::Global;
+    double value = 0.0;
+    util::SimTime snapshot_time = util::SimTime::zero();
+    util::SimTime received_at = util::SimTime::zero();
+    std::vector<NodeRef> children;
+    std::vector<std::string> holders;
+  };
+  [[nodiscard]] const ReplicaState* replica_of(const TopicId& topic) const;
+
   // PastryApp interface -----------------------------------------------------
   void deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int hops) override;
   bool forward(const pastry::NodeId& key, pastry::AppMessage& msg,
                const NodeRef& next_hop) override;
   void receive(const NodeRef& from, pastry::AppMessage& msg) override;
+  void neighbor_failed(const pastry::NodeId& id) override;
 
   /// App name Scribe registers under.
   static constexpr const char* kAppName = "scribe";
@@ -135,6 +181,29 @@ class Scribe final : public pastry::PastryApp {
     double own_value = 0.0;
     util::SimTime last_parent_beat = util::SimTime::zero();
     std::function<void()> on_joined;
+    /// Replication epoch while root: bumped every replication round,
+    /// carried over (max) on promotion so probes never see it regress.
+    std::uint64_t epoch = 0;
+    /// Promoted-root repair window: serve `stale_value` (snapshotted at
+    /// `stale_at`) until the subtree reports afresh or staleness exceeds
+    /// the configured bound.
+    bool degraded = false;
+    double stale_value = 0.0;
+    util::SimTime stale_at = util::SimTime::zero();
+  };
+
+  struct AnycastWaiter {
+    AnycastCallback callback;
+    sim::Timer deadline;
+    std::unique_ptr<AnycastPayload> retry_payload;
+    TopicId topic;
+    pastry::Scope scope = pastry::Scope::Global;
+    int timeouts = 0;
+  };
+
+  struct SizeWaiter {
+    SizeCallback callback;
+    sim::Timer deadline;
   };
 
   TopicState& topic_state(const TopicId& topic);
@@ -152,15 +221,26 @@ class Scribe final : public pastry::PastryApp {
   void check_parents();
   void rejoin(const TopicId& topic);
   [[nodiscard]] double subtree_value(const TopicId& topic, const TopicState& st) const;
+  void replicate_roots();
+  void handle_replica(const RootReplicaMsg& msg);
+  void promotion_check();
+  void promote_from_replica(const TopicId& topic, ReplicaState replica);
+  void on_anycast_deadline(std::uint64_t request_id);
+  void on_probe_deadline(std::uint64_t request_id);
+  [[nodiscard]] SizeInfo probe_answer(const TopicId& topic, TopicState& st);
 
   pastry::PastryNode& node_;
   ScribeConfig config_;
   std::unordered_map<TopicId, TopicState, util::U128Hash> topics_;
-  std::unordered_map<std::uint64_t, AnycastCallback> anycast_waiters_;
-  std::unordered_map<std::uint64_t, SizeCallback> size_waiters_;
+  std::unordered_map<TopicId, ReplicaState, util::U128Hash> replicas_;
+  std::unordered_map<std::uint64_t, AnycastWaiter> anycast_waiters_;
+  std::unordered_map<std::uint64_t, SizeWaiter> size_waiters_;
+  ReservationReporter reservation_reporter_;
   std::uint64_t next_request_id_ = 1;
   sim::Timer agg_timer_;
   sim::Timer beat_timer_;
+  sim::Timer promote_timer_;
+  bool promote_pending_ = false;
 };
 
 }  // namespace rbay::scribe

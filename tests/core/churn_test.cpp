@@ -68,8 +68,9 @@ TEST(Recovery, RecoveredExRootDoesNotSplitTheTree) {
 
   // Aggregated size at the (restored) root must cover every member again.
   double size = -1;
-  f.cluster.node(1).scribe().probe_size(topic, [&](double s) { size = s; },
-                                        pastry::Scope::Site);
+  f.cluster.node(1).scribe().probe_size(
+      topic, [&](const scribe::Scribe::SizeInfo& i) { size = i.value; },
+      pastry::Scope::Site);
   f.cluster.run();
   EXPECT_GE(size, 39.0) << "tree stayed fragmented after ex-root recovery";
 }

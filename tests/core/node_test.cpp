@@ -44,7 +44,8 @@ TEST(RBayNode, TreeSizeAggregatesMatchMembership) {
 
   double size = -1;
   cluster.node(0).scribe().probe_size(cluster.node(0).topic_of(cluster.tree_specs()[0]),
-                                      [&](double s) { size = s; }, pastry::Scope::Site);
+                                      [&](const scribe::Scribe::SizeInfo& i) { size = i.value; },
+                                      pastry::Scope::Site);
   cluster.run();
   EXPECT_DOUBLE_EQ(size, 8.0);
 }

@@ -56,6 +56,10 @@ ChaosResult run_chaos(std::uint64_t seed) {
   config.metrics = true;
   config.node.scribe.aggregation_interval = SimTime::millis(200);
   config.node.scribe.heartbeat_interval = SimTime::millis(250);
+  // Without a deadline, a DFS walk that steps onto a crashed node dies
+  // silently and its waiter survives quiescence — the leaked-waiters
+  // checker would (rightly) flag it.
+  config.node.scribe.anycast_timeout = SimTime::millis(1500);
   core::RBayCluster cluster{config};
   cluster.add_tree_spec(core::TreeSpec::from_predicate(
       {"GPU", query::CompareOp::Eq, store::AttributeValue{true}}));

@@ -16,6 +16,9 @@ struct CollectPayload final : AnycastPayload {
   std::size_t want = 1;
   std::vector<pastry::NodeId> collected;
   [[nodiscard]] std::size_t wire_size() const override { return 16 + collected.size() * 16; }
+  [[nodiscard]] std::unique_ptr<AnycastPayload> clone() const override {
+    return std::make_unique<CollectPayload>(*this);
+  }
 };
 
 class RecordingMember final : public TopicMember {

@@ -21,9 +21,21 @@ ctest --preset ci -L chaos --output-on-failure
 # Observability gate: causal tracing, critical path, and Chrome export.
 ctest --preset ci -L obs --output-on-failure
 
+# Rendezvous-failover gate: crash a tree root mid-aggregation and storm
+# the federation; the run's transcript (degraded reads, invariant verdict,
+# and — on a trip — the flight-recorder failure dump the scenario embeds
+# in its error output) is archived whether it passes or fails.
+mkdir -p build-ci/artifacts
+if ! build-ci/tools/rbay_sim --metrics build-ci/artifacts/chaos_root_crash_metrics.json \
+    scenarios/chaos_root_crash.rbay \
+    > build-ci/artifacts/chaos_root_crash.log 2>&1; then
+  echo "chaos_root_crash scenario FAILED; failure dump follows" >&2
+  cat build-ci/artifacts/chaos_root_crash.log >&2
+  exit 1
+fi
+
 # Exercise the --trace path end to end under the sanitizers, then check the
 # exported JSON against the minimal Chrome trace-event schema.
-mkdir -p build-ci/artifacts
 build-ci/tools/rbay_sim --trace build-ci/artifacts/trace_smoke.json scenarios/geo_federation.rbay
 build-ci/tools/trace_check build-ci/artifacts/trace_smoke.json
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <sstream>
 
+#include "core/naming.hpp"
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
 #include "fault/schedule.hpp"
@@ -151,6 +153,9 @@ class Runner {
     config.seed = seed_;
     config.node.scribe.aggregation_interval = aggregation_;
     config.node.scribe.heartbeat_interval = heartbeat_;
+    config.node.scribe.anycast_timeout = anycast_timeout_;
+    config.node.scribe.max_staleness = max_staleness_;
+    config.node.scribe.root_replicas = root_replicas_;
     config.node.query.max_attempts = max_attempts_;
     config.metrics = options_.metrics || options_.trace;
     cluster_ = std::make_unique<core::RBayCluster>(config);
@@ -178,6 +183,9 @@ class Runner {
     if (kw == "aggregation") return set_ms(d, aggregation_);
     if (kw == "heartbeat") return set_ms(d, heartbeat_);
     if (kw == "max-attempts") return set_int(d, max_attempts_);
+    if (kw == "anycast-timeout") return set_ms(d, anycast_timeout_);
+    if (kw == "max-staleness") return set_ms(d, max_staleness_);
+    if (kw == "root-replicas") return set_int(d, root_replicas_);
     if (kw == "tree") return do_tree(d);
     if (kw == "tree-exists") return do_tree_exists(d);
     if (kw == "taxonomy-major") return do_taxonomy_major(d);
@@ -195,6 +203,8 @@ class Runner {
     if (kw == "admin-deliver") return do_admin_deliver(d);
     if (kw == "hide" || kw == "expose") return do_hide_expose(d);
     if (kw == "fail" || kw == "recover") return do_fail_recover(d);
+    if (kw == "crash-root") return do_crash_root(d);
+    if (kw == "recover-root") return do_recover_root(d);
     if (kw == "fault-schedule") return do_fault_schedule(d);
     if (kw == "check-invariants") return do_check_invariants(d);
     if (kw == "expect") return do_expect(d);
@@ -375,6 +385,9 @@ class Runner {
     if (last_outcome_.count > 0 || sql.find("COUNT") != std::string::npos) {
       os << " count=" << last_outcome_.count;
     }
+    if (last_outcome_.stale) {
+      os << " stale(age=" << last_outcome_.staleness.to_string() << ")";
+    }
     for (const auto& c : last_outcome_.nodes) {
       os << " " << c.node.id.to_hex().substr(0, 8) << "@"
          << topology_.site(c.node.site).name;
@@ -457,6 +470,41 @@ class Runner {
     return {};
   }
 
+  util::Result<void> do_crash_root(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "crash-root before finalize");
+    if (d.args.empty()) return error_at(d.line, "crash-root needs: <site> [tree-index]");
+    const auto site = topology_.site_by_name(d.args[0]);
+    const std::size_t tree = d.args.size() > 1 ? std::stoul(d.args[1]) : 0;
+    if (tree >= cluster_->tree_specs().size()) {
+      return error_at(d.line, "tree index out of range");
+    }
+    const auto topic =
+        core::site_topic(cluster_->tree_specs()[tree].canonical, d.args[0]);
+    const auto victim = cluster_->overlay().root_of_in_site(topic, site);
+    if (cluster_->overlay().is_failed(victim)) {
+      return error_at(d.line, "that tree's root in " + d.args[0] + " is already down");
+    }
+    cluster_->overlay().fail_node(victim);
+    last_crashed_root_ = victim;
+    // Drain the zero-delay promotion event so a replica holder takes over
+    // before the next directive observes the tree.
+    cluster_->run();
+    report_.output.push_back("crash-root " + d.args[0] + ": node index " +
+                             std::to_string(victim));
+    return {};
+  }
+
+  util::Result<void> do_recover_root(const Directive& d) {
+    if (!last_crashed_root_.has_value()) {
+      return error_at(d.line, "recover-root without a prior crash-root");
+    }
+    cluster_->overlay().recover_node(*last_crashed_root_);
+    cluster_->node(*last_crashed_root_).reevaluate_subscriptions();
+    last_crashed_root_.reset();
+    cluster_->run();
+    return {};
+  }
+
   util::Result<void> do_fault_schedule(const Directive& d) {
     if (!finalized_) return error_at(d.line, "fault-schedule before finalize");
     if (d.heredoc.empty()) return error_at(d.line, "fault-schedule needs a heredoc body");
@@ -489,11 +537,16 @@ class Runner {
           report.merge(fault::check_aggregates(*cluster_));
         } else if (which == "reservations") {
           report.merge(fault::check_reservations(*cluster_));
+        } else if (which == "replicas") {
+          report.merge(fault::check_replicas(*cluster_));
+        } else if (which == "waiters") {
+          report.merge(fault::check_waiters(*cluster_));
         } else if (which == "pastry") {
           report.merge(fault::check_pastry(cluster_->overlay()));
         } else {
-          return error_at(d.line, "unknown checker '" + which +
-                                      "' (trees|children|aggregates|reservations|pastry)");
+          return error_at(
+              d.line, "unknown checker '" + which +
+                          "' (trees|children|aggregates|reservations|replicas|waiters|pastry)");
         }
       }
     }
@@ -526,6 +579,19 @@ class Runner {
     }
     if (what == "denied") {
       if (last_outcome_.satisfied) return error_at(d.line, "expected denial, query satisfied");
+      return {};
+    }
+    if (what == "stale") {
+      if (!last_outcome_.stale) {
+        return error_at(d.line, "expected a stale (degraded) answer, got a fresh one");
+      }
+      return {};
+    }
+    if (what == "fresh") {
+      if (last_outcome_.stale) {
+        return error_at(d.line, "expected a fresh answer, got a stale one (age " +
+                                    last_outcome_.staleness.to_string() + ")");
+      }
       return {};
     }
     if (what == "nodes" && d.args.size() == 2) {
@@ -565,7 +631,11 @@ class Runner {
   std::uint64_t seed_ = 42;
   util::SimTime aggregation_ = util::SimTime::millis(250);
   util::SimTime heartbeat_ = util::SimTime::zero();
+  util::SimTime anycast_timeout_ = util::SimTime::zero();
+  util::SimTime max_staleness_ = util::SimTime::seconds(5);
+  int root_replicas_ = 2;
   int max_attempts_ = 5;
+  std::optional<std::size_t> last_crashed_root_;
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
   std::unique_ptr<core::RBayCluster> cluster_;
