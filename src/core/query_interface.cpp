@@ -87,6 +87,7 @@ void QueryInterface::attempt(std::uint64_t id) {
   ++p.outcome.attempts;
   p.gathered.clear();
   p.count_total = 0.0;
+  p.outcome.sites_answered.clear();
 
   // Everything this attempt dispatches descends from the stored context:
   // the trace root on attempt 1, the backoff_retry event on later attempts.
@@ -152,6 +153,7 @@ void QueryInterface::attempt(std::uint64_t id) {
       run_site_query(job, [this, id, attempt_no](SiteResult result) {
         auto pit = pending_.find(id);
         if (pit == pending_.end() || pit->second.outcome.attempts != attempt_no) return;
+        result.site = owner_.site();
         site_done(id, std::move(result));
       });
     } else {
@@ -179,6 +181,7 @@ void QueryInterface::site_done(std::uint64_t id, SiteResult result) {
   if (it == pending_.end()) return;
   auto& p = it->second;
   p.outcome.members_visited += result.visited;
+  p.outcome.sites_answered.push_back(result.site);
   p.count_total += result.count;
   if (result.stale) {
     p.outcome.stale = true;
@@ -191,6 +194,7 @@ void QueryInterface::site_done(std::uint64_t id, SiteResult result) {
 void QueryInterface::complete(std::map<std::uint64_t, Pending>::iterator it) {
   auto& p = it->second;
   p.outcome.finished = owner_.engine().now();
+  std::sort(p.outcome.sites_answered.begin(), p.outcome.sites_answered.end());
   if (auto* reg = owner_.engine().metrics()) {
     auto& fed = reg->fed();
     fed.counter(p.outcome.satisfied ? "query.satisfied" : "query.failed").inc();
@@ -568,6 +572,7 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
       return;
     }
     SiteResult result;
+    result.site = reply->site;
     result.candidates = std::move(reply->candidates);
     result.visited = reply->members_visited;
     result.count = reply->count;

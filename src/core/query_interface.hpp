@@ -42,6 +42,11 @@ struct QueryOutcome {
   int sites_queried = 0;
   int sites_timed_out = 0;
   int members_visited = 0;
+  /// Sites whose gateway reply (or local execution) arrived before the
+  /// site timeout on the final attempt, ascending.  A partitioned or
+  /// crashed site is absent here and counted in `sites_timed_out` — the
+  /// differential oracle keys its per-site predictions on this set.
+  std::vector<net::SiteId> sites_answered;
   /// SELECT COUNT result: matching members across the queried sites, read
   /// from the tree roots' aggregates (no anycast, no reservations).
   double count = 0.0;
@@ -110,6 +115,7 @@ class QueryInterface final : public pastry::PastryApp {
 
   /// Per-site completion data threaded from run_site_query to site_done.
   struct SiteResult {
+    net::SiteId site = 0;
     std::vector<Candidate> candidates;
     int visited = 0;
     double count = 0.0;

@@ -110,6 +110,7 @@ void FaultInjector::recover(std::size_t node_index) {
 void FaultInjector::apply(const FaultAction& a) {
   const auto& directory = cluster_.directory();
   auto& network = cluster_.network();
+  std::vector<std::size_t> victims;
   switch (a.kind) {
     case ActionKind::Crash:
     case ActionKind::Recover: {
@@ -121,6 +122,7 @@ void FaultInjector::apply(const FaultAction& a) {
       } else {
         recover(idx);
       }
+      victims.push_back(idx);
       break;
     }
     case ActionKind::CrashRandom: {
@@ -137,13 +139,17 @@ void FaultInjector::apply(const FaultAction& a) {
       for (std::size_t k = 0; k < count; ++k) {
         const auto pick = rng.uniform(pool.size());
         crash(pool[pick]);
+        victims.push_back(pool[pick]);
         pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
       }
       break;
     }
     case ActionKind::RecoverAll: {
       for (std::size_t i = 0; i < cluster_.size(); ++i) {
-        if (cluster_.overlay().is_failed(i)) recover(i);
+        if (cluster_.overlay().is_failed(i)) {
+          recover(i);
+          victims.push_back(i);
+        }
       }
       break;
     }
@@ -178,6 +184,7 @@ void FaultInjector::apply(const FaultAction& a) {
       note("jitter -> " + std::to_string(a.value));
       break;
   }
+  if (on_apply) on_apply(a, victims);
 }
 
 }  // namespace rbay::fault

@@ -13,6 +13,7 @@
 // run can be reproduced and diffed from the printed trace alone.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,13 @@ class FaultInjector {
 
   /// Cancels all not-yet-fired actions.
   void cancel();
+
+  /// Observer fired after every applied action with the concrete node
+  /// indexes it touched (crash/recover kinds; empty for network actions).
+  /// This is how the differential oracle mirrors fault state: even the
+  /// victims a crash-random drew from the engine RNG reach the reference
+  /// model without a second RNG consumer.
+  std::function<void(const FaultAction&, const std::vector<std::size_t>&)> on_apply;
 
   /// Chronological log of applied actions ("t=1200ms crash site0/3 ...").
   [[nodiscard]] const std::vector<std::string>& log() const { return log_; }

@@ -1,0 +1,106 @@
+#pragma once
+
+// Differential harness: run a workload against the distributed sim and
+// the centralized ReferenceModel side by side, diff the observable
+// outcomes, and on mismatch shrink the op list to a minimal
+// counterexample exported as a replayable .rbay scenario.
+//
+// Execution discipline (what makes shrunk sublists well-formed):
+//  - mutations and faults apply immediately, separated by a short gap;
+//  - every observation (and admin multicast) first settles the federation
+//    (run_for(settle) + drain), so membership/aggregates are quiescent
+//    when both executions observe them;
+//  - one skip rule, applied identically to sim and model: an op whose
+//    target node is currently crashed is skipped (recover ops are skipped
+//    when the target is already up).  Shrinking can remove a recover
+//    without invalidating later ops on that node.
+//
+// On every op the harness also cross-checks the fault mirror itself
+// (model crashed-set == overlay failed-set), so a shrink that somehow
+// desynchronized the two executions is reported as its own divergence
+// kind instead of surfacing as a bogus query diff downstream.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/reference_model.hpp"
+#include "model/workload.hpp"
+#include "util/result.hpp"
+
+namespace rbay::model {
+
+struct Divergence {
+  bool found = false;
+  std::size_t op_index = 0;  // into the executed op list
+  std::string op;            // Op::describe() of the diverging op
+  std::string kind;  // count | satisfied | nodes | eligibility | sites | staleness |
+                     // membership | ledger | fault-mirror | query-error
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct RunOptions {
+  /// Attach the obs registry; on divergence RunResult carries the metrics
+  /// snapshot, a flight-recorder failure dump, and the Chrome trace.
+  bool metrics = false;
+  /// Build a replayable .rbay transcript of the executed ops, with
+  /// `expect` lines encoding the MODEL's predictions — replaying it fails
+  /// exactly when the sim disagrees with the model.
+  bool export_scenario = false;
+};
+
+struct RunResult {
+  Divergence divergence;
+  int ops_applied = 0;
+  int ops_skipped = 0;
+  int queries = 0;
+  int commits = 0;
+  /// One-line digest (ops/queries/divergence) for determinism checks.
+  std::string summary;
+  std::string scenario;       // when options.export_scenario
+  std::string registry_json;  // when options.metrics and a divergence was found
+  std::string failure_dump;
+  std::string trace_json;
+};
+
+/// Runs workload.ops (after workload.setup) through both executions.
+[[nodiscard]] RunResult run_differential(const Workload& workload,
+                                         const RunOptions& options = {});
+
+/// Greedy delta-debugging over an op list: repeatedly drop chunks
+/// (halving from |ops|/2 down to single ops) while `still_fails` holds,
+/// bounded by `max_probes` predicate evaluations.
+using OpsPredicate = std::function<bool(const std::vector<Op>&)>;
+[[nodiscard]] std::vector<Op> shrink_ops(std::vector<Op> ops, const OpsPredicate& still_fails,
+                                         int max_probes, int* probes_used = nullptr);
+
+struct ShrinkOutcome {
+  std::vector<Op> ops;    // minimal op list that still diverges
+  Divergence divergence;  // its divergence
+  int probes = 0;
+};
+
+/// Shrinks workload.ops against "run_differential still diverges".
+[[nodiscard]] ShrinkOutcome shrink_divergence(const Workload& workload, int max_probes = 120);
+
+struct ArtifactPaths {
+  std::string scenario;  // <dir>/<base>.rbay — replayable counterexample
+  std::string report;    // <dir>/<base>.txt  — divergence, op list, registry
+  std::string trace;     // <dir>/<base>_trace.json — Chrome trace (may be "")
+};
+
+/// Re-runs `ops` with metrics + export on and writes the counterexample
+/// bundle.  `dir` is created if missing.
+[[nodiscard]] util::Result<ArtifactPaths> write_artifacts(const std::string& dir,
+                                                          const std::string& base,
+                                                          const Workload& workload,
+                                                          const std::vector<Op>& ops,
+                                                          const Divergence& divergence);
+
+/// $RBAY_MODEL_ARTIFACTS when set (CI archives that directory), else
+/// `fallback`.
+[[nodiscard]] std::string artifact_dir_or(const std::string& fallback);
+
+}  // namespace rbay::model

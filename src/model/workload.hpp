@@ -1,0 +1,110 @@
+#pragma once
+
+// Randomized workload for the differential oracle.
+//
+// A workload is a concrete, replayable list of ops over a fixed attribute
+// universe: mutations (post/remove/hide/expose, admin multicasts), faults
+// (crash/recover/partition/heal — the explicit FaultSchedule kinds), and
+// observations (SELECT COUNT, SELECT k with a commit/release decision,
+// god-view membership and ledger audits).  The generator is seeded and
+// self-contained: every op it emits is valid when emitted (it tracks its
+// own crash/partition mirror), and the harness applies one skip rule —
+// ops targeting a currently-crashed node are skipped — identically on sim
+// and model so a shrunk sublist stays well-formed.
+//
+// The generator never emits `drop`/`jitter` (probabilistic delivery has
+// no sequential mirror) and never crashes a gateway (the paper assumes
+// reliable border routers; so does the fault injector's crash-random).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/naming.hpp"
+#include "query/sql.hpp"
+#include "store/attribute.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::model {
+
+enum class OpKind {
+  Post,          // node, attr, value
+  Remove,        // node, attr
+  Hide,          // node, attr
+  Expose,        // node, attr
+  AdminHide,     // site_a, canonical, attr — multicast to tree members
+  AdminExpose,   // site_a, canonical, attr
+  Crash,         // node (never a gateway)
+  Recover,       // node
+  Partition,     // site_a <-> site_b
+  Heal,          // site_a <-> site_b
+  Count,         // origin node, query (count_only)
+  Select,        // origin node, query, decision on the outcome
+  ReleaseOlder,  // release the (slot mod live)-th still-committed outcome
+  AuditMembership,
+  AuditLedger,
+};
+
+/// What a Select op does with a satisfied outcome.
+enum class Decision { Release, Commit, CommitLease };
+
+struct Op {
+  OpKind kind = OpKind::Post;
+  std::size_t node = 0;  // mutation target / query origin
+  std::string attr;
+  store::AttributeValue value;
+  net::SiteId site_a = 0;
+  net::SiteId site_b = 0;
+  std::string canonical;  // AdminHide/AdminExpose tree
+  query::Query query;     // Count/Select
+  Decision decision = Decision::Release;
+  util::SimTime lease = util::SimTime::zero();
+  std::size_t slot = 0;  // ReleaseOlder pick
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::size_t sites = 3;
+  std::size_t per_site = 4;
+  int rounds = 4;
+  int mutations_per_round = 5;
+  int observations_per_round = 3;
+  double intra_ms = 0.5;
+  double cross_ms = 40.0;
+  // Protocol knobs shared by the harness cluster and the exported
+  // scenario.  The hold outlives any op (commits land instantly after the
+  // outcome, never against an expired hold); the settle gap outlasts
+  // heartbeat_misses * heartbeat plus aggregation propagation.
+  util::SimTime aggregation = util::SimTime::millis(200);
+  util::SimTime heartbeat = util::SimTime::millis(250);
+  util::SimTime anycast_timeout = util::SimTime::millis(1500);
+  util::SimTime site_timeout = util::SimTime::millis(1000);
+  util::SimTime reservation_hold = util::SimTime::seconds(30);
+  util::SimTime settle = util::SimTime::seconds(5);
+  int max_attempts = 3;
+};
+
+struct Workload {
+  WorkloadSpec spec;
+  /// Initial attribute posts (applied before finalize; not shrunk).
+  std::vector<Op> setup;
+  /// The shrinkable body: rounds of mutations/faults then observations.
+  std::vector<Op> ops;
+};
+
+/// The fixed attribute universe every workload runs over:
+///   GPU=true, CPU<0.5, disk>=100 trees; has:brand existence tree;
+///   taxonomy major `brand` with minor `model` linked under it.
+[[nodiscard]] std::vector<core::TreeSpec> workload_tree_specs();
+[[nodiscard]] core::Taxonomy workload_taxonomy();
+
+[[nodiscard]] Workload generate_workload(const WorkloadSpec& spec);
+
+/// "<site-name>:<site-relative-index>" for scenario export (nodes are
+/// added site-major, so the mapping is positional).
+[[nodiscard]] std::string site_target(const WorkloadSpec& spec, std::size_t node);
+[[nodiscard]] std::string site_name_of(const WorkloadSpec& spec, std::size_t node);
+
+}  // namespace rbay::model

@@ -85,7 +85,16 @@ Scribe::~Scribe() {
   for (auto& [id, waiter] : size_waiters_) waiter.deadline.cancel();
 }
 
-Scribe::TopicState& Scribe::topic_state(const TopicId& topic) { return topics_[topic]; }
+Scribe::TopicState& Scribe::topic_state(const TopicId& topic) {
+  auto [it, inserted] = topics_.try_emplace(topic);
+  if (inserted) {
+    if (auto r = retired_epochs_.find(topic); r != retired_epochs_.end()) {
+      it->second.epoch = r->second;
+      retired_epochs_.erase(r);
+    }
+  }
+  return it->second;
+}
 
 const Scribe::TopicState* Scribe::find_topic(const TopicId& topic) const {
   auto it = topics_.find(topic);
@@ -162,6 +171,7 @@ void Scribe::maybe_prune(const TopicId& topic) {
     leave->child = node_.self().id;
     node_.send_direct(*st->parent, std::move(leave), kAppName);
   }
+  if (st->epoch > 0) retired_epochs_[topic] = st->epoch;
   topics_.erase(topic);
 }
 
@@ -697,6 +707,7 @@ void Scribe::rejoin(const TopicId& topic) {
   // retries after the repair window.
   st->last_parent_beat = node_.network().engine().now();
   if (!st->member && st->children.empty()) {
+    if (st->epoch > 0) retired_epochs_[topic] = st->epoch;
     topics_.erase(topic);
     return;
   }

@@ -232,6 +232,10 @@ class Scribe final : public pastry::PastryApp {
   pastry::PastryNode& node_;
   ScribeConfig config_;
   std::unordered_map<TopicId, TopicState, util::U128Hash> topics_;
+  /// Replication epochs of torn-down topics we were root of: a rebuilt
+  /// tree resumes from here instead of restarting at 0, which would make
+  /// successors (whose replicas never regress) reject every new snapshot.
+  std::unordered_map<TopicId, std::uint64_t, util::U128Hash> retired_epochs_;
   std::unordered_map<TopicId, ReplicaState, util::U128Hash> replicas_;
   std::unordered_map<std::uint64_t, AnycastWaiter> anycast_waiters_;
   std::unordered_map<std::uint64_t, SizeWaiter> size_waiters_;

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "aal/script.hpp"
+#include "util/rng.hpp"
 
 namespace rbay::aal {
 namespace {
@@ -136,6 +140,102 @@ TEST(Sandbox, CallingMissingFunctionIsAnError) {
   auto script = Script::load("x = 1");
   ASSERT_TRUE(script.ok());
   EXPECT_FALSE(script.value()->call("ghost", {}).ok());
+}
+
+// --- property tests: random programs never crash or escape the sandbox ---
+
+/// Random program over the full token vocabulary.  Most are syntactically
+/// invalid; the ones that parse may still error or exhaust the budget at
+/// run time.  Every outcome must be a clean Result, never a crash.
+std::string random_token_soup(util::Rng& rng) {
+  static const std::vector<std::string> kTokens = {
+      "function", "end",    "if",    "then",   "else",  "while", "do",
+      "for",      "return", "local", "and",    "or",    "not",   "nil",
+      "true",     "false",  "error", "(",      ")",     "{",     "}",
+      "[",        "]",      "=",     "==",     "~=",    "<",     ">",
+      "+",        "-",      "*",     "/",      "..",    ",",     ".",
+      "f",        "x",      "AA",    "s",      "i",     "1",     "42",
+      "0.5",      "'str'",  "\"q\"", "#",      "%",     ";"};
+  std::string program;
+  const auto len = 1 + rng.uniform(40);
+  for (std::uint64_t t = 0; t < len; ++t) {
+    program += kTokens[rng.uniform(kTokens.size())];
+    program += ' ';
+  }
+  return program;
+}
+
+/// Random but structurally valid handler body: nested loops, arithmetic,
+/// table writes, and recursion picked from templates the grammar accepts.
+std::string random_structured_program(util::Rng& rng) {
+  static const std::vector<std::string> kBodies = {
+      "local s = 0 for i = 1, 50 do s = s + i end return s",
+      "local t = {} for i = 1, 20 do t['k' .. i] = i * 2 end return t['k7']",
+      "if x == nil then return 0 else return x end",
+      "local n = 0 while n < 30 do n = n + 1 end return n",
+      "return f(1) or 0",
+      "error('expected failure')",
+      "return 'a' .. 'b' .. 42",
+      "local d = 0 for i = 1, 10 do for j = 1, 10 do d = d + j end end return d",
+  };
+  std::string program = "AA = {limit = " + std::to_string(rng.uniform(100)) + "}\n";
+  program += "function f(x) " + kBodies[rng.uniform(kBodies.size())] + " end\n";
+  program += "function g() " + kBodies[rng.uniform(kBodies.size())] + " end\n";
+  return program;
+}
+
+TEST(SandboxProperty, RandomTokenSoupNeverCrashesLoadOrCall) {
+  util::Rng rng{0xA41'50FAULL};
+  SandboxLimits limits;
+  limits.max_steps = 5'000;
+  limits.max_recursion_depth = 16;
+  int loaded = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Every tenth trial is a valid program with the soup tucked behind a
+    // comment (the lexer still scans it), so the interpreter gets
+    // exercised too; the rest is unconstrained garbage for the parser.
+    const auto program =
+        trial % 10 == 0
+            ? "function f(x) return x end\n-- " + random_token_soup(rng)
+            : random_token_soup(rng);
+    auto script = Script::load(program, limits);
+    if (!script.ok()) {
+      EXPECT_FALSE(script.error().empty()) << program;
+      continue;
+    }
+    ++loaded;
+    // Whatever parsed must also execute within the budget or fail cleanly.
+    auto r = script.value()->call("f", {Value::number(1)});
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error().empty()) << program;
+    }
+    EXPECT_LE(script.value()->last_call_steps(), limits.max_steps) << program;
+  }
+  // The soup is mostly garbage, but the vocabulary guarantees a few valid
+  // programs (e.g. bare assignments); a zero count means load() rejects
+  // everything and the property test lost its teeth.
+  EXPECT_GT(loaded, 0);
+}
+
+TEST(SandboxProperty, StructuredProgramsStayWithinBudgetOrFailCleanly) {
+  util::Rng rng{77};
+  SandboxLimits limits;
+  limits.max_steps = 2'000;
+  limits.max_recursion_depth = 12;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto program = random_structured_program(rng);
+    auto script = Script::load(program, limits);
+    ASSERT_TRUE(script.ok()) << script.error() << "\n" << program;
+    for (const auto* fn : {"f", "g"}) {
+      auto r = script.value()->call(fn, {Value::number(2)});
+      if (!r.ok()) {
+        EXPECT_FALSE(r.error().empty()) << program;
+      }
+      EXPECT_LE(script.value()->last_call_steps(), limits.max_steps) << program;
+    }
+    // The sandbox held: host-visible state is still reachable and sane.
+    EXPECT_TRUE(script.value()->global("AA").is_table()) << program;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "model/harness.hpp"
+
+namespace rbay::model {
+namespace {
+
+/// Seed matrix: the full default workload (3 sites x 4 nodes, 4 rounds of
+/// faults + observations + audits) must agree with the reference model at
+/// every quiescent point.  On divergence the failing seed is shrunk and
+/// dumped as a replayable .rbay counterexample so CI can archive it (set
+/// RBAY_MODEL_ARTIFACTS to redirect the dump directory).
+class DifferentialSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSeeds, SimMatchesReferenceModel) {
+  WorkloadSpec spec;
+  spec.seed = GetParam();
+  const auto workload = generate_workload(spec);
+  const auto result = run_differential(workload);
+  if (result.divergence.found) {
+    const auto shrunk = shrink_divergence(workload, 60);
+    const auto dir = artifact_dir_or(::testing::TempDir());
+    const auto artifacts =
+        write_artifacts(dir, "diff_seed" + std::to_string(spec.seed), workload,
+                        shrunk.ops, shrunk.divergence);
+    FAIL() << result.divergence.to_string() << "\nshrunk to " << shrunk.ops.size()
+           << " ops after " << shrunk.probes << " probes: "
+           << shrunk.divergence.to_string() << "\ncounterexample: "
+           << (artifacts.ok() ? artifacts.value().scenario : artifacts.error());
+  }
+  EXPECT_GT(result.queries, 0) << result.summary;
+  EXPECT_GT(result.ops_applied, 0) << result.summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedMatrix, DifferentialSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rbay::model

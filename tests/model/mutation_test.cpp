@@ -1,0 +1,96 @@
+// Mutation self-test for the differential oracle.  This binary compiles
+// src/model/ with RBAY_MODEL_MUTATE_AGGREGATE, which mis-folds every
+// non-empty tree aggregate by +1 inside ReferenceModel::tree_size.  The
+// harness must catch the biased model, shrink the workload to a small
+// counterexample, and export a .rbay scenario whose replay (against the
+// UNMUTATED simulator linked from rbay_tools) fails on an `expect` line.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/harness.hpp"
+#include "tools/scenario.hpp"
+
+#ifndef RBAY_MODEL_MUTATE_AGGREGATE
+#error "mutation_test must be compiled with RBAY_MODEL_MUTATE_AGGREGATE"
+#endif
+
+namespace rbay::model {
+namespace {
+
+WorkloadSpec mutation_spec(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.sites = 2;
+  spec.per_site = 3;
+  spec.rounds = 2;
+  spec.mutations_per_round = 4;
+  spec.observations_per_round = 3;
+  return spec;
+}
+
+/// Only divergences the scenario DSL can assert (`expect count` /
+/// `expect satisfied` / `expect nodes`) guarantee the exported replay
+/// fails; shrinking is restricted to those so the counterexample is a
+/// genuine failing repro, not just an internal-state mismatch.
+bool expressible(const Divergence& d) {
+  return d.found && (d.kind == "count" || d.kind == "satisfied" || d.kind == "nodes");
+}
+
+TEST(MutationOracle, BiasedAggregateIsCaughtShrunkAndReplayed) {
+  // The +1 bias hits the very first count observation or membership
+  // audit, but which seed yields an expect-expressible first divergence
+  // is an empirical matter — scan a handful.
+  std::optional<Workload> found;
+  Divergence first;
+  for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    const auto workload = generate_workload(mutation_spec(seed));
+    const auto d = run_differential(workload).divergence;
+    ASSERT_TRUE(d.found) << "mutated model escaped detection on seed " << seed;
+    if (expressible(d)) {
+      found = workload;
+      first = d;
+    }
+  }
+  ASSERT_TRUE(found.has_value())
+      << "no seed in 1..10 produced an expect-expressible divergence";
+  const auto& workload = *found;
+
+  auto still_fails = [&workload](const std::vector<Op>& ops) {
+    Workload candidate = workload;
+    candidate.ops = ops;
+    return expressible(run_differential(candidate).divergence);
+  };
+  int probes = 0;
+  const auto minimal = shrink_ops(workload.ops, still_fails, 80, &probes);
+  ASSERT_FALSE(minimal.empty());
+  EXPECT_LT(minimal.size(), workload.ops.size())
+      << "shrinking removed nothing from " << workload.ops.size() << " ops";
+
+  Workload shrunk = workload;
+  shrunk.ops = minimal;
+  const auto final_run = run_differential(shrunk);
+  ASSERT_TRUE(expressible(final_run.divergence)) << final_run.summary;
+
+  const auto dir = artifact_dir_or(::testing::TempDir());
+  const auto artifacts =
+      write_artifacts(dir, "mutation", workload, minimal, final_run.divergence);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.error();
+
+  // The exported expects carry the BIASED model's predictions; the real
+  // simulator must reject at least one of them on replay.
+  RunOptions options;
+  options.export_scenario = true;
+  const auto exported = run_differential(shrunk, options);
+  ASSERT_FALSE(exported.scenario.empty());
+  const auto replay = tools::run_scenario(exported.scenario);
+  ASSERT_FALSE(replay.ok()) << "replay of the counterexample passed against "
+                               "the unmutated simulator";
+  EXPECT_NE(replay.error().find("expected"), std::string::npos) << replay.error();
+}
+
+}  // namespace
+}  // namespace rbay::model

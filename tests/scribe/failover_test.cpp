@@ -217,5 +217,38 @@ TEST(Failover, WithoutTimeoutsALostWalkStillLeaksItsWaiter) {
   EXPECT_EQ(so.scribes[entry]->anycast_waiter_count(), 1u);
 }
 
+TEST(Failover, RebuiltTreeResumesItsReplicationEpoch) {
+  // Tearing a tree down (all members leave) and rebuilding it must not
+  // restart the root's replication epoch at zero: successors keep the old
+  // high-epoch replica and would silently reject every new snapshot — and
+  // a root crash after the rebuild would promote the ancient state.
+  ScribeOverlay so{16, net::Topology::single_site(), failover_config()};
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  so.subscribe_all(topic);
+  so.engine.run_for(SimTime::seconds(2));
+
+  const auto root = so.overlay.root_of(topic);
+  const auto epoch_before = so.scribes[root]->root_epoch_of(topic);
+  ASSERT_GT(epoch_before, 0u);
+
+  for (std::size_t i = 0; i < so.overlay.size(); ++i) so.scribes[i]->unsubscribe(topic);
+  so.engine.run_for(SimTime::seconds(1));
+  EXPECT_EQ(so.scribes[root]->root_epoch_of(topic), 0u) << "tree should be torn down";
+
+  so.subscribe_all(topic);
+  so.engine.run_for(SimTime::seconds(2));
+  const auto reroot = so.overlay.root_of(topic);
+  EXPECT_GT(so.scribes[reroot]->root_epoch_of(topic), epoch_before);
+
+  // Successors accept the rebuilt tree's snapshots: no replica is ahead
+  // of the live root.
+  for (std::size_t i = 0; i < so.overlay.size(); ++i) {
+    const auto* rep = so.scribes[i]->replica_of(topic);
+    if (rep == nullptr) continue;
+    EXPECT_LE(rep->epoch, so.scribes[reroot]->root_epoch_of(topic));
+    EXPECT_DOUBLE_EQ(rep->value, 16.0) << "replica still carries pre-teardown state";
+  }
+}
+
 }  // namespace
 }  // namespace rbay::scribe

@@ -2,12 +2,30 @@
 # CI entry point: configure, build, and test under ASan/UBSan.
 #
 #   tools/ci.sh            full Debug+sanitizer build into build-ci/, then ctest
+#   tools/ci.sh coverage   gcov build into build-cov/, run the suite, and
+#                          print a per-directory line-coverage summary
 #
 # Equivalent to the CMake presets:
 #   cmake --preset ci && cmake --build --preset ci -j && ctest --preset ci
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+case "$MODE" in
+  coverage)
+    cmake --preset coverage
+    cmake --build --preset coverage -j "$(nproc 2>/dev/null || echo 4)"
+    ctest --preset coverage
+    tools/coverage_report.sh build-cov
+    exit 0
+    ;;
+  full) ;;
+  *)
+    echo "usage: tools/ci.sh [full|coverage]" >&2
+    exit 2
+    ;;
+esac
 
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc 2>/dev/null || echo 4)"
@@ -20,6 +38,16 @@ ctest --preset ci -L chaos --output-on-failure
 
 # Observability gate: causal tracing, critical path, and Chrome export.
 ctest --preset ci -L obs --output-on-failure
+
+# Differential-oracle gate: the simulator and the centralized reference
+# model must agree on every seed of the workload matrix, and the mutation
+# self-test must catch the deliberately mis-folded aggregate.  On a
+# divergence the failing seed is shrunk and its replayable .rbay
+# counterexample (plus report + trace) lands in build-ci/artifacts/ for
+# the CI run to archive.
+mkdir -p build-ci/artifacts
+RBAY_MODEL_ARTIFACTS="$PWD/build-ci/artifacts" \
+  ctest --preset ci -L model --output-on-failure
 
 # Rendezvous-failover gate: crash a tree root mid-aggregation and storm
 # the federation; the run's transcript (degraded reads, invariant verdict,

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Per-directory line-coverage summary from a --coverage (gcov) build tree.
+#
+#   tools/coverage_report.sh [build-dir]     default: build-cov
+#
+# Headers and templates are counted once per file (the best-instrumented
+# translation unit wins) so shared code is not double-counted.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-cov}"
+if [ ! -d "$BUILD" ]; then
+  echo "no such build dir: $BUILD (run tools/ci.sh coverage first)" >&2
+  exit 1
+fi
+
+find "$BUILD" -name '*.gcda' | while read -r gcda; do
+  gcov -n -r -s "$PWD" -o "$(dirname "$gcda")" "$gcda" 2>/dev/null || true
+done | awk '
+  /^File / {
+    f = $0
+    sub(/^File '\''/, "", f)
+    sub(/'\''$/, "", f)
+    next
+  }
+  /^Lines executed:/ {
+    if (f == "" || f ~ /^\//) { f = ""; next }  # absolute = outside the repo
+    pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+    tot = $0; sub(/.* of /, "", tot)
+    cov = pct * tot / 100.0
+    if (tot + 0 > best_tot[f]) { best_tot[f] = tot; best_cov[f] = cov }
+    f = ""
+  }
+  END {
+    for (file in best_tot) {
+      dir = file
+      sub(/\/[^\/]*$/, "", dir)
+      dir_tot[dir] += best_tot[file]
+      dir_cov[dir] += best_cov[file]
+    }
+    for (dir in dir_tot) {
+      printf "%-32s %8d %8d %7.1f%%\n", dir, dir_tot[dir], dir_cov[dir],
+             100.0 * dir_cov[dir] / dir_tot[dir]
+      all_tot += dir_tot[dir]
+      all_cov += dir_cov[dir]
+    }
+    if (all_tot > 0)
+      printf "%-32s %8d %8d %7.1f%%\n", "~total", all_tot, all_cov,
+             100.0 * all_cov / all_tot
+  }
+' | sort -k1,1 | {
+  printf '%-32s %8s %8s %8s\n' "directory" "lines" "covered" "pct"
+  cat
+}

@@ -142,6 +142,21 @@ class Runner {
       for (std::size_t i = 0; i < cluster_->size(); ++i) out.push_back(i);
       return out;
     }
+    // "<site>:<index>" addresses one node by its site-relative position —
+    // the form counterexample exports use so a replay touches exactly the
+    // node the harness touched.
+    const auto colon = site_word.find(':');
+    if (colon != std::string::npos) {
+      const auto site = topology_.site_by_name(site_word.substr(0, colon));
+      const auto members = cluster_->nodes_in_site(site);
+      const auto idx = static_cast<std::size_t>(std::stoul(site_word.substr(colon + 1)));
+      if (idx >= members.size()) {
+        return error_at(d.line, "node index " + std::to_string(idx) + " out of range for '" +
+                                    site_word.substr(0, colon) + "'");
+      }
+      out.push_back(members[idx]);
+      return out;
+    }
     const auto site = topology_.site_by_name(site_word);  // throws ContractError if bad
     return cluster_->nodes_in_site(site);
   }
@@ -157,6 +172,8 @@ class Runner {
     config.node.scribe.max_staleness = max_staleness_;
     config.node.scribe.root_replicas = root_replicas_;
     config.node.query.max_attempts = max_attempts_;
+    config.node.query.site_timeout = site_timeout_;
+    config.node.query.reservation_hold = reservation_hold_;
     config.metrics = options_.metrics || options_.trace;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
@@ -186,12 +203,15 @@ class Runner {
     if (kw == "anycast-timeout") return set_ms(d, anycast_timeout_);
     if (kw == "max-staleness") return set_ms(d, max_staleness_);
     if (kw == "root-replicas") return set_int(d, root_replicas_);
+    if (kw == "site-timeout") return set_ms(d, site_timeout_);
+    if (kw == "reservation-hold") return set_ms(d, reservation_hold_);
     if (kw == "tree") return do_tree(d);
     if (kw == "tree-exists") return do_tree_exists(d);
     if (kw == "taxonomy-major") return do_taxonomy_major(d);
     if (kw == "taxonomy-link") return do_taxonomy_link(d);
     if (kw == "nodes") return do_nodes(d);
     if (kw == "post") return do_post(d);
+    if (kw == "remove") return do_remove(d);
     if (kw == "handler") return do_handler(d);
     if (kw == "monitor") return do_monitor(d);
     if (kw == "finalize") return do_finalize(d);
@@ -201,6 +221,8 @@ class Runner {
     if (kw == "commit") return do_commit(d);
     if (kw == "renew") return do_renew(d);
     if (kw == "admin-deliver") return do_admin_deliver(d);
+    if (kw == "admin-hide" || kw == "admin-expose") return do_admin_hide_expose(d);
+    if (kw == "use-query") return do_use_query(d);
     if (kw == "hide" || kw == "expose") return do_hide_expose(d);
     if (kw == "fail" || kw == "recover") return do_fail_recover(d);
     if (kw == "crash-root") return do_crash_root(d);
@@ -306,6 +328,16 @@ class Runner {
     return {};
   }
 
+  util::Result<void> do_remove(const Directive& d) {
+    if (d.args.size() != 2) return error_at(d.line, "remove needs: <site[:i]|*> <attr>");
+    auto targets = nodes_of(d, d.args[0]);
+    if (!targets.ok()) return util::make_error(targets.error());
+    for (const auto idx : targets.value()) {
+      cluster_->node(idx).remove_attribute(d.args[1]);
+    }
+    return {};
+  }
+
   util::Result<void> do_handler(const Directive& d) {
     if (d.args.size() != 2) {
       return error_at(d.line, "handler needs: <site|*> <attr> <<EOF ... EOF");
@@ -358,9 +390,11 @@ class Runner {
 
   util::Result<void> do_query(const Directive& d) {
     if (!finalized_) return error_at(d.line, "query before finalize");
-    if (d.args.size() < 2) return error_at(d.line, "query needs: <site> <SQL...>");
-    const auto site = topology_.site_by_name(d.args[0]);
-    const auto members = cluster_->nodes_in_site(site);
+    if (d.args.size() < 2) return error_at(d.line, "query needs: <site[:i]> <SQL...>");
+    auto origins = nodes_of(d, d.args[0]);
+    if (!origins.ok()) return util::make_error(origins.error());
+    const auto& members = origins.value();
+    // Bare site name: a stable non-gateway member when there is one.
     const auto from = members.at(members.size() > 1 ? 1 : 0);
     // SQL = raw tail minus the site word.
     auto sql = d.raw_tail;
@@ -377,6 +411,7 @@ class Runner {
     if (!done) return error_at(d.line, "query did not complete (missing 'run'?)");
     ++report_.queries;
     if (last_outcome_.satisfied) ++report_.queries_satisfied;
+    query_history_.emplace_back(from, last_outcome_);
 
     std::ostringstream os;
     os << "query[" << report_.queries << "] "
@@ -423,6 +458,38 @@ class Runner {
     auto parsed = parse_duration(d.args[0]);
     if (!parsed.ok()) return error_at(d.line, parsed.error());
     cluster_->node(last_query_node_).query().renew(last_outcome_, parsed.value());
+    cluster_->run();
+    return {};
+  }
+
+  /// Re-selects an earlier query (1-based) so release/commit/renew can act
+  /// on a reservation other than the most recent one — counterexample
+  /// exports release commits made several ops earlier.
+  util::Result<void> do_use_query(const Directive& d) {
+    if (d.args.size() != 1) return error_at(d.line, "use-query needs: <query-number>");
+    const auto n = static_cast<std::size_t>(std::stoul(d.args[0]));
+    if (n == 0 || n > query_history_.size()) {
+      return error_at(d.line, "query number out of range (have " +
+                                  std::to_string(query_history_.size()) + ")");
+    }
+    last_query_node_ = query_history_[n - 1].first;
+    last_outcome_ = query_history_[n - 1].second;
+    return {};
+  }
+
+  util::Result<void> do_admin_hide_expose(const Directive& d) {
+    if (d.args.size() != 3) {
+      return error_at(d.line, d.keyword + " needs: <site> <tree-canonical> <attr>");
+    }
+    const auto site = topology_.site_by_name(d.args[0]);
+    const auto members = cluster_->nodes_in_site(site);
+    const core::TreeSpec* spec = nullptr;
+    for (const auto& s : cluster_->tree_specs()) {
+      if (s.canonical == d.args[1]) spec = &s;
+    }
+    if (spec == nullptr) return error_at(d.line, "unknown tree '" + d.args[1] + "'");
+    cluster_->node(members.front())
+        .admin_set_hidden(*spec, d.args[2], d.keyword == "admin-hide");
     cluster_->run();
     return {};
   }
@@ -635,6 +702,8 @@ class Runner {
   util::SimTime max_staleness_ = util::SimTime::seconds(5);
   int root_replicas_ = 2;
   int max_attempts_ = 5;
+  util::SimTime site_timeout_ = core::QueryConfig{}.site_timeout;
+  util::SimTime reservation_hold_ = core::QueryConfig{}.reservation_hold;
   std::optional<std::size_t> last_crashed_root_;
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
@@ -643,6 +712,7 @@ class Runner {
   bool finalized_ = false;
   std::size_t last_query_node_ = SIZE_MAX;
   core::QueryOutcome last_outcome_;
+  std::vector<std::pair<std::size_t, core::QueryOutcome>> query_history_;
   ScenarioReport report_;
 };
 

@@ -24,22 +24,28 @@
 //   expect satisfied
 //   stats
 //
-// Directives:
+// Directives (a <target> is `*`, a site name, or `<site>:<i>` addressing
+// the site's i-th node — the form counterexample exports use):
 //   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
 //   seed N | aggregation MS | heartbeat MS | max-attempts N
+//   site-timeout MS | reservation-hold MS
 //   tree <attr> <op> <literal>      register a federation tree
 //   tree-exists <attr>              existence tree (hybrid naming major)
 //   taxonomy-major <attr> | taxonomy-link <attr> <parent>
 //   nodes <site> <count>            add nodes (before finalize)
-//   post <site|*> <attr> <literal>  set an attribute on every node there
-//   handler <site|*> <attr> <<EOF ... EOF   attach AAL policy
-//   monitor <site|*> <attr> walk <init> <min> <max> <step> <interval_ms>
+//   post <target> <attr> <literal>  set an attribute on every node there
+//   remove <target> <attr>          drop an attribute (leaves its trees)
+//   handler <target> <attr> <<EOF ... EOF   attach AAL policy
+//   monitor <target> <attr> walk <init> <min> <max> <step> <interval_ms>
 //   finalize                        build the federation
 //   run <duration>                  advance virtual time (e.g. 500ms, 2s)
-//   query <site> <SQL...>           run a query from a node of that site
-//   release | commit                act on the last query's reservations
+//   query <site[:i]> <SQL...>       run a query from a node of that site
+//   release | commit [lease]        act on the last query's reservations
+//   use-query <n>                   re-select the n-th query (1-based) so
+//                                   release/commit target an older outcome
 //   admin-deliver <site> <tree-canonical> <attr> <payload>
-//   hide <site> <attr> | expose <site> <attr>
+//   admin-hide <site> <tree-canonical> <attr> | admin-expose ...
+//   hide <target> <attr> | expose <target> <attr>
 //   fail <site> <i> | recover <site> <i>
 //   fault-schedule <<EOF ... EOF     arm a timed fault script (after
 //                                    finalize; offsets relative to now —
