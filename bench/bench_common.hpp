@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 
 #include "core/cluster.hpp"
@@ -209,9 +210,17 @@ inline const std::string& gaussian_instance_type(util::Rng& rng) {
 struct EvalFederation {
   core::RBayCluster cluster;
 
+  /// `tune` runs on the assembled ClusterConfig before the cluster is
+  /// built — the hook the throughput bench uses to flip query-plane knobs
+  /// (admission window, cache TTL, probe batching) per configuration.
   EvalFederation(std::size_t per_site, std::uint64_t seed, bool with_password = true,
-                 bool metrics = false)
-      : cluster(make_config(seed, metrics)) {
+                 bool metrics = false,
+                 const std::function<void(core::ClusterConfig&)>& tune = {})
+      : cluster([&] {
+          auto config = make_config(seed, metrics);
+          if (tune) tune(config);
+          return config;
+        }()) {
     for (const auto& type : instance_types()) {
       cluster.add_tree_spec(core::TreeSpec::from_predicate(
           {"instance", query::CompareOp::Eq, store::AttributeValue{type}}));

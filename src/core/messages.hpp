@@ -74,6 +74,8 @@ struct SiteQueryReply final : pastry::AppMessage {
   /// snapshot, `staleness` sim-time old.
   bool stale = false;
   util::SimTime staleness = util::SimTime::zero();
+  /// The gateway answered (at least partly) from its probe answer cache.
+  bool cached = false;
   std::vector<Candidate> candidates;
 
   [[nodiscard]] std::size_t wire_size() const override {

@@ -3,6 +3,7 @@
 // Tunables for the query plane (reservation holds and the truncated
 // exponential backoff of §III.D).
 
+#include "qplane/config.hpp"
 #include "util/sim_time.hpp"
 
 namespace rbay::core {
@@ -22,6 +23,9 @@ struct QueryConfig {
   /// over-collects by this factor so the interface can keep the best k
   /// and release the rest — ranking needs candidates to choose among.
   int groupby_oversample = 3;
+  /// Throughput layer: admission control, probe batching, answer caching
+  /// (all off by default; see docs/QUERY_PLANE.md).
+  qplane::QPlaneConfig qplane;
 };
 
 }  // namespace rbay::core

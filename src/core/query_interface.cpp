@@ -20,8 +20,26 @@ obs::CausalLog* causal_log(sim::Engine& engine) {
 }  // namespace
 
 QueryInterface::QueryInterface(RBayNode& owner, QueryConfig config)
-    : owner_(owner), config_(config) {
+    : owner_(owner), config_(config),
+      admission_(config.qplane.admission_window, config.qplane.admission_queue),
+      answer_cache_(config.qplane.cache_ttl) {
   owner_.pastry().register_app(kAppName, this);
+  // A satisfied anycast result that raced the timeout retry carries
+  // member-side reservations nobody will ever commit or release; free them
+  // the moment the orphaned payload surfaces (see Scribe::complete_anycast).
+  owner_.scribe().set_orphan_handler(
+      [this](const scribe::TopicId& /*topic*/, scribe::AnycastPayload& payload) {
+        auto* filled = dynamic_cast<CandidatePayload*>(&payload);
+        if (filled == nullptr || filled->found.empty()) return;
+        for (const auto& c : filled->found) {
+          auto release = std::make_unique<ReleaseMsg>();
+          release->query_id = filled->query_id;
+          owner_.pastry().send_direct(c.node, std::move(release), kAppName);
+        }
+        if (auto* reg = owner_.engine().metrics()) {
+          reg->fed().counter("query.orphan_releases").inc(filled->found.size());
+        }
+      });
 }
 
 void QueryInterface::execute_sql(const std::string& sql, Callback callback) {
@@ -37,6 +55,10 @@ void QueryInterface::execute_sql(const std::string& sql, Callback callback) {
 }
 
 void QueryInterface::execute(query::Query query, Callback callback) {
+  if (admission_.would_shed()) {
+    shed_query(query, callback);
+    return;
+  }
   const auto id = next_id_++;
   Pending pending;
   pending.query = std::move(query);
@@ -50,7 +72,26 @@ void QueryInterface::execute(query::Query query, Callback callback) {
                                             owner_.self().endpoint, pending.outcome.started);
   }
   pending_.emplace(id, std::move(pending));
-  attempt(id);
+  // Window admission: start now if a slot is free, else wait in FIFO order
+  // for complete() to release one.  Queue time counts against the query's
+  // latency (`started` is already stamped).
+  const auto verdict = admission_.submit([this, id]() { attempt(id); });
+  if (auto* reg = owner_.engine().metrics()) {
+    auto& fed = reg->fed();
+    fed.counter(verdict == qplane::AdmissionController::Verdict::Queue ? "qplane.queued"
+                                                                       : "qplane.admitted")
+        .inc();
+    fed.gauge("qplane.inflight").set(static_cast<std::int64_t>(admission_.inflight()));
+    fed.gauge("qplane.queue_depth").set(static_cast<std::int64_t>(admission_.queued()));
+  }
+}
+
+void QueryInterface::shed_query(const query::Query& /*query*/, Callback& callback) {
+  QueryOutcome outcome;
+  outcome.shed = true;
+  outcome.started = outcome.finished = owner_.engine().now();
+  if (auto* reg = owner_.engine().metrics()) reg->fed().counter("qplane.shed").inc();
+  callback(outcome);
 }
 
 std::vector<net::SiteId> QueryInterface::resolve_sites(const query::Query& q,
@@ -187,6 +228,7 @@ void QueryInterface::site_done(std::uint64_t id, SiteResult result) {
     p.outcome.stale = true;
     p.outcome.staleness = std::max(p.outcome.staleness, result.staleness);
   }
+  if (result.cached) p.outcome.cached = true;
   for (auto& c : result.candidates) p.gathered.push_back(std::move(c));
   if (--p.waiting_sites == 0) finish_attempt(id);
 }
@@ -212,6 +254,14 @@ void QueryInterface::complete(std::map<std::uint64_t, Pending>::iterator it) {
   auto cb = std::move(p.callback);
   auto outcome = std::move(p.outcome);
   pending_.erase(it);
+  // Free the admission slot first: the oldest queued query (if any) starts
+  // inside release(), so the window stays saturated under backlog.
+  admission_.release();
+  if (auto* reg = owner_.engine().metrics()) {
+    auto& fed = reg->fed();
+    fed.gauge("qplane.inflight").set(static_cast<std::int64_t>(admission_.inflight()));
+    fed.gauge("qplane.queue_depth").set(static_cast<std::int64_t>(admission_.queued()));
+  }
   cb(outcome);
 }
 
@@ -236,6 +286,7 @@ void QueryInterface::finish_attempt(std::uint64_t id) {
     if (p.outcome.stale) {
       if (auto* reg = owner_.engine().metrics()) {
         reg->fed().counter("query.stale_answers").inc();
+        if (p.outcome.cached) reg->fed().counter("query.cached_answers").inc();
         reg->tracer().event(p.outcome.query_id, "stale_answer", p.outcome.attempts,
                             owner_.engine().now());
       }
@@ -382,6 +433,8 @@ void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)>
     // root answered stale; staleness is the oldest such snapshot's age.
     bool stale = false;
     util::SimTime staleness = util::SimTime::zero();
+    // At least one probe answered from the answer cache (implies stale).
+    bool cached = false;
     std::function<void(SiteResult)> done;
   };
   auto state = std::make_shared<ProbeState>();
@@ -421,6 +474,7 @@ void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)>
       result.count = state->sizes[best];
       result.stale = state->stale;
       result.staleness = state->staleness;
+      result.cached = state->cached;
       state->done(std::move(result));
       return;
     }
@@ -467,6 +521,7 @@ void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)>
           site_result.visited = visited;
           site_result.stale = state->stale;
           site_result.staleness = state->staleness;
+          site_result.cached = state->cached;
           state->done(std::move(site_result));
         },
         pastry::Scope::Site);
@@ -480,17 +535,57 @@ void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)>
   probe_ctx.phase = static_cast<std::uint8_t>(obs::Phase::kProbe);
   obs::ContextScope probe_scope(causal, probe_ctx);
   for (std::size_t i = 0; i < state->topics.size(); ++i) {
-    owner_.scribe().probe_size(
-        state->topics[i],
-        [state, i, anycast_smallest](const scribe::Scribe::SizeInfo& info) {
-          state->sizes[i] = info.value;
-          if (info.stale) {
-            state->stale = true;
-            state->staleness = std::max(state->staleness, info.age);
+    const auto topic = state->topics[i];
+    // Answer cache (COUNT/size results only reach steps 1-2): a live entry
+    // short-circuits the tree walk entirely, surfaced as a staleness-tagged
+    // degraded read whose age is bounded by the cache TTL.
+    if (answer_cache_.enabled()) {
+      if (auto hit = answer_cache_.lookup(topic, owner_.engine().now())) {
+        if (auto* reg = owner_.engine().metrics()) reg->fed().counter("qplane.cache_hits").inc();
+        state->sizes[i] = hit->value;
+        state->stale = true;
+        state->cached = true;
+        state->staleness = std::max(state->staleness, hit->age);
+        if (--state->remaining == 0) anycast_smallest();
+        continue;
+      }
+      if (auto* reg = owner_.engine().metrics()) reg->fed().counter("qplane.cache_misses").inc();
+    }
+    auto on_info = [this, state, i, anycast_smallest](const scribe::Scribe::SizeInfo& info) {
+      if (answer_cache_.enabled()) {
+        const auto evictions = answer_cache_.invalidations();
+        answer_cache_.store(state->topics[i], info, owner_.engine().now());
+        if (answer_cache_.invalidations() > evictions) {
+          // A degraded (post-failover) answer just evicted the cached
+          // pre-failover entry: the cache is invalidated on root crash.
+          if (auto* reg = owner_.engine().metrics()) {
+            reg->fed().counter("qplane.cache_invalidations").inc();
           }
-          if (--state->remaining == 0) anycast_smallest();
-        },
-        pastry::Scope::Site);
+        }
+      }
+      state->sizes[i] = info.value;
+      if (info.stale) {
+        state->stale = true;
+        state->staleness = std::max(state->staleness, info.age);
+      }
+      if (--state->remaining == 0) anycast_smallest();
+    };
+    if (config_.qplane.batch_probes) {
+      // Coalesce concurrent walks for the same tree: the first waiter's
+      // walk answers everyone who piles on while it is in flight.
+      const auto walks = batcher_.walks();
+      batcher_.probe(topic, std::move(on_info),
+                     [this](const scribe::TopicId& t, scribe::Scribe::SizeCallback cb) {
+                       owner_.scribe().probe_size(t, std::move(cb), pastry::Scope::Site);
+                     });
+      if (auto* reg = owner_.engine().metrics()) {
+        reg->fed()
+            .counter(batcher_.walks() > walks ? "qplane.probe_walks" : "qplane.probes_coalesced")
+            .inc();
+      }
+    } else {
+      owner_.scribe().probe_size(topic, std::move(on_info), pastry::Scope::Site);
+    }
   }
 }
 
@@ -553,6 +648,7 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
       reply->count = result.count;
       reply->stale = result.stale;
       reply->staleness = result.staleness;
+      reply->cached = result.cached;
       reply->candidates = std::move(result.candidates);
       owner_.pastry().send_direct(origin, std::move(reply), kAppName);
     });
@@ -578,6 +674,7 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
     result.count = reply->count;
     result.stale = reply->stale;
     result.staleness = reply->staleness;
+    result.cached = reply->cached;
     site_done(reply->request_id, std::move(result));
     return;
   }

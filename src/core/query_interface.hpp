@@ -24,6 +24,9 @@
 #include "core/naming.hpp"
 #include "core/query_config.hpp"
 #include "obs/context.hpp"
+#include "qplane/admission.hpp"
+#include "qplane/answer_cache.hpp"
+#include "qplane/probe_batcher.hpp"
 #include "pastry/node.hpp"
 #include "query/reservation.hpp"
 #include "query/sql.hpp"
@@ -55,6 +58,12 @@ struct QueryOutcome {
   /// oldest such snapshot's age (bounded by the root's max_staleness).
   bool stale = false;
   util::SimTime staleness = util::SimTime::zero();
+  /// Stale because (at least) one probe was answered from the query-plane
+  /// answer cache; `staleness` is then bounded by the cache TTL.
+  bool cached = false;
+  /// Shed by admission control: the in-flight window and backlog were both
+  /// full.  No protocol work was done; `nodes`/`count` are empty.
+  bool shed = false;
   util::SimTime started = util::SimTime::zero();
   util::SimTime finished = util::SimTime::zero();
 
@@ -121,6 +130,7 @@ class QueryInterface final : public pastry::PastryApp {
     double count = 0.0;
     bool stale = false;
     util::SimTime staleness = util::SimTime::zero();
+    bool cached = false;
   };
 
   void attempt(std::uint64_t id);
@@ -146,10 +156,20 @@ class QueryInterface final : public pastry::PastryApp {
   [[nodiscard]] std::vector<std::optional<std::string>> tree_canonicals(
       const std::vector<query::Predicate>& predicates) const;
 
+  /// Immediate completion for queries admission sheds (no Pending entry,
+  /// no protocol work, no slot taken).
+  void shed_query(const query::Query& query, Callback& callback);
+
   RBayNode& owner_;
   QueryConfig config_;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Pending> pending_;
+  // Query-plane throughput layer (docs/QUERY_PLANE.md): window admission
+  // over this interface's queries, per-tree probe coalescing, and the
+  // staleness-bounded COUNT/size answer cache.
+  qplane::AdmissionController admission_;
+  qplane::ProbeBatcher batcher_;
+  qplane::AnswerCache answer_cache_;
 };
 
 }  // namespace rbay::core

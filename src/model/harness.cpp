@@ -120,6 +120,8 @@ class Execution {
     config.node.query.site_timeout = spec_.site_timeout;
     config.node.query.reservation_hold = spec_.reservation_hold;
     config.node.query.max_attempts = spec_.max_attempts;
+    config.node.query.qplane.cache_ttl = spec_.cache_ttl;
+    config.node.query.qplane.batch_probes = spec_.batch_probes;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto spec : workload_tree_specs()) cluster_->add_tree_spec(std::move(spec));
     cluster_->set_taxonomy(workload_taxonomy());
@@ -141,6 +143,8 @@ class Execution {
     emit("reservation-hold " +
          std::to_string(static_cast<long long>(spec_.reservation_hold.as_millis())));
     emit("max-attempts " + std::to_string(spec_.max_attempts));
+    emit("cache-ttl " + std::to_string(static_cast<long long>(spec_.cache_ttl.as_millis())));
+    emit(std::string("batch-probes ") + (spec_.batch_probes ? "on" : "off"));
     for (const auto& ts : workload_tree_specs()) {
       if (ts.canonical.rfind("has:", 0) == 0) {
         emit("tree-exists " + ts.predicate.attribute);
@@ -322,6 +326,11 @@ class Execution {
         ++result_.ops_applied;
         run_count(i, op);
         return;
+      case OpKind::CountStorm:
+        if (skip_crashed(op)) return;
+        ++result_.ops_applied;
+        run_count_storm(i, op);
+        return;
       case OpKind::Select:
         if (skip_crashed(op)) return;
         ++result_.ops_applied;
@@ -376,18 +385,24 @@ class Execution {
     return false;
   }
 
-  void run_count(std::size_t i, const Op& op) {
-    settle();
-    const auto predicted = model_.predict_count(op.node, op.query);
-    const auto outcome = exec_query(op.node, op.query);
-    emit("query " + site_target(spec_, op.node) + " " + op.query.to_string());
-    emit("expect satisfied");
-    // A degraded (stale) answer is allowed to differ from the model as
-    // long as it declares a bounded staleness; the exact-count expectation
-    // is only exported for fresh answers.
-    if (!outcome.stale) emit("expect count " + fmt_count(predicted.count));
+  /// Diffs one quiescent COUNT outcome against the model prediction.
+  /// Three answer classes, checked in this order:
+  ///  - cached (query-plane answer cache): the entry was stored during
+  ///    this same quiescent window, so the count must still equal the
+  ///    model's and the declared staleness must fit the cache TTL;
+  ///  - degraded (stale, non-cached — a promoted replica's snapshot): may
+  ///    differ from the model but must declare a bounded staleness;
+  ///  - fresh: exact count match.
+  /// Shedding never happens here — the oracle runs with admission off —
+  /// so a shed outcome is its own divergence kind.
+  void diff_count(std::size_t i, const Op& op, const core::QueryOutcome& outcome,
+                  const ReferenceModel::CountPrediction& predicted) {
     if (!outcome.error.empty()) {
       diverge(i, op, "query-error", outcome.error);
+      return;
+    }
+    if (outcome.shed) {
+      diverge(i, op, "shed", "query shed by admission control; the oracle runs with window 0");
       return;
     }
     if (!outcome.satisfied) {
@@ -395,6 +410,19 @@ class Execution {
       return;
     }
     if (!check_sites(i, op, outcome, predicted.sites_answered, predicted.sites_timed_out)) return;
+    if (outcome.cached) {
+      if (outcome.staleness > spec_.cache_ttl) {
+        diverge(i, op, "staleness",
+                "cached answer aged " + outcome.staleness.to_string() + " exceeds cache TTL " +
+                    spec_.cache_ttl.to_string());
+        return;
+      }
+      if (outcome.count != predicted.count) {
+        diverge(i, op, "count",
+                "cached sim=" + fmt_count(outcome.count) + " model=" + fmt_count(predicted.count));
+      }
+      return;
+    }
     if (outcome.stale) {
       const auto bound = cluster_->config().node.scribe.max_staleness;
       if (outcome.staleness > bound) {
@@ -408,6 +436,96 @@ class Execution {
       diverge(i, op, "count",
               "sim=" + fmt_count(outcome.count) + " model=" + fmt_count(predicted.count));
     }
+  }
+
+  /// Emits the expect lines diff_count's rules translate to, then diffs.
+  /// Cached answers export a TTL staleness bound (that is the line a
+  /// RBAY_MODEL_MUTATE_CACHE replay trips over); degraded answers keep
+  /// the no-exact-count exemption.
+  void check_count(std::size_t i, const Op& op, const core::QueryOutcome& outcome,
+                   const ReferenceModel::CountPrediction& predicted) {
+    emit("expect satisfied");
+    if (outcome.cached) {
+      emit("expect staleness-le " +
+           std::to_string(static_cast<long long>(spec_.cache_ttl.as_millis())));
+      emit("expect count " + fmt_count(predicted.count));
+    } else if (!outcome.stale) {
+      emit("expect count " + fmt_count(predicted.count));
+    }
+    diff_count(i, op, outcome, predicted);
+  }
+
+  void run_count(std::size_t i, const Op& op) {
+    settle();
+    const auto predicted = model_.predict_count(op.node, op.query);
+    const auto outcome = exec_query(op.node, op.query);
+    emit("query " + site_target(spec_, op.node) + " " + op.query.to_string());
+    check_count(i, op, outcome, predicted);
+  }
+
+  /// CountStorm: `op.storm` concurrent copies of one COUNT from one
+  /// origin.  At quiescence every copy must agree with the model whether
+  /// its probes were coalesced by the batcher or answered by the cache —
+  /// both are explicitly tolerated, shedding is not.  Two stragglers
+  /// follow when the cache is on: one inside the TTL window (a live
+  /// cache hit in the common case) and one past it (the entry must have
+  /// expired — the op where a mutated cache serving an expired entry
+  /// gets caught).
+  void run_count_storm(std::size_t i, const Op& op) {
+    settle();
+    const auto predicted = model_.predict_count(op.node, op.query);
+    const int copies = op.storm;
+    RBAY_REQUIRE(copies > 0, "storm needs at least one copy");
+    std::vector<core::QueryOutcome> outcomes;
+    outcomes.reserve(static_cast<std::size_t>(copies));
+    auto& iface = cluster_->node(op.node).query();
+    for (int c = 0; c < copies; ++c) {
+      iface.execute(op.query,
+                    [&outcomes](const core::QueryOutcome& o) { outcomes.push_back(o); });
+    }
+    cluster_->run();
+    RBAY_REQUIRE(outcomes.size() == static_cast<std::size_t>(copies),
+                 "storm did not complete after drain");
+    result_.queries += copies;
+    emit("query-storm " + std::to_string(copies) + " " + site_target(spec_, op.node) + " " +
+         op.query.to_string());
+    emit("expect storm-satisfied " + std::to_string(copies));
+    bool degraded = false;
+    for (const auto& o : outcomes) degraded = degraded || (o.stale && !o.cached);
+    if (!degraded) {
+      emit("expect storm-count " + fmt_count(predicted.count));
+      if (spec_.cache_ttl > util::SimTime::zero()) {
+        emit("expect storm-staleness-le " +
+             std::to_string(static_cast<long long>(spec_.cache_ttl.as_millis())));
+      }
+    }
+    for (const auto& o : outcomes) {
+      diff_count(i, op, o, predicted);
+      if (result_.divergence.found) return;
+    }
+
+    if (spec_.cache_ttl == util::SimTime::zero()) return;
+    // Straggler inside the TTL window: in the common (no-timeout) case the
+    // storm's probe replies are still cached, so this exercises a real hit.
+    const auto warm_gap = util::SimTime::millis(spec_.cache_ttl.as_millis() / 2);
+    cluster_->run_for(warm_gap);
+    cluster_->run();
+    emit("run " + fmt_ms(warm_gap));
+    const auto warm = exec_query(op.node, op.query);
+    emit("query " + site_target(spec_, op.node) + " " + op.query.to_string());
+    check_count(i, op, warm, predicted);
+    if (result_.divergence.found) return;
+    // Straggler past the TTL: the cache must refuse the expired entry and
+    // answer fresh.  RBAY_MODEL_MUTATE_CACHE serves it anyway, with its
+    // honest over-TTL age — diff_count flags that as a staleness
+    // divergence and the exported staleness bound fails on replay.
+    const auto cold_gap = spec_.cache_ttl + util::SimTime::millis(50);
+    cluster_->run_for(cold_gap);
+    cluster_->run();
+    emit("run " + fmt_ms(cold_gap));
+    const auto cold = exec_query(op.node, op.query);
+    emit("query " + site_target(spec_, op.node) + " " + op.query.to_string());
+    check_count(i, op, cold, predicted);
   }
 
   void run_select(std::size_t i, const Op& op) {

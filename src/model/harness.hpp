@@ -35,7 +35,7 @@ struct Divergence {
   std::size_t op_index = 0;  // into the executed op list
   std::string op;            // Op::describe() of the diverging op
   std::string kind;  // count | satisfied | nodes | eligibility | sites | staleness |
-                     // membership | ledger | fault-mirror | query-error
+                     // shed | membership | ledger | fault-mirror | query-error
   std::string detail;
 
   [[nodiscard]] std::string to_string() const;

@@ -105,6 +105,9 @@ std::string Op::describe() const {
     case OpKind::Count:
       os << "count from n" << node << ": " << query.to_string();
       break;
+    case OpKind::CountStorm:
+      os << "count-storm x" << storm << " from n" << node << ": " << query.to_string();
+      break;
     case OpKind::Select:
       os << "select from n" << node << ": " << query.to_string() << " then "
          << (decision == Decision::Release
@@ -278,10 +281,17 @@ Workload generate_workload(const WorkloadSpec& spec) {
     const auto pool = live_nodes(true);
     Op op;
     const auto roll = rng.uniform(10);
-    if (roll < 4) {
+    if (roll < 3) {
       op.kind = OpKind::Count;
       op.node = pool[rng.uniform(pool.size())];
       op.query = random_query(true);
+    } else if (roll < 4) {
+      // Bursty same-attribute storm: several concurrent copies of one
+      // COUNT, so probe coalescing and the answer cache see real load.
+      op.kind = OpKind::CountStorm;
+      op.node = pool[rng.uniform(pool.size())];
+      op.query = random_query(true);
+      op.storm = 3 + static_cast<int>(rng.uniform(4));
     } else if (roll < 8) {
       op.kind = OpKind::Select;
       op.node = pool[rng.uniform(pool.size())];

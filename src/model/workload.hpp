@@ -39,6 +39,8 @@ enum class OpKind {
   Partition,     // site_a <-> site_b
   Heal,          // site_a <-> site_b
   Count,         // origin node, query (count_only)
+  CountStorm,    // origin node, query, storm copies issued concurrently —
+                 // exercises probe coalescing and the answer cache
   Select,        // origin node, query, decision on the outcome
   ReleaseOlder,  // release the (slot mod live)-th still-committed outcome
   AuditMembership,
@@ -60,6 +62,7 @@ struct Op {
   Decision decision = Decision::Release;
   util::SimTime lease = util::SimTime::zero();
   std::size_t slot = 0;  // ReleaseOlder pick
+  int storm = 0;         // CountStorm concurrent copies
 
   [[nodiscard]] std::string describe() const;
 };
@@ -84,6 +87,14 @@ struct WorkloadSpec {
   util::SimTime reservation_hold = util::SimTime::seconds(30);
   util::SimTime settle = util::SimTime::seconds(5);
   int max_attempts = 3;
+  // Query-plane knobs (docs/QUERY_PLANE.md): on by default so the matrix
+  // exercises coalescing and caching.  The TTL must stay well under
+  // `settle` — every observation settles first, so cached entries from a
+  // previous op are always expired when the next op probes, and the only
+  // live hits are the ones a CountStorm provokes deliberately.  Admission
+  // stays off (window 0): the model predicts every query is answered.
+  util::SimTime cache_ttl = util::SimTime::millis(300);
+  bool batch_probes = true;
 };
 
 struct Workload {

@@ -1,0 +1,47 @@
+#include "qplane/admission.hpp"
+
+namespace rbay::qplane {
+
+AdmissionController::Verdict AdmissionController::submit(std::function<void()> start) {
+  if (!enabled()) {
+    ++inflight_;
+    ++admitted_;
+    start();
+    return Verdict::Admit;
+  }
+  if (inflight_ < static_cast<std::size_t>(window_)) {
+    ++inflight_;
+    ++admitted_;
+    start();
+    return Verdict::Admit;
+  }
+  RBAY_REQUIRE(queued_.size() < static_cast<std::size_t>(queue_capacity_),
+               "admission submit past capacity: check would_shed() first");
+  queued_.push_back(std::move(start));
+  ++queued_total_;
+  return Verdict::Queue;
+}
+
+void AdmissionController::release() {
+  RBAY_REQUIRE(inflight_ > 0, "admission release without a matching admit");
+  if (!queued_.empty()) {
+    // The freed slot transfers to the oldest queued query: inflight stays
+    // constant across the hand-off.
+    auto start = std::move(queued_.front());
+    queued_.pop_front();
+    ++admitted_;
+    start();
+    return;
+  }
+  --inflight_;
+}
+
+double erlang_b(int servers, double offered_load) {
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+}  // namespace rbay::qplane

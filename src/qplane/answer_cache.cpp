@@ -1,0 +1,59 @@
+#include "qplane/answer_cache.hpp"
+
+#include <cstdlib>
+
+namespace rbay::qplane {
+
+AnswerCache::AnswerCache(util::SimTime ttl) : ttl_(ttl) {
+  mutate_armed_ = std::getenv("RBAY_MODEL_MUTATE_CACHE") != nullptr;
+}
+
+std::optional<AnswerCache::SizeInfo> AnswerCache::lookup(const scribe::TopicId& topic,
+                                                         util::SimTime now) {
+  if (!enabled()) return std::nullopt;
+  auto it = entries_.find(topic);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const auto age = now - it->second.stored_at;
+  if (age > ttl_) {
+    if (mutate_armed_) {
+      // Deliberate bug for the oracle self-test: serve the expired entry
+      // (once per cache instance) with its honest over-TTL age.
+      mutate_armed_ = false;
+      ++hits_;
+      SizeInfo info;
+      info.value = it->second.value;
+      info.epoch = it->second.epoch;
+      info.stale = true;
+      info.age = age;
+      return info;
+    }
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  SizeInfo info;
+  info.value = it->second.value;
+  info.epoch = it->second.epoch;
+  info.stale = true;
+  info.age = age;
+  return info;
+}
+
+void AnswerCache::store(const scribe::TopicId& topic, const SizeInfo& info, util::SimTime now) {
+  if (!enabled()) return;
+  if (info.stale) {
+    // Degraded read: the root failed over and a promoted replica answered
+    // from its snapshot.  Never cache it, and drop whatever we held — the
+    // pre-failover answer's provenance is gone.
+    if (entries_.erase(topic) > 0) ++invalidations_;
+    return;
+  }
+  entries_[topic] = Entry{info.value, info.epoch, now};
+  ++stores_;
+}
+
+}  // namespace rbay::qplane

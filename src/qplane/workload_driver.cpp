@@ -1,0 +1,43 @@
+#include "qplane/workload_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace rbay::qplane {
+
+OpenLoopDriver::OpenLoopDriver(sim::Engine& engine, ArrivalShape shape, std::size_t universe,
+                               std::function<void(std::size_t)> issue)
+    : engine_(engine), shape_(shape), universe_(universe), issue_(std::move(issue)),
+      rng_(engine.rng().fork()) {
+  RBAY_REQUIRE(universe_ > 0, "OpenLoopDriver: empty query universe");
+  RBAY_REQUIRE(shape_.rate_qps > 0.0, "OpenLoopDriver: arrival rate must be positive");
+  shape_.diurnal_amplitude = std::clamp(shape_.diurnal_amplitude, 0.0, 0.95);
+}
+
+void OpenLoopDriver::run(util::SimTime duration) {
+  horizon_ = engine_.now() + duration;
+  arm_next();
+}
+
+void OpenLoopDriver::arm_next() {
+  // Sample the next interarrival at the instantaneous rate (a good
+  // approximation of the inhomogeneous process when the period is long
+  // relative to 1/rate, which the shapes we drive satisfy).
+  double rate = shape_.rate_qps;
+  if (shape_.diurnal_amplitude > 0.0) {
+    const double phase = 2.0 * std::numbers::pi * engine_.now().as_seconds() /
+                         shape_.diurnal_period.as_seconds();
+    rate *= 1.0 + shape_.diurnal_amplitude * std::sin(phase);
+  }
+  const auto gap = util::SimTime::seconds(rng_.exponential(rate));
+  if (engine_.now() + gap >= horizon_) return;
+  engine_.schedule(gap, [this] {
+    ++arrivals_;
+    issue_(static_cast<std::size_t>(rng_.zipf(universe_, shape_.zipf_skew)) - 1);
+    arm_next();
+  });
+}
+
+}  // namespace rbay::qplane

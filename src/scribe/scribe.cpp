@@ -381,17 +381,37 @@ void Scribe::finish_anycast(AnycastMsg& msg, bool satisfied) {
   result->members_visited = msg.members_visited;
   result->payload = std::move(msg.payload);
   if (msg.originator.id == node_.self().id) {
-    // Local shortcut: invoke the waiter without a network round-trip.
-    auto it = anycast_waiters_.find(result->request_id);
-    if (it != anycast_waiters_.end()) {
-      auto waiter = std::move(it->second);
-      anycast_waiters_.erase(it);
-      waiter.deadline.cancel();
-      waiter.callback(result->satisfied, result->members_visited, *result->payload);
-    }
+    // Local shortcut: complete without a network round-trip.
+    complete_anycast(result->request_id, result->topic, result->satisfied,
+                     result->members_visited, *result->payload);
     return;
   }
   node_.send_direct(msg.originator, std::move(result), kAppName);
+}
+
+std::optional<Scribe::AnycastWaiter> Scribe::take_anycast_waiter(std::uint64_t request_id) {
+  auto it = anycast_waiters_.find(request_id);
+  if (it == anycast_waiters_.end()) return std::nullopt;
+  auto waiter = std::move(it->second);
+  anycast_waiters_.erase(it);
+  waiter.deadline.cancel();
+  return waiter;
+}
+
+void Scribe::complete_anycast(std::uint64_t request_id, const TopicId& topic, bool satisfied,
+                              int members_visited, AnycastPayload& payload) {
+  auto waiter = take_anycast_waiter(request_id);
+  if (!waiter) {
+    // The waiter already completed — this reply raced the timeout path (or
+    // its retry).  Don't drop it on the floor: a satisfied result may carry
+    // member-side reservations taken during the walk, which the owner must
+    // release or they leak until the hold expires.
+    ++anycast_orphans_;
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.anycast_orphans").inc();
+    if (orphan_handler_) orphan_handler_(topic, payload);
+    return;
+  }
+  waiter->callback(satisfied, members_visited, payload);
 }
 
 void Scribe::on_anycast_deadline(std::uint64_t request_id) {
@@ -416,10 +436,12 @@ void Scribe::on_anycast_deadline(std::uint64_t request_id) {
     return;
   }
   // Second expiry: complete with a miss so the caller's backoff machinery
-  // takes over, and drop the waiter — the map must drain to empty.
-  auto payload = std::move(waiter.retry_payload);
-  auto cb = std::move(waiter.callback);
-  anycast_waiters_.erase(it);
+  // takes over.  Take the waiter through the single choke point: the map
+  // entry is gone before the callback runs, so the original (or retried)
+  // result landing later is handled as an orphan, never a double-complete.
+  auto taken = take_anycast_waiter(request_id);
+  auto payload = std::move(taken->retry_payload);
+  auto cb = std::move(taken->callback);
   cb(false, 0, *payload);
 }
 
@@ -795,15 +817,11 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
     return;
   }
   if (auto* result = dynamic_cast<AnycastResultMsg*>(&msg)) {
-    // A result landing after the deadline completed the waiter finds no
-    // entry and is dropped — exactly-once completion either way.
-    auto it = anycast_waiters_.find(result->request_id);
-    if (it != anycast_waiters_.end()) {
-      auto waiter = std::move(it->second);
-      anycast_waiters_.erase(it);
-      waiter.deadline.cancel();
-      waiter.callback(result->satisfied, result->members_visited, *result->payload);
-    }
+    // A result landing after the deadline completed the waiter is an
+    // orphan: complete_anycast counts it and hands the payload to the
+    // orphan handler so member-side reservations it carries get released.
+    complete_anycast(result->request_id, result->topic, result->satisfied,
+                     result->members_visited, *result->payload);
     return;
   }
   if (auto* report = dynamic_cast<AggReportMsg*>(&msg)) {

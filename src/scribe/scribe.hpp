@@ -126,6 +126,14 @@ class Scribe final : public pastry::PastryApp {
     reservation_reporter_ = std::move(reporter);
   }
 
+  /// Fires when an anycast result arrives for a waiter that already
+  /// completed (a reply racing the timeout retry).  The payload may carry
+  /// member-side state — reservations taken during the walk — that the
+  /// owner must reconcile; without a handler it is only counted.
+  using OrphanHandler = std::function<void(const TopicId& topic, AnycastPayload& payload)>;
+  void set_orphan_handler(OrphanHandler handler) { orphan_handler_ = std::move(handler); }
+  [[nodiscard]] std::uint64_t anycast_orphans() const { return anycast_orphans_; }
+
   /// Children registered on this node for `topic` (tree introspection).
   [[nodiscard]] std::vector<NodeRef> children_of(const TopicId& topic) const;
   [[nodiscard]] std::optional<NodeRef> parent_of(const TopicId& topic) const;
@@ -227,6 +235,15 @@ class Scribe final : public pastry::PastryApp {
   void promote_from_replica(const TopicId& topic, ReplicaState replica);
   void on_anycast_deadline(std::uint64_t request_id);
   void on_probe_deadline(std::uint64_t request_id);
+  /// Removes and returns the waiter for `request_id` (cancelling its
+  /// deadline), or nullopt if it already completed.  Every anycast
+  /// completion path takes the waiter through here, which is what makes
+  /// completion idempotent: the map entry is gone before any callback
+  /// runs, so whichever of {result, timeout, retry-result} fires second
+  /// finds nothing and is handled as an orphan.
+  [[nodiscard]] std::optional<AnycastWaiter> take_anycast_waiter(std::uint64_t request_id);
+  void complete_anycast(std::uint64_t request_id, const TopicId& topic, bool satisfied,
+                        int members_visited, AnycastPayload& payload);
   [[nodiscard]] SizeInfo probe_answer(const TopicId& topic, TopicState& st);
 
   pastry::PastryNode& node_;
@@ -240,6 +257,8 @@ class Scribe final : public pastry::PastryApp {
   std::unordered_map<std::uint64_t, AnycastWaiter> anycast_waiters_;
   std::unordered_map<std::uint64_t, SizeWaiter> size_waiters_;
   ReservationReporter reservation_reporter_;
+  OrphanHandler orphan_handler_;
+  std::uint64_t anycast_orphans_ = 0;
   std::uint64_t next_request_id_ = 1;
   sim::Timer agg_timer_;
   sim::Timer beat_timer_;

@@ -1,22 +1,57 @@
 #include "util/rng.hpp"
 
+#include <cmath>
+
 namespace rbay::util {
+
+namespace {
+
+// log1p(x)/x and expm1(x)/x with Taylor fallbacks near zero — the two
+// helpers that keep rejection-inversion stable as s approaches 1 (where
+// the harmonic integral degenerates to a logarithm).
+double log1p_over_x(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+double expm1_over_x(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0;
+}
+
+}  // namespace
 
 std::uint64_t Rng::zipf(std::uint64_t n, double s) {
   RBAY_REQUIRE(n > 0, "Rng::zipf: n must be positive");
   if (s <= 0.0) return 1 + uniform(n);
-  // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for the
-  // sizes we use; a direct inverse-CDF walk over the harmonic weights would
-  // be O(n).  Use the classic rejection method instead.
-  const double b = std::pow(2.0, s - 1.0);
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996): exact for the
+  // bounded rank set [1, n] and any skew s > 0 — including the s <= 1 range
+  // where the classic unbounded rejection method never terminates.  H is
+  // the antiderivative of the hat h(x) = x^-s, written via the helpers so
+  // the s -> 1 limit (log x) falls out numerically instead of 0/0.
+  const auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    return expm1_over_x((1.0 - s) * log_x) * log_x;
+  };
+  const auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+  const auto h_integral_inverse = [s](double x) {
+    double t = x * (1.0 - s);
+    if (t < -1.0) t = -1.0;  // clamp round-off below the pole
+    return std::exp(log1p_over_x(t) * x);
+  };
+
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  const double cut = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+
   for (;;) {
-    const double u = uniform_double();
-    const double v = uniform_double();
-    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
-    if (x < 1.0 || x > static_cast<double>(n)) continue;
-    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
-    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
-      return static_cast<std::uint64_t>(x);
+    const double u = h_n + uniform_double() * (h_x1 - h_n);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n)) k = static_cast<double>(n);
+    if (k - x <= cut || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::uint64_t>(k);
     }
   }
 }

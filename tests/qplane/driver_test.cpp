@@ -1,0 +1,83 @@
+// Open-loop workload driver: Poisson arrival counts, Zipf popularity
+// skew, diurnal modulation, and the arrival horizon.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qplane/workload_driver.hpp"
+#include "sim/engine.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::qplane {
+namespace {
+
+using util::SimTime;
+
+TEST(OpenLoopDriver, PoissonArrivalCountMatchesRate) {
+  sim::Engine engine(3);
+  ArrivalShape shape;
+  shape.rate_qps = 200.0;
+  std::uint64_t seen = 0;
+  OpenLoopDriver driver(engine, shape, 10, [&](std::size_t) { ++seen; });
+  driver.run(SimTime::seconds(50));
+  engine.run();
+  // 10000 expected arrivals, sigma = 100: a 5-sigma band.
+  EXPECT_GT(seen, 9500u);
+  EXPECT_LT(seen, 10500u);
+  EXPECT_EQ(seen, driver.arrivals());
+}
+
+TEST(OpenLoopDriver, ZipfPopularityFavorsLowRanks) {
+  sim::Engine engine(4);
+  ArrivalShape shape;
+  shape.rate_qps = 500.0;
+  shape.zipf_skew = 1.0;
+  std::vector<std::uint64_t> per_rank(50, 0);
+  OpenLoopDriver driver(engine, shape, per_rank.size(),
+                        [&](std::size_t rank) { ++per_rank.at(rank); });
+  driver.run(SimTime::seconds(40));
+  engine.run();
+  // Rank 0 is the hottest and dominates the tail by the Zipf ratio.
+  for (std::size_t r = 1; r < per_rank.size(); ++r) {
+    EXPECT_GE(per_rank[0], per_rank[r]) << "rank " << r;
+  }
+  EXPECT_GT(per_rank[0], 5 * per_rank[20]);
+}
+
+TEST(OpenLoopDriver, DiurnalModulationShapesTheArrivalStream) {
+  sim::Engine engine(5);
+  ArrivalShape shape;
+  shape.rate_qps = 200.0;
+  shape.diurnal_amplitude = 0.9;
+  shape.diurnal_period = SimTime::seconds(20);
+  std::uint64_t peak_half = 0;
+  std::uint64_t trough_half = 0;
+  OpenLoopDriver driver(engine, shape, 5, [&](std::size_t) {
+    const double t = engine.now().as_seconds();
+    const double phase = t - 20.0 * std::floor(t / 20.0);
+    (phase < 10.0 ? peak_half : trough_half) += 1;
+  });
+  driver.run(SimTime::seconds(60));
+  engine.run();
+  // sin > 0 through the first half-period: ~3.6x the trough rate at
+  // amplitude 0.9 — demand well above 2x survives the sampling noise.
+  EXPECT_GT(peak_half, 2 * trough_half);
+}
+
+TEST(OpenLoopDriver, ArrivalsStopAtTheHorizon) {
+  sim::Engine engine(6);
+  ArrivalShape shape;
+  shape.rate_qps = 100.0;
+  std::uint64_t seen = 0;
+  OpenLoopDriver driver(engine, shape, 3, [&](std::size_t) { ++seen; });
+  driver.run(SimTime::seconds(2));
+  engine.run();
+  const auto at_horizon = seen;
+  EXPECT_GT(at_horizon, 0u);
+  engine.run_for(SimTime::seconds(10));
+  engine.run();
+  EXPECT_EQ(seen, at_horizon) << "no arrivals may fire past the horizon";
+}
+
+}  // namespace
+}  // namespace rbay::qplane

@@ -1,0 +1,102 @@
+// Regression: an anycast result racing the deadline path must never
+// complete the waiter twice, and the losing (orphaned) result must be
+// surfaced so its member-side reservations can be released.
+//
+// The hazard (fixed alongside this test): the cross-site walk outlives
+// both the first deadline (which clones and retries the walk under the
+// same request id) and the second (which completes the caller with a
+// miss).  Both walks then come home satisfied.  Before completion was
+// funneled through the take-the-waiter-first choke point, the late
+// results re-entered the callback — a double complete — and the
+// reservations their members took during the DFS leaked silently.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "scribe/scribe_helpers.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::scribe {
+namespace {
+
+using testing::CollectPayload;
+using testing::ScribeOverlay;
+
+TEST(AnycastRace, LateResultAfterTimeoutIsOrphanedNotDoubleCompleted) {
+  // Cross-site RTT (2 x 200ms) dwarfs the 50ms anycast deadline: the
+  // walk cannot come home before both expiries have fired.
+  ScribeConfig config;
+  config.anycast_timeout = util::SimTime::millis(50);
+  ScribeOverlay so{4, net::Topology::uniform(2, 0.5, 200.0), config};
+
+  // Members live only in site 1; the caller anycasts from site 0.
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  std::size_t caller = SIZE_MAX;
+  for (std::size_t i = 0; i < so.overlay.size(); ++i) {
+    if (so.overlay.ref(i).site == 1) {
+      so.scribes[i]->subscribe(topic, so.members[i].get());
+    } else if (caller == SIZE_MAX) {
+      caller = i;
+    }
+  }
+  ASSERT_NE(caller, SIZE_MAX);
+  so.engine.run();
+
+  std::vector<std::vector<pastry::NodeId>> orphaned;
+  so.scribes[caller]->set_orphan_handler([&](const TopicId& t, AnycastPayload& p) {
+    EXPECT_EQ(t, topic);
+    orphaned.push_back(dynamic_cast<CollectPayload&>(p).collected);
+  });
+
+  int completions = 0;
+  bool last_satisfied = true;
+  auto payload = std::make_unique<CollectPayload>();
+  payload->want = 1;
+  so.scribes[caller]->anycast(topic, std::move(payload),
+                              [&](bool satisfied, int, AnycastPayload&) {
+                                ++completions;
+                                last_satisfied = satisfied;
+                              },
+                              pastry::Scope::Global);
+  so.engine.run();
+
+  // Exactly one completion — the second deadline's miss.  The walk (and
+  // the first deadline's retried walk) both found a member later; each
+  // came home as an orphan carrying the reservation it took.
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(last_satisfied);
+  EXPECT_EQ(so.scribes[caller]->anycast_orphans(), 2u);
+  ASSERT_EQ(orphaned.size(), 2u);
+  for (const auto& collected : orphaned) {
+    EXPECT_EQ(collected.size(), 1u) << "orphaned walk should carry its reservation";
+  }
+  EXPECT_EQ(so.scribes[caller]->anycast_waiter_count(), 0u);
+}
+
+TEST(AnycastRace, FastResultStillCompletesOnceWithNoOrphans) {
+  ScribeConfig config;
+  config.anycast_timeout = util::SimTime::millis(500);
+  ScribeOverlay so{8, net::Topology::single_site(), config};
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  so.subscribe_all(topic);
+
+  int completions = 0;
+  bool satisfied_result = false;
+  auto payload = std::make_unique<CollectPayload>();
+  payload->want = 1;
+  so.scribes[0]->anycast(topic, std::move(payload),
+                         [&](bool satisfied, int, AnycastPayload&) {
+                           ++completions;
+                           satisfied_result = satisfied;
+                         });
+  so.engine.run();
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(satisfied_result);
+  EXPECT_EQ(so.scribes[0]->anycast_orphans(), 0u);
+  EXPECT_EQ(so.scribes[0]->anycast_waiter_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rbay::scribe

@@ -71,3 +71,38 @@ build-ci/tools/trace_check build-ci/artifacts/trace_smoke.json
 # (small workload: CI wants the files and the schema, not the full sweep).
 build-ci/bench/bench_fig9_latency_cdf --small --json build-ci/artifacts/BENCH_fig9.json
 build-ci/bench/bench_fig10_latency_sites --small --json build-ci/artifacts/BENCH_fig10.json
+
+# Query-plane gate: admission control (Erlang-B convergence), probe
+# batching, answer-cache TTL/invalidation, and the open-loop driver.
+ctest --preset ci -L qplane --output-on-failure
+
+# Flash-crowd scenario: 100x demand spike on one attribute — admission
+# sheds deterministically, the cache absorbs the warm wave.  Transcript
+# and metrics snapshot are archived either way.
+if ! build-ci/tools/rbay_sim --metrics build-ci/artifacts/flash_crowd_metrics.json \
+    scenarios/flash_crowd.rbay \
+    > build-ci/artifacts/flash_crowd.log 2>&1; then
+  echo "flash_crowd scenario FAILED; transcript follows" >&2
+  cat build-ci/artifacts/flash_crowd.log >&2
+  exit 1
+fi
+
+# Throughput trend: archive the bench summary and fail if sustained QPS
+# regressed more than 10% against the previously archived copy (kept in
+# build-ci/artifacts/ across CI runs via the artifact cache).
+PREV_QPS=""
+if [ -f build-ci/artifacts/BENCH_throughput.json ]; then
+  PREV_QPS="$(sed -n 's/.*"sustained_qps":\([0-9][0-9]*\).*/\1/p' \
+      build-ci/artifacts/BENCH_throughput.json | head -n 1)"
+fi
+build-ci/bench/bench_throughput --small --json build-ci/artifacts/BENCH_throughput.json
+NEW_QPS="$(sed -n 's/.*"sustained_qps":\([0-9][0-9]*\).*/\1/p' \
+    build-ci/artifacts/BENCH_throughput.json | head -n 1)"
+if [ -n "$PREV_QPS" ] && [ -n "$NEW_QPS" ]; then
+  FLOOR=$((PREV_QPS * 90 / 100))
+  if [ "$NEW_QPS" -lt "$FLOOR" ]; then
+    echo "throughput regression: sustained ${NEW_QPS} qps < 90% of previous ${PREV_QPS} qps" >&2
+    exit 1
+  fi
+  echo "throughput trend ok: sustained ${NEW_QPS} qps (previous ${PREV_QPS})"
+fi

@@ -174,6 +174,10 @@ class Runner {
     config.node.query.max_attempts = max_attempts_;
     config.node.query.site_timeout = site_timeout_;
     config.node.query.reservation_hold = reservation_hold_;
+    config.node.query.qplane.admission_window = admission_window_;
+    config.node.query.qplane.admission_queue = admission_queue_;
+    config.node.query.qplane.cache_ttl = cache_ttl_;
+    config.node.query.qplane.batch_probes = batch_probes_;
     config.metrics = options_.metrics || options_.trace;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
@@ -205,6 +209,9 @@ class Runner {
     if (kw == "root-replicas") return set_int(d, root_replicas_);
     if (kw == "site-timeout") return set_ms(d, site_timeout_);
     if (kw == "reservation-hold") return set_ms(d, reservation_hold_);
+    if (kw == "admission-window") return do_admission_window(d);
+    if (kw == "cache-ttl") return set_ms(d, cache_ttl_);
+    if (kw == "batch-probes") return do_batch_probes(d);
     if (kw == "tree") return do_tree(d);
     if (kw == "tree-exists") return do_tree_exists(d);
     if (kw == "taxonomy-major") return do_taxonomy_major(d);
@@ -217,6 +224,7 @@ class Runner {
     if (kw == "finalize") return do_finalize(d);
     if (kw == "run") return do_run(d);
     if (kw == "query") return do_query(d);
+    if (kw == "query-storm") return do_query_storm(d);
     if (kw == "release") return do_release(d);
     if (kw == "commit") return do_commit(d);
     if (kw == "renew") return do_renew(d);
@@ -270,6 +278,25 @@ class Runner {
   util::Result<void> set_ms(const Directive& d, util::SimTime& target) {
     if (d.args.size() != 1) return error_at(d.line, d.keyword + " needs milliseconds");
     target = util::SimTime::millis(std::stod(d.args[0]));
+    return {};
+  }
+
+  /// admission-window <slots> [queue] — in-flight budget per query
+  /// interface plus an optional FIFO backlog; past both, queries shed.
+  util::Result<void> do_admission_window(const Directive& d) {
+    if (d.args.empty() || d.args.size() > 2) {
+      return error_at(d.line, "admission-window needs: <slots> [queue]");
+    }
+    admission_window_ = std::stoi(d.args[0]);
+    admission_queue_ = d.args.size() == 2 ? std::stoi(d.args[1]) : 0;
+    return {};
+  }
+
+  util::Result<void> do_batch_probes(const Directive& d) {
+    if (d.args.size() != 1 || (d.args[0] != "on" && d.args[0] != "off")) {
+      return error_at(d.line, "batch-probes needs: on|off");
+    }
+    batch_probes_ = d.args[0] == "on";
     return {};
   }
 
@@ -423,11 +450,64 @@ class Runner {
     if (last_outcome_.stale) {
       os << " stale(age=" << last_outcome_.staleness.to_string() << ")";
     }
+    if (last_outcome_.cached) os << " cached";
+    if (last_outcome_.shed) os << " shed";
     for (const auto& c : last_outcome_.nodes) {
       os << " " << c.node.id.to_hex().substr(0, 8) << "@"
          << topology_.site(c.node.site).name;
     }
     if (!last_outcome_.error.empty()) os << " error: " << last_outcome_.error;
+    report_.output.push_back(os.str());
+    return {};
+  }
+
+  /// query-storm <count> <site[:i]> <SQL...> — issue N copies of the same
+  /// query concurrently from one node: the flash-crowd shape that engages
+  /// admission, probe batching, and the answer cache all at once.  Storm
+  /// results are checked with the storm-* expectations; the single-query
+  /// selection (release/commit/use-query) is left untouched.
+  util::Result<void> do_query_storm(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "query-storm before finalize");
+    if (d.args.size() < 3) {
+      return error_at(d.line, "query-storm needs: <count> <site[:i]> <SQL...>");
+    }
+    const auto n = std::stoul(d.args[0]);
+    if (n == 0) return error_at(d.line, "query-storm count must be positive");
+    auto origins = nodes_of(d, d.args[1]);
+    if (!origins.ok()) return util::make_error(origins.error());
+    const auto& members = origins.value();
+    const auto from = members.at(members.size() > 1 ? 1 : 0);
+    // SQL = raw tail minus "<count> <site>".
+    auto sql = d.raw_tail;
+    const auto site_pos = sql.find(d.args[1], d.args[0].size());
+    sql = sql.substr(site_pos + d.args[1].size());
+
+    storm_outcomes_.clear();
+    storm_outcomes_.reserve(n);
+    auto& query = cluster_->node(from).query();
+    for (std::size_t i = 0; i < n; ++i) {
+      query.execute_sql(sql, [this](const core::QueryOutcome& o) {
+        storm_outcomes_.push_back(o);
+      });
+    }
+    cluster_->run();
+    if (storm_outcomes_.size() != n) {
+      return error_at(d.line, "storm incomplete: " + std::to_string(storm_outcomes_.size()) +
+                                  "/" + std::to_string(n) + " queries finished");
+    }
+    std::size_t satisfied = 0;
+    std::size_t shed = 0;
+    std::size_t cached = 0;
+    for (const auto& o : storm_outcomes_) {
+      if (o.satisfied) ++satisfied;
+      if (o.shed) ++shed;
+      if (o.cached) ++cached;
+    }
+    report_.queries += static_cast<int>(n);
+    report_.queries_satisfied += static_cast<int>(satisfied);
+    std::ostringstream os;
+    os << "storm[" << n << "] satisfied=" << satisfied << " shed=" << shed
+       << " cached=" << cached;
     report_.output.push_back(os.str());
     return {};
   }
@@ -677,6 +757,80 @@ class Runner {
       }
       return {};
     }
+    if (what == "shed") {
+      if (!last_outcome_.shed) {
+        return error_at(d.line, "expected the query to be shed by admission control");
+      }
+      return {};
+    }
+    if (what == "cached") {
+      if (!last_outcome_.cached) {
+        return error_at(d.line, "expected a cached (answer-cache) result, got a direct one");
+      }
+      return {};
+    }
+    if (what == "uncached") {
+      if (last_outcome_.cached) {
+        return error_at(d.line, "expected a direct (tree-walk) answer, got a cached one");
+      }
+      return {};
+    }
+    if (what == "staleness-le" && d.args.size() == 2) {
+      const auto bound = util::SimTime::millis(std::stod(d.args[1]));
+      if (last_outcome_.staleness > bound) {
+        return error_at(d.line, "expected staleness <= " + d.args[1] + "ms, got " +
+                                    last_outcome_.staleness.to_string());
+      }
+      return {};
+    }
+    if (what == "storm-satisfied" && d.args.size() == 2) {
+      const auto want = std::stoul(d.args[1]);
+      std::size_t got = 0;
+      for (const auto& o : storm_outcomes_) {
+        if (o.satisfied) ++got;
+      }
+      if (got != want) {
+        return error_at(d.line, "expected " + d.args[1] + " satisfied storm queries, got " +
+                                    std::to_string(got));
+      }
+      return {};
+    }
+    if (what == "storm-shed" && d.args.size() == 2) {
+      const auto want = std::stoul(d.args[1]);
+      std::size_t got = 0;
+      for (const auto& o : storm_outcomes_) {
+        if (o.shed) ++got;
+      }
+      if (got != want) {
+        return error_at(d.line, "expected " + d.args[1] + " shed storm queries, got " +
+                                    std::to_string(got));
+      }
+      return {};
+    }
+    if (what == "storm-count" && d.args.size() == 2) {
+      // Every satisfied storm query must report this COUNT — the batcher's
+      // fan-out and the cache both have to agree with the live answer.
+      const auto want = std::stod(d.args[1]);
+      for (std::size_t i = 0; i < storm_outcomes_.size(); ++i) {
+        const auto& o = storm_outcomes_[i];
+        if (o.satisfied && o.count != want) {
+          return error_at(d.line, "storm query " + std::to_string(i + 1) + ": expected count " +
+                                      d.args[1] + ", got " + std::to_string(o.count));
+        }
+      }
+      return {};
+    }
+    if (what == "storm-staleness-le" && d.args.size() == 2) {
+      const auto bound = util::SimTime::millis(std::stod(d.args[1]));
+      for (std::size_t i = 0; i < storm_outcomes_.size(); ++i) {
+        if (storm_outcomes_[i].staleness > bound) {
+          return error_at(d.line, "storm query " + std::to_string(i + 1) + ": staleness " +
+                                      storm_outcomes_[i].staleness.to_string() + " exceeds " +
+                                      d.args[1] + "ms");
+        }
+      }
+      return {};
+    }
     return error_at(d.line, "unknown expectation '" + what + "'");
   }
 
@@ -704,6 +858,10 @@ class Runner {
   int max_attempts_ = 5;
   util::SimTime site_timeout_ = core::QueryConfig{}.site_timeout;
   util::SimTime reservation_hold_ = core::QueryConfig{}.reservation_hold;
+  int admission_window_ = 0;
+  int admission_queue_ = 0;
+  util::SimTime cache_ttl_ = util::SimTime::zero();
+  bool batch_probes_ = false;
   std::optional<std::size_t> last_crashed_root_;
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
@@ -712,6 +870,7 @@ class Runner {
   bool finalized_ = false;
   std::size_t last_query_node_ = SIZE_MAX;
   core::QueryOutcome last_outcome_;
+  std::vector<core::QueryOutcome> storm_outcomes_;
   std::vector<std::pair<std::size_t, core::QueryOutcome>> query_history_;
   ScenarioReport report_;
 };

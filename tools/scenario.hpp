@@ -29,6 +29,9 @@
 //   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
 //   seed N | aggregation MS | heartbeat MS | max-attempts N
 //   site-timeout MS | reservation-hold MS
+//   admission-window N [queue]     in-flight query budget (+FIFO backlog)
+//   cache-ttl MS                   COUNT/size answer-cache TTL (0 = off)
+//   batch-probes on|off            coalesce concurrent same-tree probes
 //   tree <attr> <op> <literal>      register a federation tree
 //   tree-exists <attr>              existence tree (hybrid naming major)
 //   taxonomy-major <attr> | taxonomy-link <attr> <parent>
@@ -40,6 +43,8 @@
 //   finalize                        build the federation
 //   run <duration>                  advance virtual time (e.g. 500ms, 2s)
 //   query <site[:i]> <SQL...>       run a query from a node of that site
+//   query-storm <n> <site[:i]> <SQL...>  issue n copies concurrently from
+//                                   one node (checked with storm-* expects)
 //   release | commit [lease]        act on the last query's reservations
 //   use-query <n>                   re-select the n-th query (1-based) so
 //                                   release/commit target an older outcome
@@ -55,6 +60,9 @@
 //                                    reservations pastry; default: all);
 //                                    violations fail the scenario
 //   expect satisfied | expect denied | expect nodes N | expect count N
+//   expect stale | fresh | shed | cached | staleness-le MS
+//   expect storm-satisfied N | storm-shed N | storm-count N
+//   expect storm-staleness-le MS
 //   print <text...> | stats
 //
 // `expect` failures make run() return an error — scenarios double as
