@@ -552,14 +552,29 @@ void QueryInterface::run_site_query(SiteJob job, std::function<void(SiteResult)>
       if (auto* reg = owner_.engine().metrics()) reg->fed().counter("qplane.cache_misses").inc();
     }
     auto on_info = [this, state, i, anycast_smallest](const scribe::Scribe::SizeInfo& info) {
+      if (info.from_root_set) {
+        // Served by a non-root member of the tree's root set (hot-root
+        // rotation): the probe never reached the rendezvous root.
+        if (auto* reg = owner_.engine().metrics()) {
+          reg->fed().counter("qplane.rootset_answers").inc();
+        }
+      }
       if (answer_cache_.enabled()) {
         const auto evictions = answer_cache_.invalidations();
+        const auto rejects = answer_cache_.epoch_rejects();
         answer_cache_.store(state->topics[i], info, owner_.engine().now());
         if (answer_cache_.invalidations() > evictions) {
           // A degraded (post-failover) answer just evicted the cached
           // pre-failover entry: the cache is invalidated on root crash.
           if (auto* reg = owner_.engine().metrics()) {
             reg->fed().counter("qplane.cache_invalidations").inc();
+          }
+        }
+        if (answer_cache_.epoch_rejects() > rejects) {
+          // A late fresh answer from an older replication epoch tried to
+          // roll the cache back and was refused.
+          if (auto* reg = owner_.engine().metrics()) {
+            reg->fed().counter("qplane.cache.epoch_rejects").inc();
           }
         }
       }

@@ -413,6 +413,37 @@ InvariantReport check_replicas(core::RBayCluster& cluster) {
   return report;
 }
 
+InvariantReport check_fan_in(core::RBayCluster& cluster) {
+  InvariantReport report;
+  const int cap = cluster.config().node.scribe.fan_in_cap;
+  if (cap <= 0) return report;  // splitting disabled
+  auto& overlay = cluster.overlay();
+  const auto& directory = cluster.directory();
+  for (const auto& spec : cluster.tree_specs()) {
+    for (net::SiteId s = 0; s < directory.site_names.size(); ++s) {
+      const auto& site_name = directory.site_names[s];
+      const auto topic = core::site_topic(spec.canonical, site_name);
+      for (const auto i : cluster.nodes_in_site(s)) {
+        if (overlay.is_failed(i)) continue;
+        // Dead children are pruned by heartbeat repair and reported by
+        // child-consistency; the cap binds the live fan-in.
+        std::size_t live_children = 0;
+        for (const auto& child : cluster.node(i).scribe().children_of(topic)) {
+          if (!overlay.is_failed(cluster.index_of(child.id))) ++live_children;
+        }
+        if (live_children > static_cast<std::size_t>(cap)) {
+          report.add("fan-in",
+                     tree_tag(spec, site_name) + "node " + std::to_string(i) + " carries " +
+                         std::to_string(live_children) + " live children, cap is " +
+                         std::to_string(cap) + " (split/delegation failed to converge)",
+                     {i});
+        }
+      }
+    }
+  }
+  return report;
+}
+
 InvariantReport check_waiters(core::RBayCluster& cluster) {
   InvariantReport report;
   auto& overlay = cluster.overlay();
@@ -444,6 +475,7 @@ InvariantReport check_all(core::RBayCluster& cluster) {
   report.merge(check_aggregates(cluster));
   report.merge(check_reservations(cluster));
   report.merge(check_replicas(cluster));
+  report.merge(check_fan_in(cluster));
   report.merge(check_waiters(cluster));
   report.merge(check_pastry(cluster.overlay()));
   return report;

@@ -69,6 +69,12 @@ InvariantReport check_reservations(core::RBayCluster& cluster);
 /// replica epoch ahead of the root's (a failover could then regress the
 /// epoch), and the root is no longer degraded at quiescence.
 InvariantReport check_replicas(core::RBayCluster& cluster);
+/// Fan-in caps (hot-tree splitting): when `scribe.fan_in_cap` > 0, no live
+/// node of any (spec, site) tree may carry more live children than the cap
+/// at quiescence — overloads must have delegated their surplus.  Delegated
+/// subtrees are ordinary child links, so the reachability / consistency /
+/// aggregate checkers above accept them unchanged.
+InvariantReport check_fan_in(core::RBayCluster& cluster);
 /// No anycast/size-probe waiter may still be registered after quiescence
 /// (the pre-timeout leak: a walk that died on a crashed node parked its
 /// waiter forever).

@@ -122,6 +122,8 @@ class Execution {
     config.node.query.max_attempts = spec_.max_attempts;
     config.node.query.qplane.cache_ttl = spec_.cache_ttl;
     config.node.query.qplane.batch_probes = spec_.batch_probes;
+    config.node.scribe.fan_in_cap = spec_.fan_in_cap;
+    config.node.scribe.root_set = spec_.root_set;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto spec : workload_tree_specs()) cluster_->add_tree_spec(std::move(spec));
     cluster_->set_taxonomy(workload_taxonomy());
@@ -145,6 +147,8 @@ class Execution {
     emit("max-attempts " + std::to_string(spec_.max_attempts));
     emit("cache-ttl " + std::to_string(static_cast<long long>(spec_.cache_ttl.as_millis())));
     emit(std::string("batch-probes ") + (spec_.batch_probes ? "on" : "off"));
+    emit("fan-in-cap " + std::to_string(spec_.fan_in_cap));
+    emit("root-set " + std::to_string(spec_.root_set));
     for (const auto& ts : workload_tree_specs()) {
       if (ts.canonical.rfind("has:", 0) == 0) {
         emit("tree-exists " + ts.predicate.attribute);

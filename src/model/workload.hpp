@@ -95,6 +95,13 @@ struct WorkloadSpec {
   // stays off (window 0): the model predicts every query is answered.
   util::SimTime cache_ttl = util::SimTime::millis(300);
   bool batch_probes = true;
+  // Hot-tree load balancing (docs/LOAD_BALANCING.md): fan-in caps split
+  // overloaded tree nodes, root-set rotation spreads probe answers across
+  // serving replica holders.  Both default off; the reference model is
+  // split-oblivious (aggregates must match regardless of tree shape), so
+  // enabling them must not change any COUNT the oracle checks.
+  int fan_in_cap = 0;
+  int root_set = 0;
 };
 
 struct Workload {

@@ -24,16 +24,30 @@ AdmissionController::Verdict AdmissionController::submit(std::function<void()> s
 
 void AdmissionController::release() {
   RBAY_REQUIRE(inflight_ > 0, "admission release without a matching admit");
-  if (!queued_.empty()) {
-    // The freed slot transfers to the oldest queued query: inflight stays
-    // constant across the hand-off.
-    auto start = std::move(queued_.front());
-    queued_.pop_front();
-    ++admitted_;
-    start();
-    return;
+  // A queued query whose `start` completes synchronously (e.g. every
+  // probe answered from the cache) re-enters release() while this frame
+  // is still mid-hand-off.  Running the hand-off from inside that nested
+  // frame would recurse once per queued query — O(backlog) stack depth —
+  // and interleave slot bookkeeping across frames.  Instead, nested calls
+  // only record the freed slot; the outermost frame drains them in FIFO
+  // order, one at a time, with inflight kept consistent throughout.
+  ++pending_releases_;
+  if (draining_) return;
+  draining_ = true;
+  while (pending_releases_ > 0) {
+    --pending_releases_;
+    if (!queued_.empty()) {
+      // The freed slot transfers to the oldest queued query: inflight
+      // stays constant across the hand-off.
+      auto start = std::move(queued_.front());
+      queued_.pop_front();
+      ++admitted_;
+      start();
+    } else {
+      --inflight_;
+    }
   }
-  --inflight_;
+  draining_ = false;
 }
 
 double erlang_b(int servers, double offered_load) {

@@ -43,6 +43,9 @@ class AdmissionController {
 
   /// Frees a slot.  If the backlog is non-empty the slot transfers to the
   /// oldest queued query, whose `start` runs before this returns.
+  /// Re-entrant: a started query that completes synchronously and calls
+  /// release() again only records the freed slot; the outermost call
+  /// drains hand-offs iteratively in FIFO order.
   void release();
 
   [[nodiscard]] std::size_t inflight() const { return inflight_; }
@@ -57,6 +60,10 @@ class AdmissionController {
   std::uint64_t admitted_ = 0;
   std::uint64_t queued_total_ = 0;
   std::deque<std::function<void()>> queued_;
+  /// Slots freed by re-entrant release() calls, drained iteratively by
+  /// the outermost frame (see release()).
+  std::size_t pending_releases_ = 0;
+  bool draining_ = false;
 };
 
 /// Erlang B blocking probability B(servers, offered_load) via the stable

@@ -52,6 +52,14 @@ void AnswerCache::store(const scribe::TopicId& topic, const SizeInfo& info, util
     if (entries_.erase(topic) > 0) ++invalidations_;
     return;
   }
+  if (auto it = entries_.find(topic); it != entries_.end() && info.epoch < it->second.epoch) {
+    // Late-arriving fresh answer from an older replication epoch (a slow
+    // probe overtaken by a newer round, or a pre-rotation answer landing
+    // after the root set advanced).  Storing it would roll the cache back
+    // in time; keep the newer entry.
+    ++epoch_rejects_;
+    return;
+  }
   entries_[topic] = Entry{info.value, info.epoch, now};
   ++stores_;
 }

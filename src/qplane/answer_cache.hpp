@@ -41,11 +41,12 @@ class AnswerCache {
   /// stale with age = time in cache.  Expired entries are erased (miss).
   std::optional<SizeInfo> lookup(const scribe::TopicId& topic, util::SimTime now);
 
-  /// Records a probe answer.  Fresh answers are stored (overwriting any
-  /// older entry — epoch moves forward with every aggregation round);
-  /// degraded answers are never stored and evict any existing entry, so a
-  /// root failover invalidates the cache the moment the promoted replica
-  /// starts answering.
+  /// Records a probe answer.  Fresh answers are stored unless their epoch
+  /// is older than the cached entry's (a late answer from a previous
+  /// replication round must not roll the cache back — counted as an epoch
+  /// reject); degraded answers are never stored and evict any existing
+  /// entry, so a root failover invalidates the cache the moment the
+  /// promoted replica starts answering.
   void store(const scribe::TopicId& topic, const SizeInfo& info, util::SimTime now);
 
   void clear() { entries_.clear(); }
@@ -54,6 +55,7 @@ class AnswerCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t stores() const { return stores_; }
   [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+  [[nodiscard]] std::uint64_t epoch_rejects() const { return epoch_rejects_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
@@ -70,6 +72,7 @@ class AnswerCache {
   std::uint64_t misses_ = 0;
   std::uint64_t stores_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t epoch_rejects_ = 0;
 };
 
 }  // namespace rbay::qplane

@@ -134,8 +134,20 @@ struct SizeReplyMsg final : pastry::AppMessage {
   /// `age` sim-time old (always ≤ the root's `max_staleness`).
   bool stale = false;
   util::SimTime age = util::SimTime::zero();
+  /// The answer was served by a non-root member of the topic's root set
+  /// (a serving replica holder) — always a degraded read.
+  bool from_root_set = false;
+  /// Direct probe landed on a node that can no longer serve for this
+  /// topic (replica expired / state gone): the originator must drop its
+  /// cached root set and fall back to a routed probe.
+  bool declined = false;
+  /// Advertised root set (root first, then serving replica holders) so the
+  /// originator can fan later probes directly across the set.
+  std::vector<NodeRef> root_set;
 
-  [[nodiscard]] std::size_t wire_size() const override { return 49; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 51 + root_set.size() * 24;
+  }
   [[nodiscard]] const char* type_name() const override { return "scribe.SizeReply"; }
 };
 
@@ -152,13 +164,70 @@ struct RootReplicaMsg final : pastry::AppMessage {
   util::SimTime snapshot_time = util::SimTime::zero();
   std::vector<NodeRef> children;
   std::vector<std::string> holders;
+  /// Root-set rotation (`root_set` > 0): this holder is a *serving*
+  /// member of the topic's root set — it may answer size probes and
+  /// accept anycast entries from its replicated snapshot, spreading the
+  /// rendezvous root's read load across the set.
+  bool serve = false;
+  /// Roster of the topic's root set (root first, then the serving
+  /// holders), re-advertised by every member so originators can fan
+  /// probes directly across the set.
+  std::vector<NodeRef> root_set;
 
   [[nodiscard]] std::size_t wire_size() const override {
     std::size_t holders_bytes = 0;
     for (const auto& h : holders) holders_bytes += h.size();
-    return 48 + children.size() * 24 + holders_bytes;
+    return 49 + children.size() * 24 + root_set.size() * 24 + holders_bytes;
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.RootReplica"; }
+};
+
+/// Overloaded parent → delegate (leaf-set pick or lightest child): adopt
+/// these children of mine for `topic` (D3-Tree style weight balancing).
+/// Sent when the parent's fan-in exceeds the configured cap.
+struct DelegateMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::Scope scope = pastry::Scope::Global;
+  AggregateKind agg_kind = AggregateKind::Count;
+  std::vector<NodeRef> children;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 18 + children.size() * 24;
+  }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Delegate"; }
+};
+
+/// Delegate → overloaded parent: adopted these children (the parent drops
+/// them and links the delegate as its single replacement child).
+struct DelegateAckMsg final : pastry::AppMessage {
+  TopicId topic;
+  std::vector<pastry::NodeId> accepted;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + accepted.size() * 16;
+  }
+  [[nodiscard]] const char* type_name() const override { return "scribe.DelegateAck"; }
+};
+
+/// Delegate → overloaded parent: cannot adopt (it already has conflicting
+/// tree state for the topic); the parent retries with another candidate.
+struct DelegateNackMsg final : pastry::AppMessage {
+  TopicId topic;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.DelegateNack"; }
+};
+
+/// Delegate → adopted child: switch your parent pointer from `old_parent`
+/// to me.  A child whose parent is no longer `old_parent` declines by
+/// sending the delegate a Leave, so stale delegations cannot corrupt the
+/// tree.
+struct ReparentMsg final : pastry::AppMessage {
+  TopicId topic;
+  pastry::NodeId old_parent;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* type_name() const override { return "scribe.Reparent"; }
 };
 
 /// Parent→child liveness beacon for tree repair.

@@ -111,7 +111,7 @@ bool Scribe::subscribed(const TopicId& topic) const {
   return st != nullptr && st->member;
 }
 
-void Scribe::add_child(TopicState& st, const NodeRef& child) {
+void Scribe::add_child(const TopicId& topic, TopicState& st, const NodeRef& child) {
   const auto now = node_.network().engine().now();
   for (auto& c : st.children) {
     if (c.ref.id == child.id) {
@@ -120,6 +120,7 @@ void Scribe::add_child(TopicState& st, const NodeRef& child) {
     }
   }
   st.children.push_back(ChildState{child, 0.0, false, now});
+  maybe_split(topic, st);
 }
 
 void Scribe::subscribe(const TopicId& topic, TopicMember* member,
@@ -204,6 +205,37 @@ bool Scribe::forward(const pastry::NodeId& /*key*/, pastry::AppMessage& msg,
       continue_anycast(take_anycast(*anycast));
       return false;
     }
+    if (!already_visited && anycast->reroutes == 0) {
+      // Serving root-set holder with no tree state of its own: divert the
+      // walk into one of the replicated child subtrees instead of letting
+      // it converge on the rendezvous root.  Rerouted walks (repair
+      // windows) pass through untouched.
+      if (auto it = replicas_.find(anycast->topic);
+          it != replicas_.end() && it->second.serve && !it->second.children.empty() &&
+          config_.root_set > 0 && config_.max_staleness > util::SimTime::zero() &&
+          node_.network().engine().now() - it->second.snapshot_time <=
+              config_.max_staleness) {
+        const auto& children = it->second.children;
+        const auto& target = children[anycast->request_id % children.size()];
+        if (target.id != node_.self().id && target.id != anycast->originator.id) {
+          node_.send_direct(target, take_anycast(*anycast), kAppName);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+  if (auto* probe = dynamic_cast<SizeProbeMsg*>(&msg)) {
+    // Serving root-set holder on the routing path: answer the probe here
+    // (staleness-bounded) and advertise the roster, so the originator
+    // fans later probes directly across the set — the rendezvous root
+    // never sees them.
+    if (probe->originator.id != node_.self().id) {
+      if (auto info = replica_answer(probe->topic)) {
+        answer_probe_from_replica(*probe, *info);
+        return false;
+      }
+    }
     return true;
   }
   return true;
@@ -221,7 +253,7 @@ void Scribe::handle_join(JoinMsg& join, bool at_root) {
     }
     return;
   }
-  add_child(st, join.child);
+  add_child(join.topic, st, join.child);
   if (at_root && !st.parent) st.root = true;
   auto ack = std::make_unique<JoinAckMsg>();
   ack->topic = join.topic;
@@ -484,6 +516,18 @@ void Scribe::aggregation_round() {
         st.degraded = false;
       }
     }
+    // Fan-in enforcement is retried from here: a delegation lost to a
+    // crash (or a fully NACKed episode) is cleared after two rounds and
+    // attempted again with a fresh candidate slate.
+    if (config_.fan_in_cap > 0 &&
+        st.children.size() > static_cast<std::size_t>(config_.fan_in_cap)) {
+      const auto retry_after = config_.aggregation_interval * std::int64_t{2};
+      if (st.split_pending && now - st.split_requested_at > retry_after) {
+        st.split_pending = false;
+        st.split_declined.clear();
+      }
+      maybe_split(topic, st);
+    }
     if (!st.parent) continue;
     if (auto* m = fed_metrics(node_)) m->counter("scribe.agg_reports").inc();
     auto report = std::make_unique<AggReportMsg>();
@@ -496,7 +540,9 @@ void Scribe::aggregation_round() {
 }
 
 void Scribe::replicate_roots() {
-  if (config_.root_replicas <= 0) return;
+  if (config_.root_replicas <= 0 && config_.root_set <= 0) return;
+  // Root-set rotation needs at least `root_set` replicated holders.
+  const int replicas_wanted = std::max(config_.root_replicas, config_.root_set);
   const auto now = node_.network().engine().now();
   for (auto& [topic, st] : topics_) {
     if (!st.root || (!st.member && st.children.empty())) continue;
@@ -518,13 +564,24 @@ void Scribe::replicate_roots() {
     }
     std::vector<NodeRef> picked;
     for (const auto& target : targets) {
-      if (static_cast<int>(picked.size()) >= config_.root_replicas) break;
+      if (static_cast<int>(picked.size()) >= replicas_wanted) break;
       if (target.id == node_.self().id) continue;
       const bool dup = std::any_of(picked.begin(), picked.end(),
                                    [&](const NodeRef& p) { return p.id == target.id; });
       if (!dup) picked.push_back(target);
     }
     if (picked.empty()) continue;
+
+    // The first `root_set` picks become serving members: they may answer
+    // probes and accept anycast entries from the replicated snapshot.
+    // The roster (self first) is advertised in probe replies so
+    // originators fan later probes directly across the set.
+    const std::size_t serve_n =
+        config_.root_set > 0
+            ? std::min(picked.size(), static_cast<std::size_t>(config_.root_set))
+            : 0;
+    st.serve_set.assign(picked.begin(),
+                        picked.begin() + static_cast<std::ptrdiff_t>(serve_n));
 
     auto proto = std::make_unique<RootReplicaMsg>();
     proto->topic = topic;
@@ -536,10 +593,16 @@ void Scribe::replicate_roots() {
     proto->children.reserve(st.children.size());
     for (const auto& child : st.children) proto->children.push_back(child.ref);
     if (reservation_reporter_) proto->holders = reservation_reporter_();
-    for (const auto& target : picked) {
+    if (serve_n > 0) {
+      proto->root_set.reserve(serve_n + 1);
+      proto->root_set.push_back(node_.self());
+      for (const auto& s : st.serve_set) proto->root_set.push_back(s);
+    }
+    for (std::size_t i = 0; i < picked.size(); ++i) {
       auto msg = std::make_unique<RootReplicaMsg>(*proto);
+      msg->serve = i < serve_n;
       if (auto* m = fed_metrics(node_)) m->counter("scribe.root_replications").inc();
-      node_.send_direct(target, std::move(msg), kAppName);
+      node_.send_direct(picked[i], std::move(msg), kAppName);
     }
   }
 }
@@ -555,6 +618,8 @@ void Scribe::handle_replica(const RootReplicaMsg& msg) {
   rep.received_at = node_.network().engine().now();
   rep.children = msg.children;
   rep.holders = msg.holders;
+  rep.serve = msg.serve;
+  rep.root_set = msg.root_set;
 }
 
 void Scribe::neighbor_failed(const pastry::NodeId& /*id*/) {
@@ -599,7 +664,7 @@ void Scribe::promote_from_replica(const TopicId& topic, ReplicaState replica) {
   st.stale_at = replica.snapshot_time;
   for (const auto& child : replica.children) {
     if (child.id == node_.self().id) continue;
-    add_child(st, child);
+    add_child(topic, st, child);
   }
   if (auto* m = fed_metrics(node_)) m->counter("scribe.root_failovers").inc();
   if (auto* causal = causal_log(node_)) {
@@ -631,21 +696,272 @@ void Scribe::probe_size(const TopicId& topic, SizeCallback callback, pastry::Sco
   const auto id = next_request_id_++;
   auto& waiter = size_waiters_[id];
   waiter.callback = std::move(callback);
+  waiter.topic = topic;
+  waiter.scope = scope;
   if (config_.anycast_timeout > util::SimTime::zero()) {
     waiter.deadline = node_.network().engine().schedule(
         config_.anycast_timeout, [this, id]() { on_probe_deadline(id); });
   }
+  // Root-set fan-out: with a fresh advertised roster, probe a member of
+  // the root set directly (round-robin) instead of converging every probe
+  // on the rendezvous root through the same last-hop forwarders.  A
+  // member that can no longer serve declines, which falls back to the
+  // routed path below.
+  if (config_.root_set > 0 && config_.max_staleness > util::SimTime::zero()) {
+    auto it = root_sets_.find(topic);
+    if (it != root_sets_.end()) {
+      auto& entry = it->second;
+      const auto now = node_.network().engine().now();
+      if (!entry.members.empty() && now - entry.learned_at <= config_.max_staleness) {
+        for (std::size_t i = 0; i < entry.members.size(); ++i) {
+          const auto& target = entry.members[entry.next++ % entry.members.size()];
+          if (target.id == node_.self().id) continue;
+          auto probe = std::make_unique<SizeProbeMsg>();
+          probe->topic = topic;
+          probe->request_id = id;
+          probe->originator = node_.self();
+          if (auto* m = fed_metrics(node_)) m->counter("scribe.rootset_probes").inc();
+          waiter.via_root_set = true;
+          node_.send_direct(target, std::move(probe), kAppName);
+          return;
+        }
+      } else {
+        root_sets_.erase(it);  // expired roster
+      }
+    }
+  }
+  route_size_probe(topic, id, scope);
+}
+
+void Scribe::route_size_probe(const TopicId& topic, std::uint64_t request_id,
+                              pastry::Scope scope) {
   auto probe = std::make_unique<SizeProbeMsg>();
   probe->topic = topic;
-  probe->request_id = id;
+  probe->request_id = request_id;
   probe->originator = node_.self();
   node_.route(topic, std::move(probe), kAppName, scope);
+}
+
+std::optional<Scribe::SizeInfo> Scribe::replica_answer(const TopicId& topic) {
+  if (config_.root_set <= 0 || config_.max_staleness <= util::SimTime::zero()) {
+    return std::nullopt;
+  }
+  auto it = replicas_.find(topic);
+  if (it == replicas_.end() || !it->second.serve) return std::nullopt;
+  const auto age = node_.network().engine().now() - it->second.snapshot_time;
+  if (age > config_.max_staleness) return std::nullopt;
+  SizeInfo info;
+  info.value = it->second.value;
+  info.epoch = it->second.epoch;
+  info.stale = true;
+  info.age = age;
+  info.from_root_set = true;
+  return info;
+}
+
+void Scribe::answer_probe_from_replica(const SizeProbeMsg& probe, const SizeInfo& info) {
+  ++rotations_;
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.rotations").inc();
+  auto reply = std::make_unique<SizeReplyMsg>();
+  reply->topic = probe.topic;
+  reply->request_id = probe.request_id;
+  reply->size = info.value;
+  reply->epoch = info.epoch;
+  reply->stale = info.stale;
+  reply->age = info.age;
+  reply->from_root_set = true;
+  if (auto it = replicas_.find(probe.topic); it != replicas_.end()) {
+    reply->root_set = it->second.root_set;
+  }
+  node_.send_direct(probe.originator, std::move(reply), kAppName);
+}
+
+void Scribe::learn_root_set(const TopicId& topic, const std::vector<NodeRef>& members,
+                            std::uint64_t epoch) {
+  if (config_.root_set <= 0 || members.empty()) return;
+  auto& entry = root_sets_[topic];
+  if (epoch < entry.epoch) return;  // never regress to an older roster
+  entry.members = members;
+  entry.epoch = epoch;
+  entry.learned_at = node_.network().engine().now();
+}
+
+// --- hot-tree splitting (fan-in caps, D3-Tree style weight balancing) -------
+
+void Scribe::maybe_split(const TopicId& topic, TopicState& st) {
+  if (config_.fan_in_cap <= 0) return;
+  const auto cap = static_cast<std::size_t>(config_.fan_in_cap);
+  if (st.children.size() <= cap) return;
+  if (st.split_pending) return;
+  // A freshly promoted root is mid-repair: its adopted children have not
+  // re-confirmed their parent pointers, so a delegation now would race the
+  // rejoin storm.  The periodic retry picks it up after the window.
+  if (st.degraded) return;
+
+  const auto now = node_.network().engine().now();
+  const auto is_child = [&](const pastry::NodeId& id) {
+    return std::any_of(st.children.begin(), st.children.end(),
+                       [&](const ChildState& c) { return c.ref.id == id; });
+  };
+  const auto declined = [&](const pastry::NodeId& id) {
+    return std::find(st.split_declined.begin(), st.split_declined.end(), id) !=
+           st.split_declined.end();
+  };
+
+  // Delegate choice: alternate clockwise/counter-clockwise leaf-set picks
+  // (same straddling order replication uses), skipping ourselves, current
+  // children, our parent, and this episode's NACKers.
+  const auto& leaves =
+      st.scope == pastry::Scope::Site ? node_.site_leaf_set() : node_.leaf_set();
+  std::optional<NodeRef> delegate;
+  const auto& cw = leaves.clockwise();
+  const auto& ccw = leaves.counter_clockwise();
+  for (std::size_t i = 0; i < std::max(cw.size(), ccw.size()) && !delegate; ++i) {
+    for (const auto* side : {i < cw.size() ? &cw[i] : nullptr,
+                             i < ccw.size() ? &ccw[i] : nullptr}) {
+      if (side == nullptr) continue;
+      if (side->id == node_.self().id) continue;
+      if (is_child(side->id)) continue;
+      if (st.parent && st.parent->id == side->id) continue;
+      if (declined(side->id)) continue;
+      delegate = *side;
+      break;
+    }
+  }
+  // Fallback: the lightest current child.  A live child's parent is us, so
+  // it always accepts — the cap is enforceable even on a sparse ring.
+  bool delegate_is_child = false;
+  if (!delegate) {
+    const ChildState* best = nullptr;
+    for (const auto& c : st.children) {
+      if (declined(c.ref.id)) continue;
+      if (best == nullptr || c.last_report < best->last_report ||
+          (c.last_report == best->last_report && c.ref.id < best->ref.id)) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) return;  // everyone NACKed: periodic retry re-opens
+    delegate = best->ref;
+    delegate_is_child = true;
+  }
+
+  // Move the lightest surplus children (weight = last aggregate report),
+  // never the delegate itself.  Enough must move that the post-split
+  // fan-in is back at the cap, counting the delegate link we keep/add.
+  std::vector<const ChildState*> movable;
+  movable.reserve(st.children.size());
+  for (const auto& c : st.children) {
+    if (c.ref.id != delegate->id) movable.push_back(&c);
+  }
+  std::sort(movable.begin(), movable.end(), [](const ChildState* a, const ChildState* b) {
+    if (a->last_report != b->last_report) return a->last_report < b->last_report;
+    return a->ref.id < b->ref.id;
+  });
+  const std::size_t need = st.children.size() - cap + (delegate_is_child ? 0 : 1);
+
+  auto msg = std::make_unique<DelegateMsg>();
+  msg->topic = topic;
+  msg->scope = st.scope;
+  msg->agg_kind = st.agg_kind;
+  msg->children.reserve(need);
+  for (std::size_t i = 0; i < need && i < movable.size(); ++i) {
+    msg->children.push_back(movable[i]->ref);
+  }
+  st.split_pending = true;
+  st.split_requested_at = now;
+  ++splits_;
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.splits").inc();
+  node_.send_direct(*delegate, std::move(msg), kAppName);
+}
+
+void Scribe::handle_delegate(const NodeRef& from, DelegateMsg& msg) {
+  auto* existing = find_topic(msg.topic);
+  // Acceptable only when provably acyclic: we have no tree state for the
+  // topic (we attach under the delegator), or the delegator is already our
+  // parent.  Anything else — we are the root, or a child of someone else —
+  // could fold an ancestor under its own descendant.
+  const bool acceptable =
+      existing == nullptr ||
+      (!existing->root && existing->parent && existing->parent->id == from.id);
+  if (!acceptable) {
+    auto nack = std::make_unique<DelegateNackMsg>();
+    nack->topic = msg.topic;
+    node_.send_direct(from, std::move(nack), kAppName);
+    return;
+  }
+  auto& st = topic_state(msg.topic);
+  st.scope = msg.scope;
+  st.agg_kind = msg.agg_kind;
+  if (!st.parent && !st.root) {
+    st.parent = from;
+    st.last_parent_beat = node_.network().engine().now();
+  }
+  auto ack = std::make_unique<DelegateAckMsg>();
+  ack->topic = msg.topic;
+  for (const auto& child : msg.children) {
+    if (child.id == node_.self().id) continue;
+    add_child(msg.topic, st, child);
+    ack->accepted.push_back(child.id);
+    auto reparent = std::make_unique<ReparentMsg>();
+    reparent->topic = msg.topic;
+    reparent->old_parent = from.id;
+    node_.send_direct(child, std::move(reparent), kAppName);
+  }
+  node_.send_direct(from, std::move(ack), kAppName);
+}
+
+void Scribe::handle_delegate_ack(const NodeRef& from, const DelegateAckMsg& msg) {
+  auto* st = find_topic(msg.topic);
+  if (st == nullptr) return;
+  st->split_pending = false;
+  st->split_declined.clear();
+  std::size_t moved = 0;
+  for (const auto& id : msg.accepted) {
+    moved += std::erase_if(st->children,
+                           [&](const ChildState& c) { return c.ref.id == id; });
+  }
+  delegations_ += moved;
+  if (auto* m = fed_metrics(node_)) m->counter("scribe.delegations").inc(moved);
+  // Link the delegate as the surplus children's new upstream; if it is
+  // still over the cap afterwards, add_child's trigger splits again.
+  add_child(msg.topic, *st, from);
+  maybe_split(msg.topic, *st);
+}
+
+void Scribe::handle_reparent(const NodeRef& from, const ReparentMsg& msg) {
+  auto* st = find_topic(msg.topic);
+  if (st != nullptr && !st->root && st->parent && st->parent->id == msg.old_parent) {
+    st->parent = from;
+    st->last_parent_beat = node_.network().engine().now();
+    return;
+  }
+  // Stale delegation (we already re-attached elsewhere): decline so the
+  // delegate drops the phantom child instead of double-counting us.
+  auto leave = std::make_unique<LeaveMsg>();
+  leave->topic = msg.topic;
+  leave->child = node_.self().id;
+  node_.send_direct(from, std::move(leave), kAppName);
 }
 
 void Scribe::on_probe_deadline(std::uint64_t request_id) {
   auto it = size_waiters_.find(request_id);
   if (it == size_waiters_.end()) return;
-  auto cb = std::move(it->second.callback);
+  auto& waiter = it->second;
+  if (waiter.via_root_set) {
+    // The direct probe died (roster member crashed between advertisements).
+    // Drop the stale roster and retry once through routing — Pastry steers
+    // around failed nodes, so the routed probe reaches a live root.
+    waiter.via_root_set = false;
+    root_sets_.erase(waiter.topic);
+    if (config_.anycast_timeout > util::SimTime::zero()) {
+      waiter.deadline = node_.network().engine().schedule(
+          config_.anycast_timeout, [this, request_id]() { on_probe_deadline(request_id); });
+    }
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.rootset_probe_retries").inc();
+    route_size_probe(waiter.topic, request_id, waiter.scope);
+    return;
+  }
+  auto cb = std::move(waiter.callback);
   size_waiters_.erase(it);
   if (auto* m = fed_metrics(node_)) m->counter("scribe.size_probe_timeouts").inc();
   cb(SizeInfo{});  // value 0: the caller treats an unreachable tree as empty
@@ -678,10 +994,15 @@ void Scribe::heartbeat_round() {
   for (const auto& topic : emptied) maybe_prune(topic);
   // Replicas stop refreshing when their root died (promotion consumes
   // them) or when this node fell out of the root's leaf set; either way
-  // a copy several staleness windows old is garbage.
-  std::erase_if(replicas_, [&](const auto& entry) {
-    return now - entry.second.received_at > config_.max_staleness * std::int64_t{4};
-  });
+  // a copy several staleness windows old is garbage.  With staleness
+  // disabled (zero) the retention window would also be zero and every
+  // replica would be erased each round, silently breaking failover
+  // promotion — keep copies indefinitely in that case.
+  if (config_.max_staleness > util::SimTime::zero()) {
+    std::erase_if(replicas_, [&](const auto& entry) {
+      return now - entry.second.received_at > config_.max_staleness * std::int64_t{4};
+    });
+  }
 }
 
 void Scribe::check_parents() {
@@ -781,6 +1102,12 @@ void Scribe::deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int /*h
     reply->epoch = info.epoch;
     reply->stale = info.stale;
     reply->age = info.age;
+    if (config_.root_set > 0) {
+      if (auto* st = find_topic(probe->topic); st != nullptr && st->root) {
+        reply->root_set.push_back(node_.self());
+        for (const auto& s : st->serve_set) reply->root_set.push_back(s);
+      }
+    }
     node_.send_direct(probe->originator, std::move(reply), kAppName);
     return;
   }
@@ -858,23 +1185,85 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
     }
     return;
   }
-  if (auto* reply = dynamic_cast<SizeReplyMsg*>(&msg)) {
-    auto it = size_waiters_.find(reply->request_id);
-    if (it != size_waiters_.end()) {
-      auto waiter = std::move(it->second);
-      size_waiters_.erase(it);
-      waiter.deadline.cancel();
-      SizeInfo info;
-      info.value = reply->size;
-      info.epoch = reply->epoch;
-      info.stale = reply->stale;
-      info.age = reply->age;
-      waiter.callback(info);
+  if (auto* probe = dynamic_cast<SizeProbeMsg*>(&msg)) {
+    // Direct root-set probe (originator-side fan-out).  Answer as the
+    // root, as a serving replica holder, or decline so the originator
+    // drops its roster and falls back to a routed probe.
+    if (auto* st = find_topic(probe->topic); st != nullptr && st->root) {
+      const auto info = probe_answer(probe->topic, *st);
+      auto reply = std::make_unique<SizeReplyMsg>();
+      reply->topic = probe->topic;
+      reply->request_id = probe->request_id;
+      reply->size = info.value;
+      reply->epoch = info.epoch;
+      reply->stale = info.stale;
+      reply->age = info.age;
+      if (config_.root_set > 0) {
+        reply->root_set.push_back(node_.self());
+        for (const auto& s : st->serve_set) reply->root_set.push_back(s);
+      }
+      node_.send_direct(probe->originator, std::move(reply), kAppName);
+      return;
     }
+    if (auto info = replica_answer(probe->topic)) {
+      answer_probe_from_replica(*probe, *info);
+      return;
+    }
+    auto reply = std::make_unique<SizeReplyMsg>();
+    reply->topic = probe->topic;
+    reply->request_id = probe->request_id;
+    reply->declined = true;
+    node_.send_direct(probe->originator, std::move(reply), kAppName);
+    return;
+  }
+  if (auto* reply = dynamic_cast<SizeReplyMsg*>(&msg)) {
+    if (!reply->root_set.empty()) {
+      learn_root_set(reply->topic, reply->root_set, reply->epoch);
+    }
+    auto it = size_waiters_.find(reply->request_id);
+    if (it == size_waiters_.end()) return;
+    if (reply->declined) {
+      // The fanned-out member can no longer serve: forget the roster and
+      // fall back to routing, under the same waiter (and deadline).
+      root_sets_.erase(reply->topic);
+      it->second.via_root_set = false;
+      route_size_probe(it->second.topic, reply->request_id, it->second.scope);
+      return;
+    }
+    auto waiter = std::move(it->second);
+    size_waiters_.erase(it);
+    waiter.deadline.cancel();
+    SizeInfo info;
+    info.value = reply->size;
+    info.epoch = reply->epoch;
+    info.stale = reply->stale;
+    info.age = reply->age;
+    info.from_root_set = reply->from_root_set;
+    waiter.callback(info);
     return;
   }
   if (auto* replica = dynamic_cast<RootReplicaMsg*>(&msg)) {
     handle_replica(*replica);
+    return;
+  }
+  if (auto* delegate = dynamic_cast<DelegateMsg*>(&msg)) {
+    handle_delegate(from, *delegate);
+    return;
+  }
+  if (auto* dack = dynamic_cast<DelegateAckMsg*>(&msg)) {
+    handle_delegate_ack(from, *dack);
+    return;
+  }
+  if (auto* dnack = dynamic_cast<DelegateNackMsg*>(&msg)) {
+    if (auto* st = find_topic(dnack->topic)) {
+      st->split_pending = false;
+      st->split_declined.push_back(from.id);
+      maybe_split(dnack->topic, *st);  // retry with the next candidate
+    }
+    return;
+  }
+  if (auto* reparent = dynamic_cast<ReparentMsg*>(&msg)) {
+    handle_reparent(from, *reparent);
     return;
   }
   RBAY_WARN("scribe", "unhandled direct message " << msg.type_name());

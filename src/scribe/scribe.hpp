@@ -64,6 +64,15 @@ struct ScribeConfig {
   /// (an expired anycast is retried once from the entry node, then
   /// completed with a miss).
   util::SimTime anycast_timeout = util::SimTime::zero();
+  /// Hot-tree load balancing: maximum children a tree node carries before
+  /// it delegates the surplus to a leaf-set pick (D3-Tree style weight
+  /// balancing).  Zero disables splitting.
+  int fan_in_cap = 0;
+  /// Root-set rotation: number of serving replica holders a root keeps
+  /// besides itself.  Serving holders answer size probes from their
+  /// replicated snapshot (staleness-bounded) and accept anycast entries,
+  /// spreading a hot root's read load.  Zero disables rotation.
+  int root_set = 0;
 };
 
 class Scribe final : public pastry::PastryApp {
@@ -112,6 +121,9 @@ class Scribe final : public pastry::PastryApp {
     std::uint64_t epoch = 0;
     bool stale = false;
     util::SimTime age = util::SimTime::zero();
+    /// Served by a non-root member of the topic's root set (always a
+    /// staleness-bounded degraded read).
+    bool from_root_set = false;
   };
 
   /// Asks the topic root for its aggregate (Fig. 7 steps 1-2).
@@ -146,6 +158,14 @@ class Scribe final : public pastry::PastryApp {
   [[nodiscard]] std::uint64_t root_epoch_of(const TopicId& topic) const;
   [[nodiscard]] bool is_degraded(const TopicId& topic) const;
 
+  /// Hot-tree load-balancing introspection (scenario expects, tests).
+  /// splits = overload events that initiated a delegation; delegations =
+  /// children successfully re-parented to a delegate; rotations = size
+  /// probes answered by a non-root root-set member on this node.
+  [[nodiscard]] std::uint64_t split_count() const { return splits_; }
+  [[nodiscard]] std::uint64_t delegation_count() const { return delegations_; }
+  [[nodiscard]] std::uint64_t rotation_count() const { return rotations_; }
+
   /// Replicated rendezvous state held on behalf of a (possibly failed)
   /// tree root.
   struct ReplicaState {
@@ -157,6 +177,11 @@ class Scribe final : public pastry::PastryApp {
     util::SimTime received_at = util::SimTime::zero();
     std::vector<NodeRef> children;
     std::vector<std::string> holders;
+    /// Serving member of the topic's root set (may answer probes and
+    /// accept anycast entries from this snapshot while it is fresh).
+    bool serve = false;
+    /// Advertised root-set roster (root first) as of this snapshot.
+    std::vector<NodeRef> root_set;
   };
   [[nodiscard]] const ReplicaState* replica_of(const TopicId& topic) const;
 
@@ -198,6 +223,17 @@ class Scribe final : public pastry::PastryApp {
     bool degraded = false;
     double stale_value = 0.0;
     util::SimTime stale_at = util::SimTime::zero();
+    /// Fan-in split in flight: a DelegateMsg is out and unanswered.  The
+    /// timestamp lets periodic rounds retry a delegation lost to a crash.
+    bool split_pending = false;
+    util::SimTime split_requested_at = util::SimTime::zero();
+    /// Candidates that NACKed the current overload episode (skipped until
+    /// the next periodic retry clears the list).
+    std::vector<pastry::NodeId> split_declined;
+    /// While root with root_set > 0: the serving holders picked in the
+    /// last replication round (advertised, with self first, as the root
+    /// set).
+    std::vector<NodeRef> serve_set;
   };
 
   struct AnycastWaiter {
@@ -212,13 +248,31 @@ class Scribe final : public pastry::PastryApp {
   struct SizeWaiter {
     SizeCallback callback;
     sim::Timer deadline;
+    /// Kept so a declined direct probe (root-set fan-out hitting a node
+    /// whose replica expired) can fall back to a routed probe in place.
+    TopicId topic;
+    pastry::Scope scope = pastry::Scope::Global;
+    /// True while the probe is in flight on the direct root-set path: a
+    /// deadline then drops the (possibly dead-member) roster and retries
+    /// once via routing instead of answering empty.
+    bool via_root_set = false;
+  };
+
+  /// Originator-side cache of a topic's advertised root set: later size
+  /// probes are fanned directly (round-robin) across the set instead of
+  /// all routing to the rendezvous root.
+  struct RootSetEntry {
+    std::vector<NodeRef> members;
+    std::uint64_t epoch = 0;
+    util::SimTime learned_at = util::SimTime::zero();
+    std::size_t next = 0;
   };
 
   TopicState& topic_state(const TopicId& topic);
   [[nodiscard]] const TopicState* find_topic(const TopicId& topic) const;
   [[nodiscard]] TopicState* find_topic(const TopicId& topic);
 
-  void add_child(TopicState& st, const NodeRef& child);
+  void add_child(const TopicId& topic, TopicState& st, const NodeRef& child);
   void handle_join(JoinMsg& join, bool at_root);
   void handle_multicast_down(const TopicId& topic, const std::string& data);
   void continue_anycast(std::unique_ptr<AnycastMsg> msg);
@@ -245,6 +299,18 @@ class Scribe final : public pastry::PastryApp {
   void complete_anycast(std::uint64_t request_id, const TopicId& topic, bool satisfied,
                         int members_visited, AnycastPayload& payload);
   [[nodiscard]] SizeInfo probe_answer(const TopicId& topic, TopicState& st);
+  void maybe_split(const TopicId& topic, TopicState& st);
+  void handle_delegate(const NodeRef& from, DelegateMsg& msg);
+  void handle_delegate_ack(const NodeRef& from, const DelegateAckMsg& msg);
+  void handle_reparent(const NodeRef& from, const ReparentMsg& msg);
+  /// Serving replica answer for a direct/intercepted size probe; nullopt
+  /// when this node cannot serve (no fresh serving replica).
+  [[nodiscard]] std::optional<SizeInfo> replica_answer(const TopicId& topic);
+  void answer_probe_from_replica(const SizeProbeMsg& probe, const SizeInfo& info);
+  void learn_root_set(const TopicId& topic, const std::vector<NodeRef>& members,
+                      std::uint64_t epoch);
+  void route_size_probe(const TopicId& topic, std::uint64_t request_id,
+                        pastry::Scope scope);
 
   pastry::PastryNode& node_;
   ScribeConfig config_;
@@ -254,11 +320,15 @@ class Scribe final : public pastry::PastryApp {
   /// successors (whose replicas never regress) reject every new snapshot.
   std::unordered_map<TopicId, std::uint64_t, util::U128Hash> retired_epochs_;
   std::unordered_map<TopicId, ReplicaState, util::U128Hash> replicas_;
+  std::unordered_map<TopicId, RootSetEntry, util::U128Hash> root_sets_;
   std::unordered_map<std::uint64_t, AnycastWaiter> anycast_waiters_;
   std::unordered_map<std::uint64_t, SizeWaiter> size_waiters_;
   ReservationReporter reservation_reporter_;
   OrphanHandler orphan_handler_;
   std::uint64_t anycast_orphans_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t delegations_ = 0;
+  std::uint64_t rotations_ = 0;
   std::uint64_t next_request_id_ = 1;
   sim::Timer agg_timer_;
   sim::Timer beat_timer_;

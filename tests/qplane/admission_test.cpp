@@ -5,6 +5,7 @@
 // half the seeds use exponential service, half deterministic).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,45 @@ TEST(Admission, WindowFillsThenQueuesThenSheds) {
   EXPECT_EQ(ac.inflight(), 0u);
   EXPECT_EQ(ac.admitted_total(), 4u);
   EXPECT_EQ(ac.queued_total(), 2u);
+}
+
+TEST(Admission, SynchronousCompletionsDrainWithoutRecursion) {
+  // Regression: a queued query whose `start` completes synchronously (a
+  // cache-served probe) re-enters release() while the hand-off frame is
+  // still live.  The old implementation ran the next hand-off from inside
+  // the nested frame — one stack frame per queued query, with slot
+  // bookkeeping interleaved across frames.  The drain loop must keep the
+  // nesting depth at one, start queued queries in FIFO order, and leave
+  // the accounting exact.
+  AdmissionController ac(1, 8);
+  std::vector<int> started;
+  int depth = 0;
+  int max_depth = 0;
+  auto sync_query = [&](int id) {
+    return [&, id] {
+      ++depth;
+      max_depth = std::max(max_depth, depth);
+      started.push_back(id);
+      ac.release();  // completes synchronously, inside the hand-off
+      --depth;
+    };
+  };
+
+  EXPECT_EQ(ac.submit([] {}), Verdict::Admit);  // occupies the window
+  EXPECT_EQ(ac.submit(sync_query(1)), Verdict::Queue);
+  EXPECT_EQ(ac.submit(sync_query(2)), Verdict::Queue);
+  EXPECT_EQ(ac.submit(sync_query(3)), Verdict::Queue);
+  EXPECT_EQ(ac.inflight(), 1u);
+  EXPECT_EQ(ac.queued(), 3u);
+
+  ac.release();  // frees the slot: the whole backlog drains from here
+
+  EXPECT_EQ(started, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(max_depth, 1) << "hand-offs must not nest";
+  EXPECT_EQ(ac.inflight(), 0u);
+  EXPECT_EQ(ac.queued(), 0u);
+  EXPECT_EQ(ac.admitted_total(), 4u);
+  EXPECT_FALSE(ac.would_shed());
 }
 
 TEST(Admission, ZeroBacklogShedsAtTheWindow) {

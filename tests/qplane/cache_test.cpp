@@ -78,6 +78,34 @@ TEST(AnswerCache, DegradedStoreInvalidatesInsteadOfCaching) {
   EXPECT_FALSE(cache.lookup(topic, SimTime::millis(60)).has_value());
 }
 
+TEST(AnswerCache, LowerEpochStoreIsRejectedInsteadOfRollingBack) {
+  // Regression: a late-arriving fresh answer from an older replication
+  // epoch (slow probe overtaken by a newer round, or a pre-rotation answer
+  // landing after the root set advanced) used to overwrite the newer
+  // entry, rolling the cache back in time.
+  AnswerCache cache(SimTime::millis(300));
+  const auto topic = pastry::tree_id("GPU", "admin");
+  cache.store(topic, fresh_info(9.0, 5), SimTime::zero());
+
+  cache.store(topic, fresh_info(7.0, 3), SimTime::millis(10));  // stragglers
+  cache.store(topic, fresh_info(6.0, 4), SimTime::millis(20));
+  EXPECT_EQ(cache.epoch_rejects(), 2u);
+
+  const auto hit = cache.lookup(topic, SimTime::millis(50));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 9.0) << "the newer-epoch entry must survive stragglers";
+  EXPECT_EQ(hit->epoch, 5u);
+
+  // Same or newer epochs still refresh normally.
+  cache.store(topic, fresh_info(10.0, 5), SimTime::millis(60));
+  cache.store(topic, fresh_info(11.0, 6), SimTime::millis(70));
+  EXPECT_EQ(cache.epoch_rejects(), 2u);
+  const auto fresh = cache.lookup(topic, SimTime::millis(80));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->value, 11.0);
+  EXPECT_EQ(fresh->epoch, 6u);
+}
+
 TEST(AnswerCacheIntegration, HitInsideTtlThenFreshAfterExpiry) {
   core::ClusterConfig config;
   config.topology = net::Topology::single_site();

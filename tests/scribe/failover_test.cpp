@@ -217,6 +217,32 @@ TEST(Failover, WithoutTimeoutsALostWalkStillLeaksItsWaiter) {
   EXPECT_EQ(so.scribes[entry]->anycast_waiter_count(), 1u);
 }
 
+TEST(Failover, ZeroStalenessBoundStillRetainsReplicas) {
+  // Regression: replica GC retained entries for max_staleness * 4, so a
+  // zero staleness bound (degraded reads disabled) made every heartbeat
+  // round erase every replica — a root crash then lost the tree state
+  // replication had faithfully delivered.
+  auto cfg = failover_config();
+  cfg.max_staleness = SimTime::zero();
+  ScribeOverlay so{24, net::Topology::single_site(), cfg};
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  so.subscribe_all(topic);
+  so.engine.run_for(SimTime::seconds(2));  // many heartbeat rounds
+
+  const auto root = so.overlay.root_of(topic);
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < so.overlay.size(); ++i) {
+    if (i != root && so.scribes[i]->replica_of(topic) != nullptr) ++holders;
+  }
+  EXPECT_GE(holders, 1u) << "heartbeat GC must not erase replicas when the bound is zero";
+
+  // And the failover they exist for still works.
+  so.overlay.fail_node(root);
+  so.engine.run();
+  EXPECT_NE(live_root(so, topic), SIZE_MAX)
+      << "a replica holder must still be able to promote";
+}
+
 TEST(Failover, RebuiltTreeResumesItsReplicationEpoch) {
   // Tearing a tree down (all members leave) and rebuilding it must not
   // restart the root's replication epoch at zero: successors keep the old

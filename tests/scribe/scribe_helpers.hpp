@@ -71,18 +71,19 @@ struct ScribeOverlay {
     engine.run();
   }
 
-  /// Verifies the tree is consistent: every subscriber has a path of
-  /// parent links ending at the topic root.
+  /// Verifies the tree is consistent: every live subscriber has a path of
+  /// live parent links ending at the topic root.
   [[nodiscard]] bool tree_is_consistent(const TopicId& topic) const {
     const auto root = overlay.root_of(topic);
     for (std::size_t i = 0; i < overlay.size(); ++i) {
-      if (!scribes[i]->subscribed(topic)) continue;
+      if (overlay.is_failed(i) || !scribes[i]->subscribed(topic)) continue;
       std::size_t at = i;
       int steps = 0;
       while (at != root) {
         const auto parent = scribes[at]->parent_of(topic);
         if (!parent) return false;
         at = overlay.index_of(parent->id);
+        if (overlay.is_failed(at)) return false;
         if (++steps > 64) return false;
       }
     }

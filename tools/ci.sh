@@ -106,3 +106,38 @@ if [ -n "$PREV_QPS" ] && [ -n "$NEW_QPS" ]; then
   fi
   echo "throughput trend ok: sustained ${NEW_QPS} qps (previous ${PREV_QPS})"
 fi
+
+# Hot-tree balance gate (docs/LOAD_BALANCING.md): the Zipf series of the
+# Fig. 8b bench must show the balancer cutting the hottest node's
+# per-query forward share at least 2x versus the uncapped run (the bench
+# itself already fails if any answer differs between the two), and the
+# balanced share must never regress more than 10% against the previously
+# archived copy.
+PREV_HOT=""
+if [ -f build-ci/artifacts/BENCH_fig8b.json ]; then
+  PREV_HOT="$(sed -n 's/.*"zipf_capped_hottest_bp":\([0-9][0-9]*\).*/\1/p' \
+      build-ci/artifacts/BENCH_fig8b.json | head -n 1)"
+fi
+build-ci/bench/bench_fig8b_scale_queries --small --json build-ci/artifacts/BENCH_fig8b.json
+UNCAPPED_HOT="$(sed -n 's/.*"zipf_uncapped_hottest_bp":\([0-9][0-9]*\).*/\1/p' \
+    build-ci/artifacts/BENCH_fig8b.json | head -n 1)"
+CAPPED_HOT="$(sed -n 's/.*"zipf_capped_hottest_bp":\([0-9][0-9]*\).*/\1/p' \
+    build-ci/artifacts/BENCH_fig8b.json | head -n 1)"
+if [ -z "$UNCAPPED_HOT" ] || [ -z "$CAPPED_HOT" ]; then
+  echo "hot-tree gate: BENCH_fig8b.json missing zipf share fields" >&2
+  exit 1
+fi
+if [ $((CAPPED_HOT * 2)) -gt "$UNCAPPED_HOT" ]; then
+  echo "hot-tree balance regression: capped hottest share ${CAPPED_HOT}bp not" \
+       "2x under uncapped ${UNCAPPED_HOT}bp" >&2
+  exit 1
+fi
+if [ -n "$PREV_HOT" ]; then
+  CEIL=$((PREV_HOT * 110 / 100))
+  if [ "$CAPPED_HOT" -gt "$CEIL" ]; then
+    echo "hot-tree balance regression: capped hottest share ${CAPPED_HOT}bp > 110% of" \
+         "previous ${PREV_HOT}bp" >&2
+    exit 1
+  fi
+fi
+echo "hot-tree balance ok: hottest share ${CAPPED_HOT}bp capped vs ${UNCAPPED_HOT}bp uncapped${PREV_HOT:+ (previous ${PREV_HOT}bp)}"

@@ -178,6 +178,8 @@ class Runner {
     config.node.query.qplane.admission_queue = admission_queue_;
     config.node.query.qplane.cache_ttl = cache_ttl_;
     config.node.query.qplane.batch_probes = batch_probes_;
+    config.node.scribe.fan_in_cap = fan_in_cap_;
+    config.node.scribe.root_set = root_set_;
     config.metrics = options_.metrics || options_.trace;
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
@@ -212,6 +214,8 @@ class Runner {
     if (kw == "admission-window") return do_admission_window(d);
     if (kw == "cache-ttl") return set_ms(d, cache_ttl_);
     if (kw == "batch-probes") return do_batch_probes(d);
+    if (kw == "fan-in-cap") return set_int(d, fan_in_cap_);
+    if (kw == "root-set") return set_int(d, root_set_);
     if (kw == "tree") return do_tree(d);
     if (kw == "tree-exists") return do_tree_exists(d);
     if (kw == "taxonomy-major") return do_taxonomy_major(d);
@@ -686,14 +690,17 @@ class Runner {
           report.merge(fault::check_reservations(*cluster_));
         } else if (which == "replicas") {
           report.merge(fault::check_replicas(*cluster_));
+        } else if (which == "fan-in") {
+          report.merge(fault::check_fan_in(*cluster_));
         } else if (which == "waiters") {
           report.merge(fault::check_waiters(*cluster_));
         } else if (which == "pastry") {
           report.merge(fault::check_pastry(cluster_->overlay()));
         } else {
           return error_at(
-              d.line, "unknown checker '" + which +
-                          "' (trees|children|aggregates|reservations|replicas|waiters|pastry)");
+              d.line,
+              "unknown checker '" + which +
+                  "' (trees|children|aggregates|reservations|replicas|fan-in|waiters|pastry)");
         }
       }
     }
@@ -820,6 +827,23 @@ class Runner {
       }
       return {};
     }
+    if (what == "split" || what == "delegated") {
+      // Hot-tree load balancing happened somewhere in the federation: at
+      // least one live node initiated a split ("split") or successfully
+      // re-parented children to a delegate ("delegated").
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < cluster_->size(); ++i) {
+        if (cluster_->overlay().is_failed(i)) continue;
+        auto& sc = cluster_->node(i).scribe();
+        total += (what == "split") ? sc.split_count() : sc.delegation_count();
+      }
+      if (total == 0) {
+        return error_at(d.line, "expected at least one " +
+                                    std::string(what == "split" ? "tree split" : "delegation") +
+                                    ", none happened");
+      }
+      return {};
+    }
     if (what == "storm-staleness-le" && d.args.size() == 2) {
       const auto bound = util::SimTime::millis(std::stod(d.args[1]));
       for (std::size_t i = 0; i < storm_outcomes_.size(); ++i) {
@@ -862,6 +886,8 @@ class Runner {
   int admission_queue_ = 0;
   util::SimTime cache_ttl_ = util::SimTime::zero();
   bool batch_probes_ = false;
+  int fan_in_cap_ = 0;
+  int root_set_ = 0;
   std::optional<std::size_t> last_crashed_root_;
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
