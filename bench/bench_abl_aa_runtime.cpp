@@ -27,6 +27,7 @@ double wall_us(const std::function<void()>& fn, int reps) {
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   bench::print_header("Ablation 3", "AA handler invocation cost and sandbox budget");
+  bench::warn_no_sim(args);
   const int reps = args.small ? 200 : 2000;
 
   struct Case {

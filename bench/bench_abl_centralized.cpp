@@ -37,8 +37,13 @@ int main(int argc, char** argv) {
       if (done) gq.add((gang_engine.now() - t0).as_millis());
     }
 
-    // --- RBAY: same scale; aggregation runs for the same 5 seconds.
-    bench::EvalFederation fed{per_site, args.seed, /*with_password=*/false};
+    // --- RBAY: same scale; aggregation runs for the same 5 seconds.  The
+    // obs flags instrument the largest sweep point's RBAY federation.
+    const bool instrumented = per_site == members_per_site.back();
+    bench::EvalFederation fed{per_site, args.seed, /*with_password=*/false,
+                              /*metrics=*/instrumented && args.wants_metrics()};
+    const auto timeseries =
+        instrumented ? bench::start_timeseries(fed.cluster, args) : nullptr;
     fed.cluster.network().reset_stats();
     fed.cluster.run_for(util::SimTime::seconds(5));
     std::uint64_t hottest = 0;
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
       rq.add(outcome.latency().as_millis());
     }
 
+    if (instrumented) bench::dump_observability(fed.cluster, timeseries.get(), args);
     std::printf("%12zu | %13.2f MB %13.2f MB | %11.1f ms %11.1f ms\n", per_site * 8,
                 static_cast<double>(central_bytes) / 1e6, static_cast<double>(hottest) / 1e6,
                 gq.mean(), rq.mean());

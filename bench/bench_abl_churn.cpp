@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
     config.node.scribe.heartbeat_interval = util::SimTime::millis(500);
     config.node.scribe.heartbeat_misses = 3;
     config.node.query.max_attempts = 3;
+    // The obs flags instrument the harshest (last) kill fraction.
+    const bool instrumented = kill_fraction == 0.30;
+    config.metrics = instrumented && args.wants_metrics();
 
     // A thin EvalFederation equivalent on one site.
     core::RBayCluster cluster{config};
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       (void)cluster.node(i).post("Matlab", "9.0");
     }
     cluster.finalize();
+    const auto timeseries =
+        instrumented ? bench::start_timeseries(cluster, args) : nullptr;
     cluster.run_for(util::SimTime::seconds(3));
     const auto& spec = cluster.tree_specs()[0];
 
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
       }
     }
     const int ok_after = run_queries(queries);
+    if (instrumented) bench::dump_observability(cluster, timeseries.get(), args);
 
     std::printf("%7.0f%% %12.1f s %15d/%-2d %15d/%-2d %16s\n", kill_fraction * 100,
                 repair_seconds, ok_before, queries, ok_after, queries,

@@ -23,7 +23,10 @@ struct SchemeResult {
   bool satisfied = false;
 };
 
-SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed) {
+/// `obs_args` non-null instruments this scheme with the uniform
+/// observability exports (the hybrid run — the scheme the paper ships).
+SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed,
+                        const bench::Args* obs_args = nullptr) {
   const std::vector<std::string> brands = {"Intel", "AMD"};
   const std::vector<std::string> models = {"i5", "i7", "Xeon", "Ryzen5", "Ryzen7", "Epyc"};
   const std::vector<std::string> cores = {"2", "4", "8", "16"};
@@ -32,6 +35,7 @@ SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed) {
   config.topology = net::Topology::uniform(2, 0.5, 80.0);
   config.seed = seed;
   config.node.scribe.aggregation_interval = util::SimTime::millis(250);
+  config.metrics = obs_args != nullptr && obs_args->wants_metrics();
   core::RBayCluster cluster{config};
 
   if (hybrid) {
@@ -73,6 +77,8 @@ SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed) {
   }
   cluster.network().reset_stats();
   cluster.finalize();
+  const auto timeseries =
+      obs_args != nullptr ? bench::start_timeseries(cluster, *obs_args) : nullptr;
   cluster.run_for(util::SimTime::seconds(3));
 
   SchemeResult result;
@@ -94,6 +100,9 @@ SchemeResult run_scheme(bool hybrid, std::size_t per_site, std::uint64_t seed) {
   cluster.run();
   result.query_ms = outcome.latency().as_millis();
   result.satisfied = outcome.satisfied;
+  if (obs_args != nullptr) {
+    bench::dump_observability(cluster, timeseries.get(), *obs_args);
+  }
   return result;
 }
 
@@ -105,7 +114,7 @@ int main(int argc, char** argv) {
 
   const std::size_t per_site = args.small ? 30 : 100;
   const auto flat = run_scheme(false, per_site, args.seed);
-  const auto hybrid = run_scheme(true, per_site, args.seed);
+  const auto hybrid = run_scheme(true, per_site, args.seed, &args);
 
   std::printf("%-26s %14s %14s\n", "", "flat", "hybrid");
   std::printf("%-26s %14zu %14zu\n", "trees maintained", flat.trees, hybrid.trees);

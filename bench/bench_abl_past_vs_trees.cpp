@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   config.topology = net::Topology::single_site();
   config.seed = args.seed;
   config.node.scribe.aggregation_interval = util::SimTime::millis(250);
+  config.metrics = args.wants_metrics();  // obs flags watch the RBAY side
   core::RBayCluster cluster{config};
   cluster.add_tree_spec(core::TreeSpec::from_predicate(
       {"CPU_utilization", query::CompareOp::Less, store::AttributeValue{0.1}}));
@@ -89,6 +90,7 @@ function onGet(caller, payload)
 end)");
   }
   cluster.finalize();
+  const auto timeseries = bench::start_timeseries(cluster, args);
   cluster.run_for(util::SimTime::seconds(2));
   const auto rbay_reg_msgs = cluster.network().stats().messages_sent;
 
@@ -132,5 +134,6 @@ end)");
       "on predicate discovery and enforces no policy; RBAY pays modest tree\n"
       "maintenance for predicate queries + per-owner admission control — the gap\n"
       "§V.C claims over prior key-value planes.\n");
+  bench::dump_observability(cluster, timeseries.get(), args);
   return 0;
 }

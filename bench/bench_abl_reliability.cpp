@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   config.node.scribe.aggregation_interval = util::SimTime::millis(500);
   config.node.scribe.heartbeat_interval = util::SimTime::millis(500);
   config.node.query.max_attempts = 3;
+  config.metrics = args.wants_metrics();
 
   core::RBayCluster cluster{config};
   cluster.add_tree_spec(core::TreeSpec::from_predicate(
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     (void)cluster.node(i).post("reliability", 1.0);
   }
   cluster.finalize();
+  const auto timeseries = bench::start_timeseries(cluster, args);
 
   core::ChurnConfig churn_config;
   churn_config.mean_uptime_s = 1200.0;
@@ -94,5 +96,6 @@ int main(int argc, char** argv) {
       "\nexpected shape: ranked selection picks flaky nodes far less often and its\n"
       "choices survive the lease window more — history-based prediction improves\n"
       "the quality of results, as §VI anticipates.\n");
+  bench::dump_observability(cluster, timeseries.get(), args);
   return 0;
 }

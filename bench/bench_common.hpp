@@ -8,23 +8,31 @@
 // Table II RTT matrix), so the shapes — who wins, growth rates, plateaus —
 // are comparable to the paper even though the absolute testbed differs.
 // All benches accept `--seed N` and default to the documented workload
-// scale; `--small` shrinks the workload for smoke runs.  Benches built on
-// EvalFederation also accept `--metrics <path>` to dump the observability
-// registry's JSON snapshot ('-' = stdout) after the run.  The figure
-// benches additionally accept `--json <path>` (machine-readable result
-// summary, integer microseconds — CI archives these as BENCH_<id>.json)
-// and `--trace <path>` (Chrome trace-event export of the run's causal
-// message log).
+// scale; `--small` shrinks the workload for smoke runs.  Every bench also
+// accepts the uniform observability flags:
+//
+//   --metrics <path>     dump the registry's JSON snapshot ('-' = stdout)
+//   --trace <path>       Chrome trace-event export of the causal log
+//   --timeseries <path>  per-window health-plane time series (250 ms
+//                        windows — docs/HEALTH.md; render with rbay_top)
+//
+// Benches that sweep several configurations instrument their *last*
+// (full-scale) cluster — the one whose numbers headline the figure.  The
+// figure benches additionally accept `--json <path>` (machine-readable
+// result summary, integer microseconds — CI archives these as
+// BENCH_<id>.json).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/cluster.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 #include "util/stats.hpp"
 
 namespace rbay::bench {
@@ -32,9 +40,10 @@ namespace rbay::bench {
 struct Args {
   std::uint64_t seed = 42;
   bool small = false;
-  std::string metrics_path;  // empty = observability disabled
-  std::string json_path;     // empty = no machine-readable summary
-  std::string trace_path;    // empty = no Chrome trace export
+  std::string metrics_path;     // empty = observability disabled
+  std::string json_path;        // empty = no machine-readable summary
+  std::string trace_path;       // empty = no Chrome trace export
+  std::string timeseries_path;  // empty = no health-plane sampling
 
   static Args parse(int argc, char** argv) {
     Args args;
@@ -49,14 +58,17 @@ struct Args {
         args.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         args.trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--timeseries") == 0 && i + 1 < argc) {
+        args.timeseries_path = argv[++i];
       }
     }
     return args;
   }
 
-  /// Tracing rides on the obs registry, so --trace implies metrics.
+  /// Tracing and time-series sampling ride on the obs registry, so either
+  /// flag implies metrics.
   [[nodiscard]] bool wants_metrics() const {
-    return !metrics_path.empty() || !trace_path.empty();
+    return !metrics_path.empty() || !trace_path.empty() || !timeseries_path.empty();
   }
 };
 
@@ -88,6 +100,108 @@ inline void dump_trace(core::RBayCluster& cluster, const std::string& path) {
   out << json;
   std::fprintf(stderr, "trace written to %s\n", path.c_str());
 }
+
+/// Starts the health-plane sampler on the cluster when --timeseries was
+/// given (250 ms windows — coarse enough for multi-minute bench runs).
+/// Returns nullptr when sampling is off or the cluster has no registry.
+inline std::unique_ptr<obs::TimeSeries> start_timeseries(core::RBayCluster& cluster,
+                                                         const Args& args) {
+  if (args.timeseries_path.empty() || cluster.metrics() == nullptr) return nullptr;
+  auto series = std::make_unique<obs::TimeSeries>(cluster.engine(), *cluster.metrics(),
+                                                  util::SimTime::millis(250));
+  series->start();
+  return series;
+}
+
+/// Stops the sampler, takes a final window, and writes the time-series
+/// JSON to `path` ('-' = stdout).  No-op when the sampler is null.
+inline void dump_timeseries(obs::TimeSeries* series, const std::string& path) {
+  if (series == nullptr || path.empty()) return;
+  series->stop();
+  series->sample();
+  const std::string json = series->to_json();
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::ofstream out{path};
+  out << json;
+  std::fprintf(stderr, "time series written to %s\n", path.c_str());
+}
+
+/// The uniform end-of-run export bundle: metrics snapshot, Chrome trace,
+/// and time series, each gated on its own flag.  Call once on the bench's
+/// instrumented cluster just before it is destroyed.
+inline void dump_observability(core::RBayCluster& cluster, obs::TimeSeries* series,
+                               const Args& args) {
+  dump_timeseries(series, args.timeseries_path);
+  dump_metrics(cluster, args.metrics_path);
+  dump_trace(cluster, args.trace_path);
+}
+
+/// For wall-clock-only benches with no simulation underneath (AAL
+/// interpreter cost, store memory footprints): tell the user the obs flags
+/// have nothing to observe instead of silently ignoring them.
+inline void warn_no_sim(const Args& args) {
+  if (args.wants_metrics()) {
+    std::fprintf(stderr,
+                 "note: this bench runs no simulation; "
+                 "--metrics/--trace/--timeseries produce no output\n");
+  }
+}
+
+/// Observability rig for benches that drive a raw Engine/Overlay with no
+/// RBayCluster (fig8a/fig8b's routing halves, micro-ops, Table II): owns
+/// the registry, attaches it to the engine, and starts the sampler when
+/// --timeseries was given.  Call dump() after the measured run; the rig
+/// detaches from the engine on destruction.
+class EngineObs {
+ public:
+  EngineObs(sim::Engine& engine, const Args& args) : engine_(engine), args_(args) {
+    if (!args.wants_metrics()) return;
+    registry_ = std::make_unique<obs::Registry>();
+    engine.set_metrics(registry_.get());
+    if (!args.timeseries_path.empty()) {
+      series_ = std::make_unique<obs::TimeSeries>(engine, *registry_,
+                                                  util::SimTime::millis(250));
+      series_->start();
+    }
+  }
+  EngineObs(const EngineObs&) = delete;
+  EngineObs& operator=(const EngineObs&) = delete;
+  ~EngineObs() {
+    series_.reset();
+    if (registry_ != nullptr) engine_.set_metrics(nullptr);
+  }
+
+  void dump() {
+    if (registry_ == nullptr) return;
+    dump_timeseries(series_.get(), args_.timeseries_path);
+    write(registry_->to_json(), args_.metrics_path, "metrics");
+    if (!args_.trace_path.empty()) {
+      // No cluster directory here, so site/endpoint labels fall back to
+      // the exporter's "site-N" / "ep-N" defaults.
+      write(obs::write_chrome_trace(registry_->causal_log(), {}), args_.trace_path, "trace");
+    }
+  }
+
+ private:
+  static void write(const std::string& json, const std::string& path, const char* what) {
+    if (path.empty()) return;
+    if (path == "-") {
+      std::fputs(json.c_str(), stdout);
+      return;
+    }
+    std::ofstream out{path};
+    out << json;
+    std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+  }
+
+  sim::Engine& engine_;
+  const Args args_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::TimeSeries> series_;
+};
 
 /// Machine-readable result summary for the figure benches — the file CI
 /// archives as BENCH_<id>.json.  Integer microseconds of VIRTUAL time

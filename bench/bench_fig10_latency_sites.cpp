@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
                      /*with_password=*/true, /*metrics=*/args.wants_metrics()};
   auto& cluster = fed.cluster;
+  const auto timeseries = bench::start_timeseries(cluster, args);
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 10 : 50;
 
@@ -70,8 +71,7 @@ int main(int argc, char** argv) {
       "\n(values in ms, virtual time)\n"
       "expected shape: fast local column; growth over 2..5 sites; plateau at 5-8 sites\n"
       "once the most distant region's RTT is already part of the parallel fan-out.\n");
-  bench::dump_metrics(cluster, args.metrics_path);
-  bench::dump_trace(cluster, args.trace_path);
+  bench::dump_observability(cluster, timeseries.get(), args);
   summary.dump(args.json_path);
   return 0;
 }

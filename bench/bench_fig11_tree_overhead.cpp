@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   const auto& types = bench::instance_types();
 
   sim::Engine engine{args.seed};
+  bench::EngineObs obs{engine, args};
   pastry::Overlay overlay{engine, net::Topology::ec2_eight_sites()};
   overlay.populate(per_site);
   overlay.build_static();
@@ -143,5 +144,6 @@ int main(int argc, char** argv) {
       "\nexpected shape: join latency flat and small across ALL sites (intra-site\n"
       "neighbor handshake); delivery latency stratified by admin→site RTT —\n"
       "US/EU cheap, Asia/Sao Paulo several times costlier (paper: 100 vs 200-500 ms).\n");
+  obs.dump();
   return 0;
 }

@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   std::printf("%10s %12s %12s %14s\n", "#nodes", "avg hops", "p99 hops", "log16(N) ref");
   for (const auto n : sizes) {
     sim::Engine engine{args.seed};
+    // The obs flags instrument the headline (largest) sweep point.
+    const bool instrumented = n == sizes.back();
+    bench::EngineObs obs{engine, instrumented ? args : bench::Args{}};
     pastry::Overlay overlay{engine, net::Topology::single_site()};
     for (std::size_t i = 0; i < n; ++i) overlay.create_node(0);
     overlay.build_static();
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
       overlay.node(from).route(key, std::make_unique<AtomicQuery>(), "q");
     }
     engine.run();
+    obs.dump();
 
     const double ref = std::log(static_cast<double>(n)) / std::log(16.0);
     std::printf("%10zu %12.2f %12.0f %14.2f\n", n, recorder.hop_samples.mean(),

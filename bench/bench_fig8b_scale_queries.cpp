@@ -71,7 +71,10 @@ bool zipf_member(std::size_t node, int attr) {
   return (node * 31 + static_cast<std::size_t>(attr) * 17) % 10 < 4;
 }
 
-ZipfRun run_zipf_series(std::uint64_t seed, bool balanced, bool small) {
+/// `obs_args` non-null instruments this configuration with the uniform
+/// observability exports (the balanced run — the one the figure is about).
+ZipfRun run_zipf_series(std::uint64_t seed, bool balanced, bool small,
+                        const bench::Args* obs_args = nullptr) {
   const std::size_t n = small ? 64 : 128;
   const int queries = small ? 300 : 1000;
 
@@ -85,6 +88,7 @@ ZipfRun run_zipf_series(std::uint64_t seed, bool balanced, bool small) {
     config.node.scribe.fan_in_cap = 4;
     config.node.scribe.root_set = 3;
   }
+  config.metrics = obs_args != nullptr && obs_args->wants_metrics();
   core::RBayCluster cluster{config};
   for (int k = 0; k < kZipfAttrs; ++k) {
     cluster.add_tree_spec(core::TreeSpec::from_predicate(
@@ -99,6 +103,8 @@ ZipfRun run_zipf_series(std::uint64_t seed, bool balanced, bool small) {
     }
   }
   cluster.finalize();
+  const auto timeseries =
+      obs_args != nullptr ? bench::start_timeseries(cluster, *obs_args) : nullptr;
   // Warm-up: trees settle, caps split, aggregates roll up.  A capped tree
   // re-shapes one level per episode, so its depth — and the number of
   // aggregation rounds the roll-up needs — grows with member count; the
@@ -137,6 +143,9 @@ ZipfRun run_zipf_series(std::uint64_t seed, bool balanced, bool small) {
     out.splits += cluster.node(i).scribe().split_count();
     out.delegations += cluster.node(i).scribe().delegation_count();
     out.rotations += cluster.node(i).scribe().rotation_count();
+  }
+  if (obs_args != nullptr) {
+    bench::dump_observability(cluster, timeseries.get(), *obs_args);
   }
   return out;
 }
@@ -216,7 +225,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 8b (hot trees)",
                       "Zipf-skewed size probes, balancer off vs on");
   const auto uncapped = run_zipf_series(args.seed, /*balanced=*/false, args.small);
-  const auto capped = run_zipf_series(args.seed, /*balanced=*/true, args.small);
+  const auto capped = run_zipf_series(args.seed, /*balanced=*/true, args.small, &args);
 
   if (uncapped.answers != capped.answers) {
     std::size_t at = 0;

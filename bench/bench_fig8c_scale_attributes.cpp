@@ -17,6 +17,7 @@ using namespace rbay;
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   bench::print_header("Fig. 8c", "memory vs #attributes: RBAY Active Attributes vs Past");
+  bench::warn_no_sim(args);
 
   const std::vector<std::size_t> counts = args.small
                                               ? std::vector<std::size_t>{100, 1000}

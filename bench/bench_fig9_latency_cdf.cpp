@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   EvalFederation fed{args.small ? std::size_t{40} : std::size_t{150}, args.seed,
                      /*with_password=*/true, /*metrics=*/args.wants_metrics()};
   auto& cluster = fed.cluster;
+  const auto timeseries = bench::start_timeseries(cluster, args);
   const auto& names = cluster.directory().site_names;
   const int queries = args.small ? 20 : 100;
 
@@ -73,8 +74,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: ~flat single-site CDFs; multi-site latency bounded by the RTT\n"
       "to the farthest requested site; Singapore origins shifted right vs Virginia/SP.\n");
-  bench::dump_metrics(cluster, args.metrics_path);
-  bench::dump_trace(cluster, args.trace_path);
+  bench::dump_observability(cluster, timeseries.get(), args);
   summary.dump(args.json_path);
   return 0;
 }

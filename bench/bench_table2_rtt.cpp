@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   bench::print_header("Table II", "average round-trip latency between Amazon sites");
 
   sim::Engine engine{args.seed};
+  bench::EngineObs obs{engine, args};
   net::Network network{engine, net::Topology::ec2_eight_sites()};
   const auto& topo = network.topology();
   const auto sites = topo.site_count();
@@ -81,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf("\nconfigured (paper Table II) vs measured: jitter is symmetric, so measured ≈ configured\n");
   std::printf("spot checks: Virginia-Singapore cfg=275.549 meas=%.3f | Ireland-SaoPaulo cfg=325.274 meas=%.3f\n",
               rtt[0][4].mean(), rtt[3][7].mean());
+  obs.dump();
   return 0;
 }

@@ -58,6 +58,9 @@ RunStats run_config(bool optimized, const bench::Args& args, std::size_t per_sit
                        }
                      }};
   auto& cluster = fed.cluster;
+  // Only the optimized run is exported, so only it carries the sampler.
+  const auto timeseries =
+      optimized ? bench::start_timeseries(cluster, args) : nullptr;
   const auto& names = cluster.directory().site_names;
 
   // One busy "inventory dashboard" user: a single origin concentrates the
@@ -115,8 +118,7 @@ RunStats run_config(bool optimized, const bench::Args& args, std::size_t per_sit
   stats.probe_walks = fed_metrics.counter("qplane.probe_walks").value();
   stats.probes_coalesced = fed_metrics.counter("qplane.probes_coalesced").value();
   if (optimized) {
-    bench::dump_metrics(cluster, args.metrics_path);
-    bench::dump_trace(cluster, args.trace_path);
+    bench::dump_observability(cluster, timeseries.get(), args);
   }
   return stats;
 }

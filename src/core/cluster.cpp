@@ -103,6 +103,15 @@ void RBayCluster::resubscribe_all() {
   for (auto& node : nodes_) node->reevaluate_subscriptions();
 }
 
+HealthPublisher& RBayCluster::enable_health(HealthConfig config) {
+  RBAY_REQUIRE(finalized_, "RBayCluster::enable_health: call after finalize()");
+  if (health_ == nullptr) {
+    health_ = std::make_unique<HealthPublisher>(*this, config);
+    health_->start();
+  }
+  return *health_;
+}
+
 obs::ChromeTraceLabels RBayCluster::chrome_labels() const {
   obs::ChromeTraceLabels labels;
   for (net::SiteId s = 0; s < config_.topology.site_count(); ++s) {

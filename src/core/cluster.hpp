@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/query_interface.hpp"
 #include "core/rbay_node.hpp"
 #include "obs/export_chrome.hpp"
@@ -85,6 +86,14 @@ class RBayCluster {
   /// Forces a subscription re-evaluation on every node.
   void resubscribe_all();
 
+  /// Enables the self-hosted health plane (docs/HEALTH.md): starts the
+  /// periodic rbay.health.* publisher across all live nodes.  Call after
+  /// finalize(); pair with a TreeSpec over `rbay.health.overloaded` to make
+  /// federation health queryable.
+  HealthPublisher& enable_health(HealthConfig config);
+  /// The health publisher, or nullptr when not enabled.
+  [[nodiscard]] HealthPublisher* health() { return health_.get(); }
+
  private:
   /// Overlay fail hook: releases reservations/leases held by the crashed
   /// node on every live resource (see ctor).
@@ -98,6 +107,7 @@ class RBayCluster {
   std::shared_ptr<std::vector<TreeSpec>> tree_specs_;
   std::shared_ptr<Taxonomy> taxonomy_;
   std::shared_ptr<Directory> directory_;
+  std::unique_ptr<HealthPublisher> health_;  // after nodes_: stops first
   bool finalized_ = false;
 };
 

@@ -95,6 +95,11 @@ class QueryInterface final : public pastry::PastryApp {
 
   static constexpr const char* kAppName = "rbay.query";
 
+  /// Health introspection (rbay.health.* publication, docs/HEALTH.md):
+  /// admission window state and answer-cache hit counters, read-only.
+  [[nodiscard]] const qplane::AdmissionController& admission() const { return admission_; }
+  [[nodiscard]] const qplane::AnswerCache& answer_cache() const { return answer_cache_; }
+
  private:
   struct SiteJob {
     std::string query_id;

@@ -93,6 +93,29 @@ class Scope {
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   LatencyHisto& latency(const std::string& name) { return latencies_[name]; }
 
+  /// Read-only lookup that never creates (the time-series sampler and the
+  /// scenario `expect metric` directive must observe without perturbing
+  /// the snapshot).  Returns nullptr when the metric does not exist.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const LatencyHisto* find_latency(const std::string& name) const {
+    const auto it = latencies_.find(name);
+    return it == latencies_.end() ? nullptr : &it->second;
+  }
+
+  /// Ordered read-only iteration (the time-series sampler walks these).
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, LatencyHisto>& latencies() const {
+    return latencies_;
+  }
+
   [[nodiscard]] bool empty() const {
     return counters_.empty() && gauges_.empty() && latencies_.empty();
   }
@@ -114,6 +137,9 @@ class Registry {
   Scope& fed() { return fed_; }
   Scope& site(std::uint32_t site_id) { return sites_[site_id]; }
   Scope& node(const std::string& node_key) { return nodes_[node_key]; }
+  [[nodiscard]] const Scope& fed() const { return fed_; }
+  /// Read-only view of the per-site scopes (never creates).
+  [[nodiscard]] const std::map<std::uint32_t, Scope>& sites() const { return sites_; }
   Tracer& tracer() { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return tracer_; }
 

@@ -1,0 +1,156 @@
+#pragma once
+
+// Continuous time-series telemetry over the obs::Registry (docs/HEALTH.md).
+//
+// A TimeSeries attaches to a registry + engine and samples on a sim-time
+// period: every window it records the per-window *delta* of every
+// federation/site counter, the current value of every federation gauge,
+// and the cumulative p50/p99/max of every latency histogram, into a
+// bounded ring of windows.  That turns the end-of-run snapshot into a
+// live signal — "how is the federation doing *now*?" — without waiting
+// for quiescence.
+//
+// Alert rules watch one federation metric each (counter delta per window,
+// or gauge value), smoothed by an optional EWMA, and open/close with
+// consecutive-window hysteresis.  Alert transitions are the only way the
+// sampler touches the registry: it bumps the `obs.alerts.opened` /
+// `obs.alerts.closed` counters + `obs.alerts.open` gauge and drops an
+// `alert.open:<rule>` / `alert.close:<rule>` event into the causal log.
+// A run in which no alert fires therefore leaves the registry snapshot
+// byte-identical to a run without the sampler — the non-perturbation
+// contract tests/obs/timeseries_test.cpp and the health-plane matrix
+// test pin.
+//
+// Determinism: sampling rides Engine::schedule_observer_periodic (excluded
+// from sim.* engine metrics), all values are integers in the JSON, every
+// container is ordered — same seed, same byte-identical export.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::obs {
+
+/// One threshold/EWMA alert rule over a federation-scope metric.
+struct AlertRule {
+  std::string name;        // rule id, e.g. "drops"
+  bool is_gauge = false;   // false: counter (delta per window); true: gauge (value)
+  std::string metric;      // federation metric name, e.g. "net.messages_dropped"
+  char op = '>';           // '>' or '<': fire when value <op> threshold
+  double threshold = 0.0;
+  /// EWMA smoothing factor in [0,1]: v' = alpha*sample + (1-alpha)*v.
+  /// 1.0 (default) compares the raw per-window sample.
+  double alpha = 1.0;
+  /// Consecutive firing windows before the alert opens, and consecutive
+  /// quiet windows before it closes (hysteresis; minimum 1).
+  int for_windows = 1;
+};
+
+class TimeSeries {
+ public:
+  /// Default ring capacity: enough for 2 minutes of 250 ms windows with
+  /// room to spare; older windows are dropped (and counted).
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  TimeSeries(sim::Engine& engine, Registry& registry, util::SimTime interval,
+             std::size_t capacity = kDefaultCapacity);
+  ~TimeSeries();
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Registers a rule (any time; evaluated from the next window on).
+  void add_rule(AlertRule rule);
+
+  /// Starts the periodic sampler (idempotent).
+  void start();
+  void stop();
+
+  /// Takes one window right now — the timer calls this; tests and the
+  /// scenario runner may force a final window before export.
+  void sample();
+
+  [[nodiscard]] util::SimTime interval() const { return interval_; }
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+  [[nodiscard]] std::uint64_t dropped_windows() const { return dropped_windows_; }
+  [[nodiscard]] std::size_t alerts_open() const { return open_alerts_; }
+
+  /// Structured alert transition, in firing order.
+  struct AlertEvent {
+    std::string rule;
+    bool open = false;  // false: close
+    util::SimTime at = util::SimTime::zero();
+    /// Smoothed value at the transition, scaled by 1000 (integers only).
+    std::int64_t value_milli = 0;
+  };
+  [[nodiscard]] const std::vector<AlertEvent>& alert_log() const { return alert_log_; }
+
+  /// Deterministic JSON export: {"interval_us", "windows": [...],
+  /// "alerts": [...], "alerts_open", "dropped_windows"}.  Integers only;
+  /// zero counter deltas are omitted, so idle windows stay small.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct LatencyPoint {
+    std::uint64_t count = 0;  // cumulative sample count at window end
+    std::int64_t p50_us = 0;
+    std::int64_t p99_us = 0;
+    std::int64_t max_us = 0;
+  };
+
+  struct ScopeWindow {
+    std::map<std::string, std::uint64_t> counter_deltas;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, LatencyPoint> latencies;
+
+    [[nodiscard]] bool empty() const {
+      return counter_deltas.empty() && gauges.empty() && latencies.empty();
+    }
+  };
+
+  struct Window {
+    util::SimTime at = util::SimTime::zero();
+    ScopeWindow fed;
+    std::map<std::uint32_t, ScopeWindow> sites;
+  };
+
+  struct RuleState {
+    AlertRule rule;
+    double value = 0.0;  // EWMA state
+    bool primed = false;
+    int firing_streak = 0;
+    int quiet_streak = 0;
+    bool open = false;
+  };
+
+  void capture_scope(const Scope& scope, std::map<std::string, std::uint64_t>& last,
+                     ScopeWindow& out, bool with_gauges);
+  void evaluate_rules(const Window& window);
+  void transition(RuleState& state, bool open, util::SimTime at);
+
+  sim::Engine& engine_;
+  Registry& registry_;
+  util::SimTime interval_;
+  std::size_t capacity_;
+  sim::Timer timer_;
+  bool started_ = false;
+
+  std::deque<Window> windows_;
+  std::uint64_t dropped_windows_ = 0;
+  /// Cumulative counter values at the previous window, per scope ("fed"
+  /// plus one entry per site id), for delta computation.
+  std::map<std::string, std::uint64_t> last_fed_counters_;
+  std::map<std::uint32_t, std::map<std::string, std::uint64_t>> last_site_counters_;
+
+  std::vector<RuleState> rules_;
+  std::vector<AlertEvent> alert_log_;
+  std::size_t open_alerts_ = 0;
+};
+
+}  // namespace rbay::obs

@@ -1303,4 +1303,33 @@ const Scribe::ReplicaState* Scribe::replica_of(const TopicId& topic) const {
   return it == replicas_.end() ? nullptr : &it->second;
 }
 
+std::size_t Scribe::max_fan_in() const {
+  std::size_t fan_in = 0;
+  for (const auto& [topic, st] : topics_) {
+    fan_in = std::max(fan_in, st.children.size());
+  }
+  return fan_in;
+}
+
+util::SimTime Scribe::max_replica_age(util::SimTime now) const {
+  util::SimTime age = util::SimTime::zero();
+  for (const auto& [topic, replica] : replicas_) {
+    age = std::max(age, now - replica.received_at);
+  }
+  return age;
+}
+
+util::SimTime Scribe::max_heartbeat_lag(util::SimTime now) const {
+  if (config_.heartbeat_interval <= util::SimTime::zero()) return util::SimTime::zero();
+  util::SimTime lag = util::SimTime::zero();
+  for (const auto& [topic, st] : topics_) {
+    // Only members that have heard at least one beat: a freshly joined
+    // child has nothing to lag behind yet.
+    if (!st.member || !st.parent.has_value()) continue;
+    if (st.last_parent_beat == util::SimTime::zero()) continue;
+    lag = std::max(lag, now - st.last_parent_beat);
+  }
+  return lag;
+}
+
 }  // namespace rbay::scribe

@@ -166,6 +166,16 @@ class Scribe final : public pastry::PastryApp {
   [[nodiscard]] std::uint64_t delegation_count() const { return delegations_; }
   [[nodiscard]] std::uint64_t rotation_count() const { return rotations_; }
 
+  /// Health introspection (rbay.health.* publication, docs/HEALTH.md).
+  /// Largest child fan-in across every topic this node carries state for.
+  [[nodiscard]] std::size_t max_fan_in() const;
+  /// Age of the oldest root-state replica held on this node; zero without
+  /// replicas.
+  [[nodiscard]] util::SimTime max_replica_age(util::SimTime now) const;
+  /// Longest time since a parent heartbeat, across subscribed topics with
+  /// a parent that have seen at least one beat; zero when repair is off.
+  [[nodiscard]] util::SimTime max_heartbeat_lag(util::SimTime now) const;
+
   /// Replicated rendezvous state held on behalf of a (possibly failed)
   /// tree root.
   struct ReplicaState {

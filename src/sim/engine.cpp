@@ -22,13 +22,14 @@ void Timer::cancel() {
 }
 
 void Engine::push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
-                  std::function<void()> fn) {
+                  std::function<void()> fn, bool observer) {
   if (!background) {
     ++foreground_pending_;
     flag->counts_foreground = true;
     flag->engine = this;
   }
-  queue_.push(Entry{at, next_seq_++, background, std::move(flag), std::move(fn)});
+  if (observer) ++observer_pending_;
+  queue_.push(Entry{at, next_seq_++, background, observer, std::move(flag), std::move(fn)});
 }
 
 Timer Engine::schedule(SimTime delay, std::function<void()> fn) {
@@ -52,30 +53,45 @@ Timer Engine::schedule_periodic(SimTime period, std::function<void()> fn) {
   return Timer{std::move(flag)};
 }
 
+Timer Engine::schedule_observer_periodic(SimTime period, std::function<void()> fn) {
+  RBAY_REQUIRE(period > SimTime::zero(),
+               "Engine::schedule_observer_periodic: period must be positive");
+  auto flag = std::make_shared<detail::EventFlag>();
+  push_periodic(period, flag, std::move(fn), /*observer=*/true);
+  return Timer{std::move(flag)};
+}
+
 void Engine::push_periodic(SimTime period, std::shared_ptr<detail::EventFlag> flag,
-                           std::function<void()> fn) {
+                           std::function<void()> fn, bool observer) {
   // Each firing owns its callback and hands it to the next firing; the
   // chain is linear, so cancelling (or destroying the engine) frees
   // everything.  A self-referential closure would leak as a shared_ptr
   // cycle.
   push(now_ + period, /*background=*/true, flag,
-       [this, period, flag, fn = std::move(fn)]() mutable {
+       [this, period, observer, flag, fn = std::move(fn)]() mutable {
          fn();
-         if (flag->alive) push_periodic(period, std::move(flag), std::move(fn));
-       });
+         if (flag->alive) push_periodic(period, std::move(flag), std::move(fn), observer);
+       },
+       observer);
 }
 
 void Engine::dispatch(Entry e) {
+  if (e.observer) --observer_pending_;  // popped, whether it still fires or not
   if (!e.flag->alive) return;  // cancelled: claim already released, clock untouched
   if (!e.background) {
     --foreground_pending_;
     e.flag->counts_foreground = false;
   }
   now_ = e.at;
-  ++executed_;
-  if (events_counter_ != nullptr) {
-    events_counter_->inc();
-    queue_gauge_->set(static_cast<std::int64_t>(queue_.size()));
+  // Observer events advance the clock and fire, but leave the engine's own
+  // metrics (and `executed()`) untouched: attaching the health plane must
+  // not change what the run records about itself.
+  if (!e.observer) {
+    ++executed_;
+    if (events_counter_ != nullptr) {
+      events_counter_->inc();
+      queue_gauge_->set(static_cast<std::int64_t>(queue_.size() - observer_pending_));
+    }
   }
   const bool saved = in_background_;
   in_background_ = e.background;

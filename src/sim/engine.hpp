@@ -91,6 +91,15 @@ class Engine {
   /// never keeps run() alive.  For ambient processes like churn drivers.
   Timer schedule_background(SimTime delay, std::function<void()> fn);
 
+  /// Schedules `fn` every `period` as an *observer*: a background periodic
+  /// event that is excluded from the engine's own metrics (`sim.events`,
+  /// `sim.queue_depth`).  This is how the health plane samples sim-time
+  /// state without perturbing the observed run — a same-seed run with and
+  /// without observers attached produces a byte-identical registry
+  /// snapshot, provided the observer callbacks themselves neither mutate
+  /// simulation state nor draw from the engine Rng.
+  Timer schedule_observer_periodic(SimTime period, std::function<void()> fn);
+
   /// Runs events (in timestamp order, background included) until no
   /// foreground event remains queued.  Returns events executed.
   std::size_t run();
@@ -114,6 +123,7 @@ class Engine {
     SimTime at;
     std::uint64_t seq;
     bool background = false;
+    bool observer = false;
     std::shared_ptr<detail::EventFlag> flag;
     std::function<void()> fn;
 
@@ -128,11 +138,11 @@ class Engine {
   void dispatch(Entry e);
 
   void push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
-            std::function<void()> fn);
+            std::function<void()> fn, bool observer = false);
 
   /// One firing of a periodic timer: runs `fn`, then re-pushes itself.
   void push_periodic(SimTime period, std::shared_ptr<detail::EventFlag> flag,
-                     std::function<void()> fn);
+                     std::function<void()> fn, bool observer = false);
 
   obs::Registry* metrics_ = nullptr;
   obs::Counter* events_counter_ = nullptr;
@@ -142,6 +152,9 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t foreground_pending_ = 0;
+  /// Observer events currently queued — subtracted from the depth the
+  /// `sim.queue_depth` gauge reports so observers stay invisible to it.
+  std::size_t observer_pending_ = 0;
   bool in_background_ = false;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   util::Rng rng_;

@@ -1,0 +1,155 @@
+// Health plane end to end, through the scenario runner.
+//
+// Pins two contracts from docs/HEALTH.md:
+//   * non-perturbation — a run with the time-series sampler, a quiet alert
+//     rule, and the invariant watchdog enabled produces byte-identical
+//     final registry snapshots and identical query results to the same
+//     run without them, across seeds;
+//   * self-hosting — rbay.health.* attributes published into the nodes'
+//     own stores answer federation-health COUNT queries through the
+//     ordinary 5-step protocol, and the answers match the publisher's
+//     god-view ground truth.
+
+#include "tools/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rbay::tools {
+namespace {
+
+/// The same federation run twice: `instrumented` adds the sampler, a
+/// never-firing alert rule, and the watchdog — nothing else differs.
+std::string matrix_scenario(std::uint64_t seed, bool instrumented) {
+  std::string s;
+  s += "topology uniform 3 0.5 40\n";
+  s += "seed " + std::to_string(seed) + "\n";
+  s += "aggregation 200\n";
+  s += "heartbeat 250\n";
+  if (instrumented) {
+    s += "timeseries 100\n";
+    s += "alert never counter query.satisfied > 1000000\n";
+  }
+  s += "tree GPU = true\n";
+  s += "nodes Site0 6\n";
+  s += "nodes Site1 6\n";
+  s += "nodes Site2 6\n";
+  s += "post * GPU true\n";
+  s += "finalize\n";
+  s += "run 2s\n";
+  if (instrumented) s += "watchdog 150 trees children aggregates\n";
+  s += "query Site1 SELECT COUNT FROM * WHERE GPU = true\n";
+  s += "expect satisfied\n";
+  s += "expect count 18\n";
+  s += "run 2s\n";
+  s += "query Site2 SELECT 2 FROM Site0 WHERE GPU = true\n";
+  s += "expect satisfied\n";
+  s += "release\n";
+  s += "run 1s\n";
+  return s;
+}
+
+TEST(HealthPlane, SamplerAndWatchdogDoNotPerturbTheRun) {
+  ScenarioOptions options;
+  options.metrics = true;
+  for (const std::uint64_t seed : {3ULL, 7ULL, 11ULL}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto plain = run_scenario(matrix_scenario(seed, false), options);
+    const auto watched = run_scenario(matrix_scenario(seed, true), options);
+    ASSERT_TRUE(plain.ok()) << plain.error();
+    ASSERT_TRUE(watched.ok()) << watched.error();
+
+    // Same queries, same answers, same output lines (the watched run adds
+    // only the watchdog's own zero-episode summary).
+    EXPECT_EQ(plain.value().queries, watched.value().queries);
+    EXPECT_EQ(plain.value().queries_satisfied, watched.value().queries_satisfied);
+    std::vector<std::string> watched_output;
+    for (const auto& line : watched.value().output) {
+      if (line.rfind("watchdog:", 0) == 0) {
+        EXPECT_NE(line.find("opened=0"), std::string::npos) << line;
+        continue;
+      }
+      watched_output.push_back(line);
+    }
+    EXPECT_EQ(plain.value().output, watched_output);
+
+    // The full registry snapshot — every counter, gauge, histogram, and
+    // trace entry — is byte-identical: observing the run did not touch it.
+    EXPECT_EQ(plain.value().metrics_json, watched.value().metrics_json);
+
+    // The instrumented run did actually sample.
+    EXPECT_TRUE(plain.value().timeseries_json.empty());
+    EXPECT_NE(watched.value().timeseries_json.find("\"windows\""), std::string::npos);
+  }
+}
+
+TEST(HealthPlane, HealthCountQueriesMatchGodViewGroundTruth) {
+  const auto report = run_scenario(R"(
+topology uniform 2 0.5 40
+seed 9
+aggregation 200
+heartbeat 250
+tree rbay.health.overloaded = false
+tree rbay.health.overloaded = true
+nodes Site0 6
+nodes Site1 6
+finalize
+run 2s
+health-publish 200
+run 2s
+query Site0 SELECT COUNT FROM * WHERE rbay.health.overloaded = false
+expect satisfied
+expect count 12
+expect health-count healthy
+query Site1 SELECT COUNT FROM * WHERE rbay.health.overloaded = true
+expect satisfied
+expect count 0
+expect health-count overloaded
+)");
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report.value().queries_satisfied, 2);
+}
+
+TEST(HealthPlane, OverloadThresholdZeroFlagsEveryNode) {
+  // queue-depth 0 means depth >= 0: every live node publishes
+  // overloaded = true, and the trees aggregate exactly that.
+  const auto report = run_scenario(R"(
+topology uniform 2 0.5 40
+seed 4
+aggregation 200
+heartbeat 250
+tree rbay.health.overloaded = true
+nodes Site0 5
+nodes Site1 5
+finalize
+run 2s
+health-publish 200 queue-depth 0
+run 2s
+query Site0 SELECT COUNT FROM * WHERE rbay.health.overloaded = true
+expect satisfied
+expect count 10
+expect health-count overloaded
+)");
+  ASSERT_TRUE(report.ok()) << report.error();
+}
+
+TEST(HealthPlane, HealthCountExpectRequiresAPublisher) {
+  const auto report = run_scenario(R"(
+topology single
+seed 1
+tree GPU = true
+nodes Local 3
+post * GPU true
+finalize
+run 1s
+query Local SELECT COUNT FROM * WHERE GPU = true
+expect health-count healthy
+)");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().find("health-publish"), std::string::npos) << report.error();
+}
+
+}  // namespace
+}  // namespace rbay::tools

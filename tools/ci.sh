@@ -27,6 +27,11 @@ case "$MODE" in
     ;;
 esac
 
+# Docs drift gate: every metric name registered in src/ (and every
+# rbay.health.* attribute) must appear in docs/OBSERVABILITY.md.  Static,
+# so it runs before the expensive build.
+tools/check_metric_docs.sh
+
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc 2>/dev/null || echo 4)"
 ctest --preset ci
@@ -62,6 +67,22 @@ if ! build-ci/tools/rbay_sim --metrics build-ci/artifacts/chaos_root_crash_metri
   exit 1
 fi
 
+# Health-plane gate (docs/HEALTH.md): the self-hosted health scenario —
+# rbay.health.* trees answering federation-health queries, watchdog
+# episodes opening and healing across a root crash, timeseries alert
+# rules — run under the sanitizers, with the sampled time series and its
+# rendered dashboard archived either way.
+if ! build-ci/tools/rbay_sim \
+    --timeseries build-ci/artifacts/health_watch_timeseries.json \
+    scenarios/health_watch.rbay \
+    > build-ci/artifacts/health_watch.log 2>&1; then
+  echo "health_watch scenario FAILED; transcript follows" >&2
+  cat build-ci/artifacts/health_watch.log >&2
+  exit 1
+fi
+build-ci/tools/rbay_top build-ci/artifacts/health_watch_timeseries.json \
+  > build-ci/artifacts/health_watch_top.txt
+
 # Exercise the --trace path end to end under the sanitizers, then check the
 # exported JSON against the minimal Chrome trace-event schema.
 build-ci/tools/rbay_sim --trace build-ci/artifacts/trace_smoke.json scenarios/geo_federation.rbay
@@ -86,6 +107,15 @@ if ! build-ci/tools/rbay_sim --metrics build-ci/artifacts/flash_crowd_metrics.js
   cat build-ci/artifacts/flash_crowd.log >&2
   exit 1
 fi
+
+# Fresh clones have no cached artifact dir: seed the trend gates below
+# from the committed baselines so a regression fails the very first CI
+# run too, not just the second.
+for f in BENCH_throughput.json BENCH_fig8b.json; do
+  if [ ! -f "build-ci/artifacts/$f" ] && [ -f "artifacts/$f" ]; then
+    cp "artifacts/$f" "build-ci/artifacts/$f"
+  fi
+done
 
 # Throughput trend: archive the bench summary and fail if sustained QPS
 # regressed more than 10% against the previously archived copy (kept in

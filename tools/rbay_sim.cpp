@@ -3,6 +3,9 @@
 //   rbay_sim <scenario-file>                execute and print the report
 //   rbay_sim --metrics <path> <scenario>    also dump a metrics JSON snapshot
 //   rbay_sim --trace <path> <scenario>      also export a Chrome trace (Perfetto)
+//   rbay_sim --timeseries <path> <scenario> also write the health-plane
+//                                           time-series JSON (needs a
+//                                           `timeseries` directive)
 //   rbay_sim --help                         directive reference
 //
 // Scenarios build a federation, drive virtual time, issue queries, push
@@ -20,7 +23,7 @@ namespace {
 
 constexpr const char* kHelp = R"(rbay_sim — scenario-driven RBAY federation simulator
 
-usage: rbay_sim [--metrics <path>] [--trace <path>] <scenario-file>
+usage: rbay_sim [--metrics <path>] [--trace <path>] [--timeseries <path>] <scenario-file>
 
   --metrics <path>   attach the observability registry and write its JSON
                      snapshot (counters, latency histograms, query traces)
@@ -32,6 +35,13 @@ usage: rbay_sim [--metrics <path>] [--trace <path>] <scenario-file>
                      chrome://tracing: one process per site, one thread
                      per node.  Deterministic: same scenario + seed =>
                      byte-identical file.
+  --timeseries <path> write the per-window time-series JSON recorded by the
+                     scenario's `timeseries` sampler (counter deltas, gauge
+                     values, latency quantiles, alert log) to <path>; '-'
+                     writes to stdout.  Requires a `timeseries` directive
+                     in the scenario.  Deterministic: same scenario + seed
+                     => byte-identical file.  See docs/HEALTH.md; render
+                     with tools/rbay_top.
 
 directives (one per line; '#' comments; see tools/scenario.hpp for details):
   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
   std::string scenario_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string timeseries_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help") return usage(0);
@@ -78,6 +89,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (arg == "--timeseries") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rbay_sim: --timeseries requires a path\n");
+        return 2;
+      }
+      timeseries_path = argv[++i];
     } else if (scenario_path.empty()) {
       scenario_path = arg;
     } else {
@@ -132,6 +149,25 @@ int main(int argc, char** argv) {
       }
       out << report.trace_json;
       std::fprintf(stderr, "rbay_sim: trace written to %s\n", trace_path.c_str());
+    }
+  }
+  if (!timeseries_path.empty()) {
+    if (report.timeseries_json.empty()) {
+      std::fprintf(stderr,
+                   "rbay_sim: --timeseries given but the scenario has no "
+                   "'timeseries' directive\n");
+      return 2;
+    }
+    if (timeseries_path == "-") {
+      std::fputs(report.timeseries_json.c_str(), stdout);
+    } else {
+      std::ofstream out{timeseries_path};
+      if (!out) {
+        std::fprintf(stderr, "rbay_sim: cannot write '%s'\n", timeseries_path.c_str());
+        return 2;
+      }
+      out << report.timeseries_json;
+      std::fprintf(stderr, "rbay_sim: time series written to %s\n", timeseries_path.c_str());
     }
   }
   return 0;

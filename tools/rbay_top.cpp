@@ -1,0 +1,359 @@
+// rbay_top — deterministic text dashboard over the health-plane
+// time-series JSON (docs/HEALTH.md).
+//
+//   rbay_sim --timeseries ts.json scenarios/health_watch.rbay
+//   rbay_top ts.json
+//
+// Renders what a `top` for the federation would show: the alert log, the
+// federation counter rates (last window vs whole run), gauge levels,
+// latency quantiles, and a per-site activity table — all computed from
+// the JSON alone, no simulator state.  Output is byte-deterministic for a
+// given input file (integer math only), so CI can archive and diff it.
+//
+// The JSON reader below is deliberately minimal: just what the
+// TimeSeries::to_json() schema emits (objects, arrays, strings, integer
+// numbers, booleans).  Exit 0 on success, 1 on malformed input, 2 on
+// usage/IO errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON ----------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::int64_t as_int() const { return kind == Kind::Double ? static_cast<std::int64_t>(d) : i; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    const bool ok = value(out) && (skip_ws(), pos_ == text_.size());
+    if (!ok) {
+      error = "parse error at offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return string(out.s);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::Bool;
+      out.b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::Bool;
+      out.b = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return false;
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (is_double) {
+      out.kind = JsonValue::Kind::Double;
+      out.d = std::stod(tok);
+    } else {
+      out.kind = JsonValue::Kind::Int;
+      out.i = std::stoll(tok);
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            pos_ += 4;  // schema only escapes control chars; render as '?'
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.fields.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- rendering --------------------------------------------------------------
+
+std::string fmt_time_us(std::int64_t us) {
+  // Fixed "S.mmm s" form, integer math only.
+  const std::int64_t ms = us / 1000;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%03llds", static_cast<long long>(ms / 1000),
+                static_cast<long long>(ms % 1000));
+  return buf;
+}
+
+void sum_counters(const JsonValue& scope_window, std::map<std::string, std::int64_t>& totals) {
+  const auto* counters = scope_window.find("counters");
+  if (counters == nullptr) return;
+  for (const auto& [name, v] : counters->fields) totals[name] += v.as_int();
+}
+
+int render(const JsonValue& root) {
+  const auto* interval = root.find("interval_us");
+  const auto* windows = root.find("windows");
+  const auto* alerts = root.find("alerts");
+  if (interval == nullptr || windows == nullptr || alerts == nullptr) {
+    std::fprintf(stderr, "rbay_top: not a time-series JSON (missing fields)\n");
+    return 1;
+  }
+  const auto* open = root.find("alerts_open");
+  const auto* dropped = root.find("dropped_windows");
+
+  std::int64_t last_t = 0;
+  if (!windows->items.empty()) {
+    if (const auto* t = windows->items.back().find("t_us")) last_t = t->as_int();
+  }
+  std::printf("rbay_top — federation health @ t=%s (%zu windows × %lldms%s)\n",
+              fmt_time_us(last_t).c_str(), windows->items.size(),
+              static_cast<long long>(interval->as_int() / 1000),
+              dropped != nullptr && dropped->as_int() > 0
+                  ? (", " + std::to_string(dropped->as_int()) + " dropped").c_str()
+                  : "");
+
+  std::printf("\nALERTS (%zu transitions, %lld open)\n", alerts->items.size(),
+              static_cast<long long>(open == nullptr ? 0 : open->as_int()));
+  for (const auto& a : alerts->items) {
+    const auto* rule = a.find("rule");
+    const auto* is_open = a.find("open");
+    const auto* t = a.find("t_us");
+    const auto* vm = a.find("value_milli");
+    if (rule == nullptr || is_open == nullptr || t == nullptr || vm == nullptr) continue;
+    const std::int64_t milli = vm->as_int();
+    std::printf("  t=%-10s %-5s %-24s value=%lld.%03lld\n", fmt_time_us(t->as_int()).c_str(),
+                is_open->b ? "OPEN" : "close", rule->s.c_str(),
+                static_cast<long long>(milli / 1000),
+                static_cast<long long>(milli < 0 ? -milli % 1000 : milli % 1000));
+  }
+
+  // Federation counters: run totals + last-window deltas.
+  std::map<std::string, std::int64_t> totals;
+  std::map<std::string, std::int64_t> last_delta;
+  const JsonValue* last_fed = nullptr;
+  for (const auto& w : windows->items) {
+    if (const auto* fed = w.find("federation")) {
+      sum_counters(*fed, totals);
+      last_fed = fed;
+    }
+  }
+  if (last_fed != nullptr) sum_counters(*last_fed, last_delta);
+
+  std::printf("\nFEDERATION COUNTERS%44s\n", "total   last-window");
+  for (const auto& [name, total] : totals) {
+    const auto it = last_delta.find(name);
+    std::printf("  %-48s %10lld   %11lld\n", name.c_str(), static_cast<long long>(total),
+                static_cast<long long>(it == last_delta.end() ? 0 : it->second));
+  }
+
+  if (last_fed != nullptr) {
+    if (const auto* gauges = last_fed->find("gauges"); gauges != nullptr) {
+      std::printf("\nFEDERATION GAUGES (last window)\n");
+      for (const auto& [name, v] : gauges->fields) {
+        std::printf("  %-48s %10lld\n", name.c_str(), static_cast<long long>(v.as_int()));
+      }
+    }
+    if (const auto* lat = last_fed->find("latencies"); lat != nullptr) {
+      std::printf("\nFEDERATION LATENCIES (cumulative)%29s\n", "count  p50us  p99us  maxus");
+      for (const auto& [name, v] : lat->fields) {
+        const auto* count = v.find("count");
+        const auto* p50 = v.find("p50_us");
+        const auto* p99 = v.find("p99_us");
+        const auto* max = v.find("max_us");
+        std::printf("  %-36s %10lld %6lld %6lld %6lld\n", name.c_str(),
+                    static_cast<long long>(count == nullptr ? 0 : count->as_int()),
+                    static_cast<long long>(p50 == nullptr ? 0 : p50->as_int()),
+                    static_cast<long long>(p99 == nullptr ? 0 : p99->as_int()),
+                    static_cast<long long>(max == nullptr ? 0 : max->as_int()));
+      }
+    }
+  }
+
+  // Per-site totals across the whole run.
+  std::map<std::string, std::map<std::string, std::int64_t>> site_totals;
+  for (const auto& w : windows->items) {
+    const auto* sites = w.find("sites");
+    if (sites == nullptr) continue;
+    for (const auto& [site, sw] : sites->fields) sum_counters(sw, site_totals[site]);
+  }
+  if (!site_totals.empty()) {
+    std::printf("\nSITES (run totals)\n");
+    for (const auto& [site, counters] : site_totals) {
+      std::printf("  site %s\n", site.c_str());
+      for (const auto& [name, total] : counters) {
+        std::printf("    %-46s %10lld\n", name.c_str(), static_cast<long long>(total));
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help") {
+    std::fprintf(stderr, "usage: rbay_top <timeseries.json|->\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ostringstream text;
+  if (path == "-") {
+    text << std::cin.rdbuf();
+  } else {
+    std::ifstream file{path};
+    if (!file) {
+      std::fprintf(stderr, "rbay_top: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    text << file.rdbuf();
+  }
+
+  const std::string json = text.str();
+  JsonValue root;
+  std::string error;
+  JsonParser parser{json};
+  if (!parser.parse(root, error)) {
+    std::fprintf(stderr, "rbay_top: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  return render(root);
+}

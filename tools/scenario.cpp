@@ -9,6 +9,8 @@
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
 #include "fault/schedule.hpp"
+#include "fault/watchdog.hpp"
+#include "obs/timeseries.hpp"
 
 namespace rbay::tools {
 
@@ -87,6 +89,25 @@ class Runner {
     for (const auto& d : directives) {
       auto result = apply(d);
       if (!result.ok()) return util::make_error(result.error());
+    }
+    // The watchdog's verdict comes before the snapshot: a never-healed
+    // violation fails the scenario with a flight-recorder dump.
+    if (watchdog_ != nullptr) {
+      watchdog_->stop();
+      auto verdict = watchdog_->finalize();
+      if (!verdict.ok()) {
+        return util::make_error("watchdog (seed " + std::to_string(seed_) +
+                                "): " + verdict.error());
+      }
+      report_.output.push_back(
+          "watchdog: polls=" + std::to_string(watchdog_->polls()) +
+          " opened=" + std::to_string(watchdog_->opened_total()) +
+          " healed=" + std::to_string(watchdog_->healed_total()));
+    }
+    if (timeseries_ != nullptr) {
+      timeseries_->stop();
+      timeseries_->sample();  // settled-state window, so expects see the end
+      report_.timeseries_json = timeseries_->to_json();
     }
     if (cluster_ != nullptr && cluster_->metrics() != nullptr) {
       report_.metrics_json = cluster_->metrics()->to_json();
@@ -180,11 +201,21 @@ class Runner {
     config.node.query.qplane.batch_probes = batch_probes_;
     config.node.scribe.fan_in_cap = fan_in_cap_;
     config.node.scribe.root_set = root_set_;
-    config.metrics = options_.metrics || options_.trace;
+    // A declared sampler needs a registry to sample, whatever the CLI said.
+    config.metrics =
+        options_.metrics || options_.trace || timeseries_interval_ > util::SimTime::zero();
     cluster_ = std::make_unique<core::RBayCluster>(config);
     for (auto& spec : pending_specs_) cluster_->add_tree_spec(std::move(spec));
     pending_specs_.clear();
     cluster_->set_taxonomy(std::move(taxonomy_));
+    if (timeseries_interval_ > util::SimTime::zero()) {
+      timeseries_ = std::make_unique<obs::TimeSeries>(
+          cluster_->engine(), *cluster_->metrics(), timeseries_interval_,
+          timeseries_capacity_);
+      for (auto& rule : pending_rules_) timeseries_->add_rule(std::move(rule));
+      pending_rules_.clear();
+      timeseries_->start();
+    }
     (void)d;
     return {};
   }
@@ -240,6 +271,10 @@ class Runner {
     if (kw == "crash-root") return do_crash_root(d);
     if (kw == "recover-root") return do_recover_root(d);
     if (kw == "fault-schedule") return do_fault_schedule(d);
+    if (kw == "timeseries") return do_timeseries(d);
+    if (kw == "alert") return do_alert(d);
+    if (kw == "watchdog") return do_watchdog(d);
+    if (kw == "health-publish") return do_health_publish(d);
     if (kw == "check-invariants") return do_check_invariants(d);
     if (kw == "expect") return do_expect(d);
     if (kw == "print") {
@@ -673,6 +708,119 @@ class Runner {
     return {};
   }
 
+  /// timeseries <interval_ms> [capacity] — declare the registry sampler.
+  /// Config directive (before 'nodes'): the sampler attaches when the
+  /// cluster is created, and its presence forces metrics on.
+  util::Result<void> do_timeseries(const Directive& d) {
+    if (cluster_ != nullptr) return error_at(d.line, "timeseries must precede 'nodes'");
+    if (d.args.empty() || d.args.size() > 2) {
+      return error_at(d.line, "timeseries needs: <interval_ms> [capacity]");
+    }
+    timeseries_interval_ = util::SimTime::millis(std::stod(d.args[0]));
+    if (timeseries_interval_ <= util::SimTime::zero()) {
+      return error_at(d.line, "timeseries interval must be positive");
+    }
+    if (d.args.size() == 2) {
+      timeseries_capacity_ = std::stoul(d.args[1]);
+      if (timeseries_capacity_ == 0) return error_at(d.line, "timeseries capacity must be > 0");
+    }
+    return {};
+  }
+
+  /// alert <name> counter|gauge <metric> <op> <threshold> [alpha A] [for N]
+  util::Result<void> do_alert(const Directive& d) {
+    if (cluster_ != nullptr) return error_at(d.line, "alert must precede 'nodes'");
+    if (timeseries_interval_ <= util::SimTime::zero()) {
+      return error_at(d.line, "alert needs a prior 'timeseries' directive");
+    }
+    if (d.args.size() < 5) {
+      return error_at(d.line,
+                      "alert needs: <name> counter|gauge <metric> <op> <threshold> "
+                      "[alpha A] [for N]");
+    }
+    obs::AlertRule rule;
+    rule.name = d.args[0];
+    if (d.args[1] == "counter") {
+      rule.is_gauge = false;
+    } else if (d.args[1] == "gauge") {
+      rule.is_gauge = true;
+    } else {
+      return error_at(d.line, "alert kind must be 'counter' or 'gauge'");
+    }
+    rule.metric = d.args[2];
+    if (d.args[3] == ">") {
+      rule.op = '>';
+    } else if (d.args[3] == "<") {
+      rule.op = '<';
+    } else {
+      return error_at(d.line, "alert op must be '>' or '<'");
+    }
+    rule.threshold = std::stod(d.args[4]);
+    for (std::size_t i = 5; i + 1 < d.args.size(); i += 2) {
+      if (d.args[i] == "alpha") {
+        rule.alpha = std::stod(d.args[i + 1]);
+        if (rule.alpha <= 0.0 || rule.alpha > 1.0) {
+          return error_at(d.line, "alert alpha must be in (0, 1]");
+        }
+      } else if (d.args[i] == "for") {
+        rule.for_windows = std::stoi(d.args[i + 1]);
+        if (rule.for_windows < 1) return error_at(d.line, "alert 'for' must be >= 1");
+      } else {
+        return error_at(d.line, "unknown alert option '" + d.args[i] + "'");
+      }
+    }
+    pending_rules_.push_back(std::move(rule));
+    return {};
+  }
+
+  /// watchdog <period_ms> [checker...] — start the online invariant
+  /// watchdog (after finalize).  Transient violations are tolerated and
+  /// measured; violations still open when the scenario ends fail it.
+  util::Result<void> do_watchdog(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "watchdog after finalize only");
+    if (watchdog_ != nullptr) return error_at(d.line, "watchdog already running");
+    if (d.args.empty()) return error_at(d.line, "watchdog needs: <period_ms> [checker...]");
+    const auto period = util::SimTime::millis(std::stod(d.args[0]));
+    if (period <= util::SimTime::zero()) {
+      return error_at(d.line, "watchdog period must be positive");
+    }
+    auto checks = fault::Watchdog::parse_checks({d.args.begin() + 1, d.args.end()});
+    if (!checks.ok()) return error_at(d.line, checks.error());
+    watchdog_ = std::make_unique<fault::Watchdog>(*cluster_, period, checks.take());
+    watchdog_->start();
+    return {};
+  }
+
+  /// health-publish <interval_ms> [queue-depth N] [heartbeat-lag MS]
+  util::Result<void> do_health_publish(const Directive& d) {
+    if (!finalized_) return error_at(d.line, "health-publish after finalize only");
+    if (cluster_->health() != nullptr) return error_at(d.line, "health-publish already on");
+    if (d.args.empty()) {
+      return error_at(d.line,
+                      "health-publish needs: <interval_ms> [queue-depth N] [heartbeat-lag MS]");
+    }
+    core::HealthConfig config;
+    config.interval = util::SimTime::millis(std::stod(d.args[0]));
+    if (config.interval <= util::SimTime::zero()) {
+      return error_at(d.line, "health-publish interval must be positive");
+    }
+    for (std::size_t i = 1; i + 1 < d.args.size(); i += 2) {
+      if (d.args[i] == "queue-depth") {
+        config.overload_queue_depth = std::stol(d.args[i + 1]);
+      } else if (d.args[i] == "heartbeat-lag") {
+        config.overload_heartbeat_lag = util::SimTime::millis(std::stod(d.args[i + 1]));
+      } else {
+        return error_at(d.line, "unknown health-publish option '" + d.args[i] + "'");
+      }
+    }
+    auto& publisher = cluster_->enable_health(config);
+    // Seed the attributes now so the first aggregation round already
+    // carries them (the periodic timer fires one interval from now).
+    publisher.publish_all();
+    cluster_->run();
+    return {};
+  }
+
   util::Result<void> do_check_invariants(const Directive& d) {
     if (!finalized_) return error_at(d.line, "check-invariants before finalize");
     fault::InvariantReport report;
@@ -844,6 +992,65 @@ class Runner {
       }
       return {};
     }
+    if (what == "metric" && d.args.size() == 4) {
+      // expect metric <name> <op> <value> — federation counter or gauge;
+      // missing metrics read as 0 so absence is assertable.
+      if (cluster_ == nullptr || cluster_->metrics() == nullptr) {
+        return error_at(d.line, "expect metric needs metrics enabled");
+      }
+      const obs::Scope& fed = cluster_->metrics()->fed();
+      double got = 0.0;
+      if (const auto* c = fed.find_counter(d.args[1])) {
+        got = static_cast<double>(c->value());
+      } else if (const auto* g = fed.find_gauge(d.args[1])) {
+        got = static_cast<double>(g->value());
+      }
+      const auto& op = d.args[2];
+      const double want = std::stod(d.args[3]);
+      bool ok = false;
+      if (op == "=" || op == "==") {
+        ok = got == want;
+      } else if (op == "!=") {
+        ok = got != want;
+      } else if (op == ">") {
+        ok = got > want;
+      } else if (op == ">=") {
+        ok = got >= want;
+      } else if (op == "<") {
+        ok = got < want;
+      } else if (op == "<=") {
+        ok = got <= want;
+      } else {
+        return error_at(d.line, "unknown metric comparison '" + op + "'");
+      }
+      if (!ok) {
+        std::ostringstream os;
+        os << "expected metric " << d.args[1] << " " << op << " " << want << ", got " << got;
+        return error_at(d.line, os.str());
+      }
+      return {};
+    }
+    if (what == "health-count" && d.args.size() == 2) {
+      // The last COUNT answer (served by the 5-step protocol over the
+      // rbay.health.overloaded tree) must equal the publisher's god-view
+      // ground truth — the self-hosted health acceptance check.
+      if (cluster_->health() == nullptr) {
+        return error_at(d.line, "expect health-count needs a prior health-publish");
+      }
+      std::size_t truth = 0;
+      if (d.args[1] == "overloaded") {
+        truth = cluster_->health()->published_overloaded();
+      } else if (d.args[1] == "healthy") {
+        truth = cluster_->health()->published_healthy();
+      } else {
+        return error_at(d.line, "expect health-count needs: overloaded|healthy");
+      }
+      if (last_outcome_.count != static_cast<double>(truth)) {
+        return error_at(d.line, "health COUNT answer " + std::to_string(last_outcome_.count) +
+                                    " disagrees with ground truth " + std::to_string(truth));
+      }
+      return {};
+    }
     if (what == "storm-staleness-le" && d.args.size() == 2) {
       const auto bound = util::SimTime::millis(std::stod(d.args[1]));
       for (std::size_t i = 0; i < storm_outcomes_.size(); ++i) {
@@ -891,7 +1098,12 @@ class Runner {
   std::optional<std::size_t> last_crashed_root_;
   core::Taxonomy taxonomy_;
   std::vector<core::TreeSpec> pending_specs_;
+  util::SimTime timeseries_interval_ = util::SimTime::zero();  // zero: no sampler
+  std::size_t timeseries_capacity_ = obs::TimeSeries::kDefaultCapacity;
+  std::vector<obs::AlertRule> pending_rules_;
   std::unique_ptr<core::RBayCluster> cluster_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;     // after cluster_: dtor order
+  std::unique_ptr<fault::Watchdog> watchdog_;       // after cluster_: dtor order
   std::unique_ptr<fault::FaultInjector> injector_;  // after cluster_: dtor order
   bool finalized_ = false;
   std::size_t last_query_node_ = SIZE_MAX;

@@ -55,6 +55,21 @@
 //   fault-schedule <<EOF ... EOF     arm a timed fault script (after
 //                                    finalize; offsets relative to now —
 //                                    see docs/FAULT_INJECTION.md)
+//   timeseries <interval_ms> [cap]   sample the registry every interval
+//                                    into a ring of [cap] windows (before
+//                                    'nodes'; implies metrics — see
+//                                    docs/HEALTH.md)
+//   alert <name> counter|gauge <metric> <op> <threshold> [alpha A] [for N]
+//                                    EWMA/threshold alert rule on the
+//                                    federation scope (needs timeseries)
+//   watchdog <period_ms> [checker...]  run invariant checkers periodically
+//                                    during the run (after finalize);
+//                                    violations that never heal fail the
+//                                    scenario at the end, healed ones are
+//                                    recorded as watchdog.time_to_heal
+//   health-publish <interval_ms> [queue-depth N] [heartbeat-lag MS]
+//                                    start the rbay.health.* self-
+//                                    publication round on every live node
 //   check-invariants [checker...]    run post-convergence invariant
 //                                    checkers (trees children aggregates
 //                                    reservations pastry; default: all);
@@ -63,6 +78,11 @@
 //   expect stale | fresh | shed | cached | staleness-le MS
 //   expect storm-satisfied N | storm-shed N | storm-count N
 //   expect storm-staleness-le MS
+//   expect metric <name> <op> <value>  compare a federation counter/gauge
+//                                    (missing metrics read as 0)
+//   expect health-count overloaded|healthy  last COUNT answer equals the
+//                                    health publisher's god-view ground
+//                                    truth
 //   print <text...> | stats
 //
 // `expect` failures make run() return an error — scenarios double as
@@ -97,6 +117,7 @@ struct ScenarioReport {
   std::vector<std::string> output;  // `print`, query results, stats lines
   std::string metrics_json;         // Registry::to_json() when metrics were on
   std::string trace_json;           // Chrome trace export when tracing was on
+  std::string timeseries_json;      // TimeSeries::to_json() when sampling was on
 };
 
 struct ScenarioOptions {
@@ -107,6 +128,8 @@ struct ScenarioOptions {
   /// ScenarioReport::trace_json (implies metrics).
   bool trace = false;
 };
+// ScenarioReport::timeseries_json is filled whenever the scenario declares
+// a `timeseries` sampler — no option needed.
 
 /// Parses and executes a scenario.  Returns the report, or the first
 /// error (parse error, API error, or failed expectation) with its line.
