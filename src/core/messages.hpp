@@ -61,6 +61,9 @@ struct SiteQueryRequest final : pastry::AppMessage {
     return size;
   }
   [[nodiscard]] const char* type_name() const override { return "rbay.SiteQueryRequest"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<SiteQueryRequest>(*this);
+  }
 };
 
 /// Gateway → query interface: candidates found in my site.
@@ -82,6 +85,9 @@ struct SiteQueryReply final : pastry::AppMessage {
     return 41 + candidates.size() * 32;
   }
   [[nodiscard]] const char* type_name() const override { return "rbay.SiteQueryReply"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<SiteQueryReply>(*this);
+  }
 };
 
 /// Customer decision on a reserved node (Fig. 7, step 5).  `lease` bounds
@@ -91,6 +97,9 @@ struct CommitMsg final : pastry::AppMessage {
   util::SimTime lease = util::SimTime::zero();
   [[nodiscard]] std::size_t wire_size() const override { return 24 + query_id.size(); }
   [[nodiscard]] const char* type_name() const override { return "rbay.Commit"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<CommitMsg>(*this);
+  }
 };
 
 /// Tenant extends its lease before expiry.
@@ -99,12 +108,18 @@ struct RenewMsg final : pastry::AppMessage {
   util::SimTime lease = util::SimTime::zero();
   [[nodiscard]] std::size_t wire_size() const override { return 24 + query_id.size(); }
   [[nodiscard]] const char* type_name() const override { return "rbay.Renew"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<RenewMsg>(*this);
+  }
 };
 
 struct ReleaseMsg final : pastry::AppMessage {
   std::string query_id;
   [[nodiscard]] std::size_t wire_size() const override { return 16 + query_id.size(); }
   [[nodiscard]] const char* type_name() const override { return "rbay.Release"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<ReleaseMsg>(*this);
+  }
 };
 
 }  // namespace rbay::core

@@ -682,6 +682,16 @@ void QueryInterface::receive(const pastry::NodeRef& from, pastry::AppMessage& ms
       }
       return;
     }
+    const auto& answered = it->second.outcome.sites_answered;
+    if (std::find(answered.begin(), answered.end(), reply->site) != answered.end()) {
+      // Duplicate reply for the current attempt: the first copy already
+      // counted the site, decremented waiting_sites, and recorded these
+      // same reservations — do NOT release them, just drop the copy.
+      if (auto* reg = owner_.engine().metrics()) {
+        reg->fed().counter("query.dup_site_replies").inc();
+      }
+      return;
+    }
     SiteResult result;
     result.site = reply->site;
     result.candidates = std::move(reply->candidates);

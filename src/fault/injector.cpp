@@ -39,6 +39,16 @@ util::Result<void> FaultInjector::arm(const FaultSchedule& schedule) {
         }
         break;
       }
+      case ActionKind::Weather: {
+        if (a.site_a == "*") break;  // parser guarantees "* * clear"
+        if (!directory.site_by_name(a.site_a).has_value()) {
+          return arm_error(a, "unknown site '" + a.site_a + "'");
+        }
+        if (!directory.site_by_name(a.site_b).has_value()) {
+          return arm_error(a, "unknown site '" + a.site_b + "'");
+        }
+        break;
+      }
       case ActionKind::CrashRandom:
       case ActionKind::RecoverAll:
       case ActionKind::HealAll:
@@ -183,6 +193,42 @@ void FaultInjector::apply(const FaultAction& a) {
       network.set_jitter(a.value);
       note("jitter -> " + std::to_string(a.value));
       break;
+    case ActionKind::Weather: {
+      auto& cond = network.conditioner();
+      if (a.site_a == "*") {
+        cond.clear_all();
+      } else {
+        const auto sa = *directory.site_by_name(a.site_a);
+        const auto sb = *directory.site_by_name(a.site_b);
+        switch (a.weather) {
+          case WeatherKind::LossBurst:
+            cond.set_loss_burst(sa, sb, a.value, a.value2, a.value3);
+            break;
+          case WeatherKind::Duplicate:
+            cond.set_duplicate(sa, sb, a.value);
+            break;
+          case WeatherKind::Reorder:
+            cond.set_reorder(sa, sb, a.value, a.window);
+            break;
+          case WeatherKind::Gray:
+            cond.set_gray(sa, sb, a.value);
+            break;
+          case WeatherKind::AsymPartition:
+            cond.set_asym_partition(sa, sb, true);
+            break;
+          case WeatherKind::Clear:
+            cond.clear(sa, sb);
+            break;
+        }
+      }
+      ++stats_.weather;
+      if (auto* m = cluster_.metrics()) m->fed().counter("fault.weather").inc();
+      // The applied log carries the full directive so a diffed transcript
+      // (and the model oracle) sees exactly the weather the sim saw.
+      const auto text = describe(a);
+      note(text.substr(text.find("weather")));
+      break;
+    }
   }
   if (on_apply) on_apply(a, victims);
 }

@@ -27,6 +27,7 @@ struct InjectorStats {
   std::uint64_t recoveries = 0;
   std::uint64_t partitions = 0;
   std::uint64_t heals = 0;
+  std::uint64_t weather = 0;  // link-conditioner actions applied
 };
 
 class FaultInjector {

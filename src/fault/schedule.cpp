@@ -61,6 +61,19 @@ const char* action_name(ActionKind kind) {
     case ActionKind::HealAll: return "heal-all";
     case ActionKind::Drop: return "drop";
     case ActionKind::Jitter: return "jitter";
+    case ActionKind::Weather: return "weather";
+  }
+  return "?";
+}
+
+const char* weather_name(WeatherKind kind) {
+  switch (kind) {
+    case WeatherKind::LossBurst: return "loss-burst";
+    case WeatherKind::Duplicate: return "duplicate";
+    case WeatherKind::Reorder: return "reorder";
+    case WeatherKind::Gray: return "gray";
+    case WeatherKind::AsymPartition: return "asym-partition";
+    case WeatherKind::Clear: return "clear";
   }
   return "?";
 }
@@ -84,6 +97,25 @@ std::string describe(const FaultAction& a) {
       break;
     case ActionKind::RecoverAll:
     case ActionKind::HealAll:
+      break;
+    case ActionKind::Weather:
+      out << " " << (a.site_a.empty() ? "*" : a.site_a) << " "
+          << (a.site_b.empty() ? "*" : a.site_b) << " " << weather_name(a.weather);
+      switch (a.weather) {
+        case WeatherKind::LossBurst:
+          out << " " << a.value << " " << a.value2 << " " << a.value3;
+          break;
+        case WeatherKind::Duplicate:
+        case WeatherKind::Gray:
+          out << " " << a.value;
+          break;
+        case WeatherKind::Reorder:
+          out << " " << a.value << " " << a.window.as_millis() << "ms";
+          break;
+        case WeatherKind::AsymPartition:
+        case WeatherKind::Clear:
+          break;
+      }
       break;
   }
   return out.str();
@@ -164,6 +196,88 @@ util::Result<FaultSchedule> parse_schedule(const std::string& text) {
         return line_error(line, "jitter must be non-negative");
       }
       action.value = v.value();
+    } else if (verb == "weather") {
+      action.kind = ActionKind::Weather;
+      if (argc < 3) {
+        return line_error(line,
+                          "usage: at <offset> weather <siteA> <siteB> "
+                          "loss-burst|duplicate|reorder|gray|asym-partition|clear ...");
+      }
+      action.site_a = w[3];
+      action.site_b = w[4];
+      const std::string& kind = w[5];
+      const auto wargc = argc - 3;
+      auto wneed = [&](std::size_t n, const char* usage) -> util::Result<void> {
+        if (wargc != n) {
+          return line_error(line, std::string("usage: at <offset> weather <siteA> <siteB> ") + usage);
+        }
+        return {};
+      };
+      auto prob = [&](const std::string& word, const char* what) -> util::Result<double> {
+        auto v = parse_double(word);
+        if (!v.ok()) return line_error(line, v.error());
+        if (v.value() < 0.0 || v.value() > 1.0) {
+          return line_error(line, std::string(what) + " must be in [0, 1]");
+        }
+        return v.value();
+      };
+      if ((action.site_a == "*") != (action.site_b == "*")) {
+        return line_error(line, "weather wildcard must be '* *'");
+      }
+      if (action.site_a != "*" && action.site_a == action.site_b) {
+        return line_error(line, "cannot condition a site's link to itself");
+      }
+      if (kind == "loss-burst") {
+        action.weather = WeatherKind::LossBurst;
+        if (auto r = wneed(3, "loss-burst <p_enter> <p_exit> <p_loss>"); !r.ok()) {
+          return util::make_error(r.error());
+        }
+        auto p1 = prob(w[6], "p_enter");
+        if (!p1.ok()) return util::make_error(p1.error());
+        auto p2 = prob(w[7], "p_exit");
+        if (!p2.ok()) return util::make_error(p2.error());
+        auto p3 = prob(w[8], "p_loss");
+        if (!p3.ok()) return util::make_error(p3.error());
+        action.value = p1.value();
+        action.value2 = p2.value();
+        action.value3 = p3.value();
+      } else if (kind == "duplicate") {
+        action.weather = WeatherKind::Duplicate;
+        if (auto r = wneed(1, "duplicate <p>"); !r.ok()) return util::make_error(r.error());
+        auto p = prob(w[6], "duplicate probability");
+        if (!p.ok()) return util::make_error(p.error());
+        action.value = p.value();
+      } else if (kind == "reorder") {
+        action.weather = WeatherKind::Reorder;
+        if (auto r = wneed(2, "reorder <p> <window>"); !r.ok()) return util::make_error(r.error());
+        auto p = prob(w[6], "reorder probability");
+        if (!p.ok()) return util::make_error(p.error());
+        auto win = parse_duration(w[7]);
+        if (!win.ok()) return line_error(line, win.error());
+        if (p.value() > 0.0 && win.value() <= util::SimTime::zero()) {
+          return line_error(line, "reorder window must be positive");
+        }
+        action.value = p.value();
+        action.window = win.value();
+      } else if (kind == "gray") {
+        action.weather = WeatherKind::Gray;
+        if (auto r = wneed(1, "gray <factor>"); !r.ok()) return util::make_error(r.error());
+        auto v = parse_double(w[6]);
+        if (!v.ok()) return line_error(line, v.error());
+        if (v.value() < 1.0) return line_error(line, "gray factor must be >= 1");
+        action.value = v.value();
+      } else if (kind == "asym-partition") {
+        action.weather = WeatherKind::AsymPartition;
+        if (auto r = wneed(0, "asym-partition"); !r.ok()) return util::make_error(r.error());
+      } else if (kind == "clear") {
+        action.weather = WeatherKind::Clear;
+        if (auto r = wneed(0, "clear"); !r.ok()) return util::make_error(r.error());
+      } else {
+        return line_error(line, "unknown weather kind '" + kind + "'");
+      }
+      if (action.site_a == "*" && action.weather != WeatherKind::Clear) {
+        return line_error(line, "weather wildcard is only valid with 'clear'");
+      }
     } else {
       return line_error(line, "unknown fault verb '" + verb + "'");
     }

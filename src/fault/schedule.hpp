@@ -17,6 +17,16 @@
 //   at <t> drop <p>                # global message-drop probability
 //   at <t> jitter <j>              # network delay-jitter amplitude
 //
+// Network weather (the link conditioner, see net/conditioner.hpp):
+//
+//   at <t> weather <A> <B> loss-burst <p_enter> <p_exit> <p_loss>
+//                                  # Gilbert–Elliott burst loss, both ways
+//   at <t> weather <A> <B> duplicate <p>        # deliver twice, both ways
+//   at <t> weather <A> <B> reorder <p> <window> # hold-and-release, both ways
+//   at <t> weather <A> <B> gray <factor>        # A→B delay × factor (directed)
+//   at <t> weather <A> <B> asym-partition       # A→B blackholed (directed)
+//   at <t> weather <A> <B> clear   # clear the pair ("weather * * clear": all)
+//
 // Durations accept the scenario DSL's units: "250ms", "1.5s", "300us",
 // bare numbers are seconds.  Actions are kept in time order (stable for
 // equal offsets), so an injector replays them deterministically.
@@ -39,18 +49,36 @@ enum class ActionKind {
   HealAll,
   Drop,
   Jitter,
+  Weather,
+};
+
+/// Which link-conditioner knob a Weather action turns.
+enum class WeatherKind {
+  LossBurst,
+  Duplicate,
+  Reorder,
+  Gray,
+  AsymPartition,
+  Clear,
 };
 
 /// Human-readable verb for logs and error messages.
 [[nodiscard]] const char* action_name(ActionKind kind);
+[[nodiscard]] const char* weather_name(WeatherKind kind);
 
 struct FaultAction {
   util::SimTime at = util::SimTime::zero();  // offset from arm point
   ActionKind kind = ActionKind::Crash;
-  std::string site_a;  // Crash/Recover: the site; Partition/Heal: first site
-  std::string site_b;  // Partition/Heal: second site
+  std::string site_a;  // Crash/Recover: the site; Partition/Heal/Weather: first site
+  std::string site_b;  // Partition/Heal/Weather: second site
   int index = -1;      // Crash/Recover: node index within the site
-  double value = 0.0;  // CrashRandom: fraction; Drop: p; Jitter: amplitude
+  double value = 0.0;  // CrashRandom: fraction; Drop: p; Jitter: amplitude;
+                       // Weather: first probability/factor
+  // Weather-only fields.
+  WeatherKind weather = WeatherKind::Clear;
+  double value2 = 0.0;  // loss-burst: p_exit
+  double value3 = 0.0;  // loss-burst: p_loss
+  util::SimTime window = util::SimTime::zero();  // reorder: hold window
 };
 
 struct FaultSchedule {

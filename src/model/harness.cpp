@@ -325,6 +325,41 @@ class Execution {
         gap();  // the armed background action fires inside this run_for
         return;
       }
+      case OpKind::Weather:
+      case OpKind::WeatherClear: {
+        ++result_.ops_applied;
+        // Weather goes through the real injector so the applied-action log
+        // and fault.weather metric see the same schedule the sim ran; the
+        // reference model treats it as a no-op (delivery, not truth).
+        fault::FaultAction action;
+        action.at = util::SimTime::zero();
+        action.kind = fault::ActionKind::Weather;
+        if (op.kind == OpKind::WeatherClear) {
+          action.weather = fault::WeatherKind::Clear;
+          action.site_a = "*";
+          action.site_b = "*";
+        } else {
+          action.weather = op.weather_kind;
+          action.site_a = "Site" + std::to_string(op.site_a);
+          action.site_b = "Site" + std::to_string(op.site_b);
+          action.value = op.w1;
+          action.value2 = op.w2;
+          action.value3 = op.w3;
+          action.window = op.window;
+        }
+        fault::FaultSchedule schedule;
+        schedule.actions.push_back(action);
+        auto armed = injector_->arm(schedule);
+        if (!armed.ok()) {
+          diverge(i, op, "query-error", "injector refused action: " + armed.error());
+          return;
+        }
+        emit("fault-schedule <<FS");
+        emit(fault::describe(action));
+        emit("FS");
+        gap();  // the armed background action fires inside this run_for
+        return;
+      }
       case OpKind::Count:
         if (skip_crashed(op)) return;
         ++result_.ops_applied;

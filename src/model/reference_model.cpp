@@ -118,6 +118,12 @@ void ReferenceModel::apply_fault(const fault::FaultAction& action,
       // generator never emits these (docs/TESTING.md, "what the oracle
       // does not model").
       break;
+    case ActionKind::Weather:
+      // Link weather (burst loss, duplication, reordering, gray links,
+      // asymmetric partitions) perturbs delivery, not reachability: the
+      // protocols must absorb it, so the sequential model ignores it and
+      // the differential harness clears all weather before observing.
+      break;
   }
 }
 

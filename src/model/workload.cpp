@@ -102,6 +102,17 @@ std::string Op::describe() const {
     case OpKind::Heal:
       os << "heal site" << site_a << " <-> site" << site_b;
       break;
+    case OpKind::Weather:
+      os << "weather site" << site_a << " -> site" << site_b << " "
+         << fault::weather_name(weather_kind) << " " << w1;
+      if (weather_kind == fault::WeatherKind::LossBurst) os << " " << w2 << " " << w3;
+      if (weather_kind == fault::WeatherKind::Reorder) {
+        os << " " << window.as_millis() << "ms";
+      }
+      break;
+    case OpKind::WeatherClear:
+      os << "weather * * clear";
+      break;
     case OpKind::Count:
       os << "count from n" << node << ": " << query.to_string();
       break;
@@ -162,6 +173,7 @@ Workload generate_workload(const WorkloadSpec& spec) {
   // emitted (the harness still applies its skip rule for shrunk lists).
   std::set<std::size_t> crashed;
   std::set<std::pair<net::SiteId, net::SiteId>> partitions;
+  bool weather_active = false;
   auto live_nodes = [&](bool gateways_too) {
     std::vector<std::size_t> pool;
     for (std::size_t n = 0; n < total; ++n) {
@@ -250,7 +262,10 @@ Workload generate_workload(const WorkloadSpec& spec) {
       out.ops.push_back(std::move(op));
       return;
     }
-    if (roll >= 46 && roll < 52) {  // admin hide / expose over a tree
+    if (roll >= 46 && roll < 52 && !weather_active) {
+      // admin hide / expose over a tree — suppressed while weather is
+      // active: the multicast is one-shot, so a burst-lost copy is a true
+      // semantic divergence rather than a protocol robustness gap.
       const auto specs = workload_tree_specs();
       const auto& tree = specs[rng.uniform(specs.size())];
       op.kind = rng.uniform(10) < 6 ? OpKind::AdminHide : OpKind::AdminExpose;
@@ -312,8 +327,64 @@ Workload generate_workload(const WorkloadSpec& spec) {
     out.ops.push_back(std::move(op));
   };
 
+  // Aggressive conditioner settings for the weather matrix: every knob at
+  // a level that visibly perturbs delivery but still lets the repair
+  // machinery converge within the settle gap once the round heals.
+  auto emit_weather = [&]() {
+    Op op;
+    op.kind = OpKind::Weather;
+    const auto a = static_cast<net::SiteId>(rng.uniform(spec.sites));
+    auto b = static_cast<net::SiteId>(rng.uniform(spec.sites));
+    if (a == b) b = static_cast<net::SiteId>((b + 1) % spec.sites);
+    op.site_a = a;
+    op.site_b = b;
+    switch (rng.uniform(5)) {
+      case 0:
+        op.weather_kind = fault::WeatherKind::LossBurst;
+        op.w1 = 0.1;   // p_enter
+        op.w2 = 0.3;   // p_exit
+        op.w3 = 0.8;   // p_loss while bad
+        break;
+      case 1:
+        op.weather_kind = fault::WeatherKind::Duplicate;
+        op.w1 = 0.5;
+        break;
+      case 2:
+        op.weather_kind = fault::WeatherKind::Reorder;
+        op.w1 = 0.5;
+        op.window = util::SimTime::millis(20);
+        break;
+      case 3:
+        op.weather_kind = fault::WeatherKind::Gray;
+        op.w1 = 4.0;  // one-way delay x4 on a -> b
+        break;
+      default:
+        op.weather_kind = fault::WeatherKind::AsymPartition;
+        break;
+    }
+    weather_active = true;
+    out.ops.push_back(std::move(op));
+  };
+  auto heal_weather = [&]() {
+    if (!weather_active) return;
+    Op op;
+    op.kind = OpKind::WeatherClear;
+    out.ops.push_back(std::move(op));
+    weather_active = false;
+  };
+
   for (int round = 0; round < spec.rounds; ++round) {
-    for (int m = 0; m < spec.mutations_per_round; ++m) emit_mutation();
+    for (int m = 0; m < spec.mutations_per_round; ++m) {
+      if (spec.weather && rng.uniform(100) < 35) {
+        emit_weather();
+      } else {
+        emit_mutation();
+      }
+    }
+    // Weather perturbs delivery, never truth: heal before observing so the
+    // settle gap gives the protocols time to repair, and the sequential
+    // model (which ignores weather entirely) stays comparable.
+    heal_weather();
     for (int o = 0; o < spec.observations_per_round; ++o) emit_observation();
     Op audit_m;
     audit_m.kind = OpKind::AuditMembership;
@@ -323,7 +394,14 @@ Workload generate_workload(const WorkloadSpec& spec) {
     out.ops.push_back(audit_l);
   }
 
-  // End clean: recover the fallen, heal the cuts, audit the steady state.
+  // End clean: recover the fallen, heal the cuts (and any weather — the
+  // per-round heal already ran, but a shrunk sublist may end mid-round),
+  // audit the steady state.
+  if (spec.weather) {
+    Op op;
+    op.kind = OpKind::WeatherClear;
+    out.ops.push_back(std::move(op));
+  }
   for (const auto n : crashed) {
     Op op;
     op.kind = OpKind::Recover;

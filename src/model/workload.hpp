@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/naming.hpp"
+#include "fault/schedule.hpp"
 #include "query/sql.hpp"
 #include "store/attribute.hpp"
 #include "util/sim_time.hpp"
@@ -38,6 +39,8 @@ enum class OpKind {
   Recover,       // node
   Partition,     // site_a <-> site_b
   Heal,          // site_a <-> site_b
+  Weather,       // site_a, site_b, weather_kind + params — link conditioner
+  WeatherClear,  // clear all weather (the generator heals before observing)
   Count,         // origin node, query (count_only)
   CountStorm,    // origin node, query, storm copies issued concurrently —
                  // exercises probe coalescing and the answer cache
@@ -63,6 +66,12 @@ struct Op {
   util::SimTime lease = util::SimTime::zero();
   std::size_t slot = 0;  // ReleaseOlder pick
   int storm = 0;         // CountStorm concurrent copies
+  // Weather op parameters (mirrors fault::FaultAction's weather fields).
+  fault::WeatherKind weather_kind = fault::WeatherKind::Clear;
+  double w1 = 0.0;  // p_enter / dup p / reorder p / gray factor
+  double w2 = 0.0;  // p_exit
+  double w3 = 0.0;  // p_loss
+  util::SimTime window = util::SimTime::zero();  // reorder hold window
 
   [[nodiscard]] std::string describe() const;
 };
@@ -102,6 +111,15 @@ struct WorkloadSpec {
   // enabling them must not change any COUNT the oracle checks.
   int fan_in_cap = 0;
   int root_set = 0;
+  // Adversarial link weather (docs/FAULT_INJECTION.md).  When on, mutation
+  // rounds interleave conditioner ops — burst loss, duplication,
+  // reordering, gray links, asymmetric partitions — and every round heals
+  // (`weather * * clear`) before its observations: weather perturbs
+  // delivery, not truth, so the sequential model ignores it and the
+  // protocols must absorb it by the time the settle gap ends.  Admin
+  // multicasts are suppressed while weather is active (a dropped one-shot
+  // multicast is a real divergence, not a protocol bug).
+  bool weather = false;
 };
 
 struct Workload {

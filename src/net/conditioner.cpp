@@ -1,0 +1,109 @@
+#include "net/conditioner.hpp"
+
+#include "util/contract.hpp"
+
+namespace rbay::net {
+
+void LinkConditioner::set_loss_burst(SiteId a, SiteId b, double p_enter, double p_exit,
+                                     double p_loss) {
+  RBAY_REQUIRE(p_enter >= 0.0 && p_enter <= 1.0, "loss-burst: p_enter must be in [0, 1]");
+  RBAY_REQUIRE(p_exit >= 0.0 && p_exit <= 1.0, "loss-burst: p_exit must be in [0, 1]");
+  RBAY_REQUIRE(p_loss >= 0.0 && p_loss <= 1.0, "loss-burst: p_loss must be in [0, 1]");
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto& w = dir(x, y);
+    w.ge_enabled = p_enter > 0.0 && p_loss > 0.0;
+    w.ge_enter = p_enter;
+    w.ge_exit = p_exit;
+    w.ge_loss = p_loss;
+    w.ge_bad = false;
+    prune(x, y);
+  }
+}
+
+void LinkConditioner::set_duplicate(SiteId a, SiteId b, double p) {
+  RBAY_REQUIRE(p >= 0.0 && p <= 1.0, "duplicate: probability must be in [0, 1]");
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    dir(x, y).dup_p = p;
+    prune(x, y);
+  }
+}
+
+void LinkConditioner::set_reorder(SiteId a, SiteId b, double p, util::SimTime window) {
+  RBAY_REQUIRE(p >= 0.0 && p <= 1.0, "reorder: probability must be in [0, 1]");
+  RBAY_REQUIRE(p == 0.0 || window > util::SimTime::zero(),
+               "reorder: window must be positive");
+  for (auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto& w = dir(x, y);
+    w.reorder_p = p;
+    w.reorder_window = p > 0.0 ? window : util::SimTime::zero();
+    prune(x, y);
+  }
+}
+
+void LinkConditioner::set_gray(SiteId a, SiteId b, double factor) {
+  RBAY_REQUIRE(factor >= 1.0, "gray: delay factor must be >= 1");
+  auto& w = dir(a, b);
+  w.delay_factor = factor;
+  prune(a, b);
+}
+
+void LinkConditioner::set_asym_partition(SiteId a, SiteId b, bool on) {
+  dir(a, b).blackhole = on;
+  prune(a, b);
+}
+
+void LinkConditioner::clear(SiteId a, SiteId b) {
+  links_.erase({a, b});
+  links_.erase({b, a});
+}
+
+WeatherDecision LinkConditioner::decide(SiteId from, SiteId to, util::Rng& rng) {
+  WeatherDecision d;
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) return d;
+  auto& w = it->second;
+
+  if (w.blackhole) {
+    d.drop = true;
+    return d;
+  }
+  if (w.ge_enabled) {
+    // Advance the chain once per message, then sample loss in the new
+    // state: runs of drops cluster with geometric length 1/p_exit.
+    if (w.ge_bad) {
+      if (rng.chance(w.ge_exit)) w.ge_bad = false;
+    } else {
+      if (rng.chance(w.ge_enter)) w.ge_bad = true;
+    }
+    if (w.ge_bad && rng.chance(w.ge_loss)) {
+      d.drop = true;
+      d.burst_loss = true;
+      return d;
+    }
+  }
+  d.delay_factor = w.delay_factor;
+  if (w.reorder_p > 0.0 && rng.chance(w.reorder_p)) {
+    const auto span = static_cast<std::uint64_t>(w.reorder_window.as_micros());
+    d.hold = util::SimTime::micros(1 + static_cast<std::int64_t>(rng.uniform(span)));
+  }
+  if (w.dup_p > 0.0 && rng.chance(w.dup_p)) {
+    d.duplicate = true;
+    if (w.reorder_p > 0.0 && rng.chance(w.reorder_p)) {
+      const auto span = static_cast<std::uint64_t>(w.reorder_window.as_micros());
+      d.dup_hold = util::SimTime::micros(1 + static_cast<std::int64_t>(rng.uniform(span)));
+    }
+  }
+  return d;
+}
+
+const LinkWeather* LinkConditioner::link(SiteId from, SiteId to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void LinkConditioner::prune(SiteId from, SiteId to) {
+  const auto it = links_.find({from, to});
+  if (it != links_.end() && it->second.is_default()) links_.erase(it);
+}
+
+}  // namespace rbay::net

@@ -1,0 +1,104 @@
+#pragma once
+
+// Adversarial WAN weather, per directed site pair.
+//
+// The plain Network already models clean failures: a uniform drop
+// probability, symmetric jitter, and full bidirectional partitions.  Real
+// inter-datacenter links misbehave in richer ways, and the conditioner
+// models the four that break protocols in practice:
+//
+//   * bursty correlated loss — a Gilbert–Elliott two-state chain per
+//     direction: messages advance the chain (good→bad with p_enter,
+//     bad→good with p_exit) and are dropped with p_loss while the chain
+//     sits in the bad state, so losses cluster instead of arriving i.i.d.;
+//   * duplication — a message is delivered twice, each copy with its own
+//     jitter draw and its own hold, provided the payload is clonable;
+//   * bounded reordering — a message is held for an extra uniform delay in
+//     (0, window], letting later sends overtake it by at most the window;
+//   * gray links — one direction's delay is multiplied by a factor (the
+//     link "limps" without dying);
+//   * asymmetric partitions — one direction is a blackhole while the
+//     reverse direction keeps delivering.
+//
+// All state lives per *directed* (from-site, to-site) pair.  The map is
+// empty when no weather is configured, and Network::send consults the
+// conditioner only when it is armed — an unarmed run draws exactly the
+// same RNG sequence as before the conditioner existed, keeping same-seed
+// snapshots byte-identical.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace rbay::net {
+
+/// Weather configured on one directed site→site link.
+struct LinkWeather {
+  // Gilbert–Elliott burst loss.
+  bool ge_enabled = false;
+  double ge_enter = 0.0;  // P(good → bad), advanced once per message
+  double ge_exit = 0.0;   // P(bad → good)
+  double ge_loss = 0.0;   // P(drop | chain in bad state)
+  bool ge_bad = false;    // current chain state
+
+  double dup_p = 0.0;      // P(deliver twice)
+  double reorder_p = 0.0;  // P(hold the message for an extra delay)
+  util::SimTime reorder_window = util::SimTime::zero();
+  double delay_factor = 1.0;  // gray link: nominal delay multiplier
+  bool blackhole = false;     // asymmetric partition: this direction dead
+
+  [[nodiscard]] bool is_default() const {
+    return !ge_enabled && dup_p == 0.0 && reorder_p == 0.0 && delay_factor == 1.0 &&
+           !blackhole;
+  }
+};
+
+/// What the conditioner decided for one message on one directed link.
+struct WeatherDecision {
+  bool drop = false;       // blackhole or burst loss
+  bool burst_loss = false; // drop came from the Gilbert–Elliott chain
+  bool duplicate = false;  // deliver a second, independently delayed copy
+  double delay_factor = 1.0;
+  util::SimTime hold = util::SimTime::zero();      // reorder hold, primary copy
+  util::SimTime dup_hold = util::SimTime::zero();  // reorder hold, duplicate
+};
+
+class LinkConditioner {
+ public:
+  /// True when any link has weather — the Network's fast-path gate.
+  [[nodiscard]] bool armed() const { return !links_.empty(); }
+
+  // --- configuration (symmetric verbs touch both directions) --------------
+  void set_loss_burst(SiteId a, SiteId b, double p_enter, double p_exit, double p_loss);
+  void set_duplicate(SiteId a, SiteId b, double p);
+  void set_reorder(SiteId a, SiteId b, double p, util::SimTime window);
+  /// Directed: only a→b limps.
+  void set_gray(SiteId a, SiteId b, double factor);
+  /// Directed: a→b blackholes while b→a keeps delivering.
+  void set_asym_partition(SiteId a, SiteId b, bool on);
+  /// Clears both directions of the pair.
+  void clear(SiteId a, SiteId b);
+  void clear_all() { links_.clear(); }
+
+  /// Advances the directed link's weather state and rolls the dice for one
+  /// message.  Draws from `rng` only when the link actually has weather, so
+  /// unaffected traffic perturbs nothing.
+  WeatherDecision decide(SiteId from, SiteId to, util::Rng& rng);
+
+  /// Introspection for tests: nullptr when the directed link is clear.
+  [[nodiscard]] const LinkWeather* link(SiteId from, SiteId to) const;
+
+ private:
+  LinkWeather& dir(SiteId from, SiteId to) { return links_[{from, to}]; }
+  /// Drops the map entry again when a verb reset it to all-defaults, so
+  /// `armed()` and the fast path stay accurate.
+  void prune(SiteId from, SiteId to);
+
+  std::map<std::pair<SiteId, SiteId>, LinkWeather> links_;
+};
+
+}  // namespace rbay::net

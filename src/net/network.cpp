@@ -97,23 +97,82 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     return;
   }
 
-  util::SimTime delay = topology_.one_way(sa, sb);
-  if (from == to) delay = util::SimTime::micros(10);  // local dispatch
-  if (jitter_ > 0.0) {
+  // Link weather.  decide() draws from the engine RNG only for links that
+  // actually have weather, so an unarmed conditioner leaves the RNG
+  // sequence — and therefore same-seed snapshots — untouched.
+  WeatherDecision weather;
+  if (conditioner_.armed()) {
+    weather = conditioner_.decide(sa, sb, engine_.rng());
+    if (weather.drop) {
+      ++stats_.messages_dropped;
+      ++stats_.weather_dropped;
+      if (metrics_.dropped != nullptr) metrics_.dropped->inc();
+      if (metrics_.registry != nullptr) {
+        lazy_counter(metrics_.weather_drops, "net.weather_drops").inc();
+      }
+      if (metrics_.causal != nullptr) {
+        metrics_.causal->on_drop(trace, sa, from, payload->type_name(), engine_.now());
+      }
+      return;
+    }
+  }
+
+  util::SimTime base = topology_.one_way(sa, sb);
+  if (from == to) base = util::SimTime::micros(10);  // local dispatch
+  if (weather.delay_factor != 1.0) {
+    base = util::SimTime::micros(static_cast<std::int64_t>(
+        static_cast<double>(base.as_micros()) * weather.delay_factor));
+  }
+  const auto jittered = [this](util::SimTime d) {
+    if (jitter_ <= 0.0) return d;
     // Symmetric jitter: U(-1, 1) centers the factor at 1.0 so measured
     // latencies are unbiased estimators of the topology's nominal RTT/2.
     // (A one-sided U(0, 1) draw inflated every delay by jitter/2 on
     // average, overstating the latency figures.)
     const double u = 2.0 * engine_.rng().uniform_double() - 1.0;
     const double factor = std::max(0.0, 1.0 + jitter_ * u);
-    delay = util::SimTime::micros(
-        static_cast<std::int64_t>(static_cast<double>(delay.as_micros()) * factor));
+    return util::SimTime::micros(
+        static_cast<std::int64_t>(static_cast<double>(d.as_micros()) * factor));
+  };
+  const util::SimTime delay = jittered(base) + weather.hold;
+  if (weather.hold > util::SimTime::zero()) {
+    ++stats_.reordered;
+    if (metrics_.registry != nullptr) {
+      lazy_counter(metrics_.reordered, "net.reordered").inc();
+    }
   }
 
   // std::function requires copyable callables, so the unique_ptr travels
   // inside a shared box and is moved out exactly once at delivery.
   auto box = std::make_shared<std::unique_ptr<Payload>>(std::move(payload));
-  engine_.schedule(delay, [this, from, to, box, size, delay, trace]() {
+  if (weather.duplicate) {
+    // The copy gets its own jitter draw, its own hold, and its own seq —
+    // two genuinely independent deliveries of the same bytes.  Payloads
+    // that cannot deep-copy (clone_payload() == nullptr) stay singular;
+    // the dup chance was already drawn, so the RNG stream is unaffected.
+    if (auto copy = (*box)->clone_payload()) {
+      const util::SimTime dup_delay = jittered(base) + weather.dup_hold;
+      ++stats_.duplicated;
+      if (weather.dup_hold > util::SimTime::zero()) ++stats_.reordered;
+      if (metrics_.registry != nullptr) {
+        lazy_counter(metrics_.duplicates, "net.duplicates").inc();
+        if (weather.dup_hold > util::SimTime::zero()) {
+          lazy_counter(metrics_.reordered, "net.reordered").inc();
+        }
+      }
+      auto dup_box = std::make_shared<std::unique_ptr<Payload>>(std::move(copy));
+      schedule_delivery(from, to, std::move(dup_box), size, dup_delay, trace);
+    }
+  }
+  schedule_delivery(from, to, std::move(box), size, delay, trace);
+}
+
+void Network::schedule_delivery(EndpointId from, EndpointId to,
+                                std::shared_ptr<std::unique_ptr<Payload>> box,
+                                std::size_t size, util::SimTime delay,
+                                obs::TraceContext trace) {
+  const std::uint64_t seq = send_seq_++;
+  engine_.schedule(delay, [this, from, to, box, size, delay, trace, seq]() {
     auto& dst = endpoints_[to];
     if (dst.down) {
       ++stats_.messages_dropped;
@@ -138,8 +197,13 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     // message.  That one rule propagates causality through pastry, scribe,
     // and the query protocol without any per-protocol plumbing.
     obs::ContextScope scope(metrics_.causal, trace);
-    dst.handler(Envelope{from, to, std::move(*box), trace});
+    dst.handler(Envelope{from, to, std::move(*box), trace, seq});
   });
+}
+
+obs::Counter& Network::lazy_counter(obs::Counter*& slot, const char* name) {
+  if (slot == nullptr) slot = &metrics_.registry->fed().counter(name);
+  return *slot;
 }
 
 void Network::reset_stats() {

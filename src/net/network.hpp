@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/conditioner.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
@@ -30,6 +31,11 @@ struct Payload {
   virtual ~Payload() = default;
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
   [[nodiscard]] virtual const char* type_name() const = 0;
+  /// Deep copy, used only by the link conditioner to deliver a message
+  /// twice (each delivery hands exclusive ownership to its handler).
+  /// Returning nullptr — the default — marks the payload non-clonable, and
+  /// the conditioner simply will not duplicate it.
+  [[nodiscard]] virtual std::unique_ptr<Payload> clone_payload() const { return nullptr; }
 };
 
 struct Envelope {
@@ -40,6 +46,12 @@ struct Envelope {
   /// no trace was ambient).  The network re-establishes it as the ambient
   /// context around the handler, so most receivers never read it directly.
   obs::TraceContext trace;
+  /// Monotonic per-delivery sequence stamped by the network.  Deliveries
+  /// that collapse onto the same sim-time instant (held, reordered, or
+  /// duplicated copies) drain in ascending `seq` — the engine breaks
+  /// equal-time ties by schedule order, and the network schedules in seq
+  /// order — so same-seed runs stay byte-identical under the conditioner.
+  std::uint64_t seq = 0;
 };
 
 struct NetworkStats {
@@ -47,6 +59,10 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  // Link-conditioner weather (subsets of the totals above).
+  std::uint64_t weather_dropped = 0;  // blackholed or burst-lost
+  std::uint64_t duplicated = 0;       // extra copies scheduled
+  std::uint64_t reordered = 0;        // deliveries held within the window
 };
 
 struct EndpointStats {
@@ -93,6 +109,12 @@ class Network {
   /// Severs (or heals) all links between two sites.
   void set_partitioned(SiteId a, SiteId b, bool partitioned);
 
+  /// Adversarial per-link weather: burst loss, duplication, reordering,
+  /// gray links, asymmetric partitions (see net/conditioner.hpp).  send()
+  /// consults it only while any link has weather configured.
+  [[nodiscard]] LinkConditioner& conditioner() { return conditioner_; }
+  [[nodiscard]] const LinkConditioner& conditioner() const { return conditioner_; }
+
   /// Multiplies every sampled delay by `1 + jitter × U(-1,1)` — symmetric
   /// around the nominal delay (clamped at zero), so measured latencies are
   /// unbiased with respect to the topology's RTT matrix.
@@ -131,8 +153,20 @@ class Network {
     obs::CausalLog* causal = nullptr;
     std::vector<obs::Counter*> site_sent;
     std::vector<obs::Counter*> site_bytes;
+    // Weather counters register lazily, on the first event of each kind:
+    // a run that never arms the conditioner keeps its registry snapshot
+    // byte-identical to one built before the conditioner existed.
+    obs::Counter* weather_drops = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::Counter* reordered = nullptr;
   };
   void refresh_metrics();
+  obs::Counter& lazy_counter(obs::Counter*& slot, const char* name);
+
+  /// Stamps a fresh Envelope::seq and schedules one delivery after `delay`.
+  void schedule_delivery(EndpointId from, EndpointId to,
+                         std::shared_ptr<std::unique_ptr<Payload>> box, std::size_t size,
+                         util::SimTime delay, obs::TraceContext trace);
 
   sim::Engine& engine_;
   Topology topology_;
@@ -140,6 +174,8 @@ class Network {
   std::vector<std::pair<SiteId, SiteId>> partitions_;
   double drop_probability_ = 0.0;
   double jitter_ = 0.1;
+  LinkConditioner conditioner_;
+  std::uint64_t send_seq_ = 0;
   NetworkStats stats_;
   MetricsCache metrics_;
 };

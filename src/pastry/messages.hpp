@@ -26,6 +26,10 @@ struct AppMessage {
   virtual ~AppMessage() = default;
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
   [[nodiscard]] virtual const char* type_name() const = 0;
+  /// Deep copy so the link conditioner can duplicate routed/direct
+  /// envelopes.  nullptr (the default) makes the envelope non-clonable —
+  /// such messages are delivered once even under a duplicate storm.
+  [[nodiscard]] virtual std::unique_ptr<AppMessage> clone_msg() const { return nullptr; }
 };
 
 struct RouteEnvelope final : net::Payload {
@@ -39,6 +43,17 @@ struct RouteEnvelope final : net::Payload {
     return 16 /*key*/ + 8 /*header*/ + app.size() + (msg ? msg->wire_size() : 0);
   }
   [[nodiscard]] const char* type_name() const override { return "RouteEnvelope"; }
+  [[nodiscard]] std::unique_ptr<net::Payload> clone_payload() const override {
+    auto inner = msg ? msg->clone_msg() : nullptr;
+    if (msg && !inner) return nullptr;  // non-clonable app message
+    auto copy = std::make_unique<RouteEnvelope>();
+    copy->key = key;
+    copy->scope = scope;
+    copy->hops = hops;
+    copy->app = app;
+    copy->msg = std::move(inner);
+    return copy;
+  }
 };
 
 struct DirectEnvelope final : net::Payload {
@@ -50,6 +65,15 @@ struct DirectEnvelope final : net::Payload {
     return 24 /*sender*/ + app.size() + (msg ? msg->wire_size() : 0);
   }
   [[nodiscard]] const char* type_name() const override { return "DirectEnvelope"; }
+  [[nodiscard]] std::unique_ptr<net::Payload> clone_payload() const override {
+    auto inner = msg ? msg->clone_msg() : nullptr;
+    if (msg && !inner) return nullptr;  // non-clonable app message
+    auto copy = std::make_unique<DirectEnvelope>();
+    copy->sender = sender;
+    copy->app = app;
+    copy->msg = std::move(inner);
+    return copy;
+  }
 };
 
 /// Routed toward the joiner's NodeId; every hop appends routing state.
@@ -60,6 +84,9 @@ struct JoinRequest final : net::Payload {
 
   [[nodiscard]] std::size_t wire_size() const override { return 28 + collected.size() * 24; }
   [[nodiscard]] const char* type_name() const override { return "JoinRequest"; }
+  [[nodiscard]] std::unique_ptr<net::Payload> clone_payload() const override {
+    return std::make_unique<JoinRequest>(*this);
+  }
 };
 
 /// Sent by the joiner's root back to the joiner with accumulated state.
@@ -68,6 +95,9 @@ struct JoinReply final : net::Payload {
 
   [[nodiscard]] std::size_t wire_size() const override { return 8 + state.size() * 24; }
   [[nodiscard]] const char* type_name() const override { return "JoinReply"; }
+  [[nodiscard]] std::unique_ptr<net::Payload> clone_payload() const override {
+    return std::make_unique<JoinReply>(*this);
+  }
 };
 
 /// Joiner announces itself to the nodes it learned about, so they can add
@@ -77,6 +107,9 @@ struct StateAnnounce final : net::Payload {
 
   [[nodiscard]] std::size_t wire_size() const override { return 24; }
   [[nodiscard]] const char* type_name() const override { return "StateAnnounce"; }
+  [[nodiscard]] std::unique_ptr<net::Payload> clone_payload() const override {
+    return std::make_unique<StateAnnounce>(*this);
+  }
 };
 
 }  // namespace rbay::pastry

@@ -229,6 +229,17 @@ void PastryNode::handle_join_request(JoinRequest& req) {
 }
 
 void PastryNode::handle_join_reply(const JoinReply& reply) {
+  if (join_reply_seen_) {
+    // Duplicated (or second-root) join reply: we already consumed one.
+    // Running the loop again would re-announce to every collected node,
+    // re-count the join, and re-fire on_joined.  Cold path — no cache
+    // handle, register the suppression counter on demand.
+    if (auto* reg = network_.engine().metrics()) {
+      reg->fed().counter("pastry.dup_join_replies").inc();
+    }
+    return;
+  }
+  join_reply_seen_ = true;
   for (const auto& r : reply.state) {
     learn(r);
     // Announce ourselves so existing members add us symmetrically.

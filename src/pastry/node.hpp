@@ -154,6 +154,10 @@ class PastryNode {
   RoutingTable site_table_;
   std::map<std::string, PastryApp*> apps_;
   bool joined_ = false;
+  // One-shot latch for handle_join_reply.  Distinct from joined_, which any
+  // learn() (e.g. a concurrent joiner's StateAnnounce) can set before our
+  // own reply arrives — that must not suppress the real JoinReply.
+  bool join_reply_seen_ = false;
   std::uint64_t forward_count_ = 0;
 };
 

@@ -48,8 +48,18 @@ void AnswerCache::store(const scribe::TopicId& topic, const SizeInfo& info, util
   if (info.stale) {
     // Degraded read: the root failed over and a promoted replica answered
     // from its snapshot.  Never cache it, and drop whatever we held — the
-    // pre-failover answer's provenance is gone.
-    if (entries_.erase(topic) > 0) ++invalidations_;
+    // pre-failover answer's provenance is gone.  But only if the stale
+    // answer is at least as recent as the cached one: a reordered (or
+    // duplicated) stale reply from an older epoch must not evict an answer
+    // the cache learned from a newer round.
+    if (auto it = entries_.find(topic); it != entries_.end()) {
+      if (info.epoch < it->second.epoch) {
+        ++epoch_rejects_;
+        return;
+      }
+      entries_.erase(it);
+      ++invalidations_;
+    }
     return;
   }
   if (auto it = entries_.find(topic); it != entries_.end() && info.epoch < it->second.epoch) {

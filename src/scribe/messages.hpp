@@ -39,6 +39,9 @@ struct JoinMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 16 + 24; }
   [[nodiscard]] const char* type_name() const override { return "scribe.Join"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<JoinMsg>(*this);
+  }
 };
 
 /// Parent→child acknowledgment carrying the parent's identity.
@@ -47,6 +50,9 @@ struct JoinAckMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 16; }
   [[nodiscard]] const char* type_name() const override { return "scribe.JoinAck"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<JoinAckMsg>(*this);
+  }
 };
 
 /// Child→parent: drop me (and prune upward if the parent empties).
@@ -56,6 +62,9 @@ struct LeaveMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 32; }
   [[nodiscard]] const char* type_name() const override { return "scribe.Leave"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<LeaveMsg>(*this);
+  }
 };
 
 /// Routed to the rendezvous root, then disseminated down the tree.
@@ -65,6 +74,9 @@ struct MulticastMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 16 + data.size(); }
   [[nodiscard]] const char* type_name() const override { return "scribe.Multicast"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<MulticastMsg>(*this);
+  }
 };
 
 /// Distributed depth-first search over the tree.  `visited` and `stack`
@@ -86,6 +98,19 @@ struct AnycastMsg final : pastry::AppMessage {
     return 48 + visited.size() * 16 + stack.size() * 24 + (payload ? payload->wire_size() : 0);
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.Anycast"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    auto copy = std::make_unique<AnycastMsg>();
+    copy->topic = topic;
+    copy->scope = scope;
+    copy->request_id = request_id;
+    copy->originator = originator;
+    copy->members_visited = members_visited;
+    copy->reroutes = reroutes;
+    copy->visited = visited;
+    copy->stack = stack;
+    copy->payload = payload ? payload->clone() : nullptr;
+    return copy;
+  }
 };
 
 /// Final answer delivered directly to the anycast originator.
@@ -100,6 +125,15 @@ struct AnycastResultMsg final : pastry::AppMessage {
     return 32 + (payload ? payload->wire_size() : 0);
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.AnycastResult"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    auto copy = std::make_unique<AnycastResultMsg>();
+    copy->topic = topic;
+    copy->request_id = request_id;
+    copy->satisfied = satisfied;
+    copy->members_visited = members_visited;
+    copy->payload = payload ? payload->clone() : nullptr;
+    return copy;
+  }
 };
 
 /// Child→parent periodic aggregation report (the paper's `aggregate`
@@ -111,6 +145,9 @@ struct AggReportMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 40; }
   [[nodiscard]] const char* type_name() const override { return "scribe.AggReport"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<AggReportMsg>(*this);
+  }
 };
 
 /// Routed probe asking the root for its aggregated view (e.g. tree size —
@@ -122,6 +159,9 @@ struct SizeProbeMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 48; }
   [[nodiscard]] const char* type_name() const override { return "scribe.SizeProbe"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<SizeProbeMsg>(*this);
+  }
 };
 
 struct SizeReplyMsg final : pastry::AppMessage {
@@ -149,6 +189,9 @@ struct SizeReplyMsg final : pastry::AppMessage {
     return 51 + root_set.size() * 24;
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.SizeReply"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<SizeReplyMsg>(*this);
+  }
 };
 
 /// Root → leaf-set successor: incremental replication of the rendezvous
@@ -180,6 +223,9 @@ struct RootReplicaMsg final : pastry::AppMessage {
     return 49 + children.size() * 24 + root_set.size() * 24 + holders_bytes;
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.RootReplica"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<RootReplicaMsg>(*this);
+  }
 };
 
 /// Overloaded parent → delegate (leaf-set pick or lightest child): adopt
@@ -189,33 +235,48 @@ struct DelegateMsg final : pastry::AppMessage {
   TopicId topic;
   pastry::Scope scope = pastry::Scope::Global;
   AggregateKind agg_kind = AggregateKind::Count;
+  /// Per-parent split episode: acks/nacks echo it, and the parent ignores
+  /// answers from any episode but the pending one — duplicated or stale
+  /// DelegateAcks cannot double-apply a delegation.
+  std::uint64_t episode = 0;
   std::vector<NodeRef> children;
 
   [[nodiscard]] std::size_t wire_size() const override {
     return 18 + children.size() * 24;
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.Delegate"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<DelegateMsg>(*this);
+  }
 };
 
 /// Delegate → overloaded parent: adopted these children (the parent drops
 /// them and links the delegate as its single replacement child).
 struct DelegateAckMsg final : pastry::AppMessage {
   TopicId topic;
+  std::uint64_t episode = 0;  // echoed from the DelegateMsg
   std::vector<pastry::NodeId> accepted;
 
   [[nodiscard]] std::size_t wire_size() const override {
     return 16 + accepted.size() * 16;
   }
   [[nodiscard]] const char* type_name() const override { return "scribe.DelegateAck"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<DelegateAckMsg>(*this);
+  }
 };
 
 /// Delegate → overloaded parent: cannot adopt (it already has conflicting
 /// tree state for the topic); the parent retries with another candidate.
 struct DelegateNackMsg final : pastry::AppMessage {
   TopicId topic;
+  std::uint64_t episode = 0;  // echoed from the DelegateMsg
 
   [[nodiscard]] std::size_t wire_size() const override { return 16; }
   [[nodiscard]] const char* type_name() const override { return "scribe.DelegateNack"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<DelegateNackMsg>(*this);
+  }
 };
 
 /// Delegate → adopted child: switch your parent pointer from `old_parent`
@@ -228,6 +289,9 @@ struct ReparentMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 32; }
   [[nodiscard]] const char* type_name() const override { return "scribe.Reparent"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<ReparentMsg>(*this);
+  }
 };
 
 /// Parent→child liveness beacon for tree repair.
@@ -236,6 +300,9 @@ struct HeartbeatMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 16; }
   [[nodiscard]] const char* type_name() const override { return "scribe.Heartbeat"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<HeartbeatMsg>(*this);
+  }
 };
 
 /// Child→parent liveness response; lets parents prune dead children (and
@@ -245,6 +312,9 @@ struct HeartbeatAckMsg final : pastry::AppMessage {
 
   [[nodiscard]] std::size_t wire_size() const override { return 16; }
   [[nodiscard]] const char* type_name() const override { return "scribe.HeartbeatAck"; }
+  [[nodiscard]] std::unique_ptr<pastry::AppMessage> clone_msg() const override {
+    return std::make_unique<HeartbeatAckMsg>(*this);
+  }
 };
 
 }  // namespace rbay::scribe

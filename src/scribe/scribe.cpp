@@ -863,6 +863,7 @@ void Scribe::maybe_split(const TopicId& topic, TopicState& st) {
   msg->topic = topic;
   msg->scope = st.scope;
   msg->agg_kind = st.agg_kind;
+  msg->episode = ++st.split_episode;
   msg->children.reserve(need);
   for (std::size_t i = 0; i < need && i < movable.size(); ++i) {
     msg->children.push_back(movable[i]->ref);
@@ -886,6 +887,7 @@ void Scribe::handle_delegate(const NodeRef& from, DelegateMsg& msg) {
   if (!acceptable) {
     auto nack = std::make_unique<DelegateNackMsg>();
     nack->topic = msg.topic;
+    nack->episode = msg.episode;
     node_.send_direct(from, std::move(nack), kAppName);
     return;
   }
@@ -898,6 +900,7 @@ void Scribe::handle_delegate(const NodeRef& from, DelegateMsg& msg) {
   }
   auto ack = std::make_unique<DelegateAckMsg>();
   ack->topic = msg.topic;
+  ack->episode = msg.episode;
   for (const auto& child : msg.children) {
     if (child.id == node_.self().id) continue;
     add_child(msg.topic, st, child);
@@ -913,6 +916,13 @@ void Scribe::handle_delegate(const NodeRef& from, DelegateMsg& msg) {
 void Scribe::handle_delegate_ack(const NodeRef& from, const DelegateAckMsg& msg) {
   auto* st = find_topic(msg.topic);
   if (st == nullptr) return;
+  if (!st->split_pending || msg.episode != st->split_episode) {
+    // Duplicated on the wire (the first copy already applied and cleared
+    // the pending flag) or an answer to a superseded episode: applying it
+    // again would double-count the delegation and re-link the delegate.
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.dup_suppressed").inc();
+    return;
+  }
   st->split_pending = false;
   st->split_declined.clear();
   std::size_t moved = 0;
@@ -933,6 +943,13 @@ void Scribe::handle_reparent(const NodeRef& from, const ReparentMsg& msg) {
   if (st != nullptr && !st->root && st->parent && st->parent->id == msg.old_parent) {
     st->parent = from;
     st->last_parent_beat = node_.network().engine().now();
+    return;
+  }
+  if (st != nullptr && !st->root && st->parent && st->parent->id == from.id) {
+    // Duplicate of a reparent we already applied: the sender is our parent
+    // now.  Declining with a Leave would detach us from the live tree.
+    st->last_parent_beat = node_.network().engine().now();
+    if (auto* m = fed_metrics(node_)) m->counter("scribe.dup_suppressed").inc();
     return;
   }
   // Stale delegation (we already re-attached elsewhere): decline so the
@@ -1118,6 +1135,13 @@ void Scribe::deliver(const pastry::NodeId& key, pastry::AppMessage& msg, int /*h
 void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
   if (auto* ack = dynamic_cast<JoinAckMsg*>(&msg)) {
     auto& st = topic_state(ack->topic);
+    if (st.root || (st.parent && st.parent->id != from.id)) {
+      // Stale or duplicated ack: we were promoted to root in the meantime,
+      // or a later (re)join already attached us under a different parent.
+      // Overwriting would detach us from the tree we actually live in.
+      if (auto* m = fed_metrics(node_)) m->counter("scribe.dup_suppressed").inc();
+      return;
+    }
     st.parent = from;
     st.root = false;
     st.last_parent_beat = node_.network().engine().now();
@@ -1223,6 +1247,12 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
     auto it = size_waiters_.find(reply->request_id);
     if (it == size_waiters_.end()) return;
     if (reply->declined) {
+      if (!it->second.via_root_set) {
+        // Duplicated decline: the first copy already re-routed this waiter;
+        // a second routed probe would double the traffic for nothing.
+        if (auto* m = fed_metrics(node_)) m->counter("scribe.dup_suppressed").inc();
+        return;
+      }
       // The fanned-out member can no longer serve: forget the roster and
       // fall back to routing, under the same waiter (and deadline).
       root_sets_.erase(reply->topic);
@@ -1256,6 +1286,12 @@ void Scribe::receive(const NodeRef& from, pastry::AppMessage& msg) {
   }
   if (auto* dnack = dynamic_cast<DelegateNackMsg*>(&msg)) {
     if (auto* st = find_topic(dnack->topic)) {
+      if (!st->split_pending || dnack->episode != st->split_episode) {
+        // Duplicated or superseded nack: acting on it would abort a later
+        // episode's in-flight delegation (or retry one already resolved).
+        if (auto* m = fed_metrics(node_)) m->counter("scribe.dup_suppressed").inc();
+        return;
+      }
       st->split_pending = false;
       st->split_declined.push_back(from.id);
       maybe_split(dnack->topic, *st);  // retry with the next candidate

@@ -237,6 +237,10 @@ class Scribe final : public pastry::PastryApp {
     /// timestamp lets periodic rounds retry a delegation lost to a crash.
     bool split_pending = false;
     util::SimTime split_requested_at = util::SimTime::zero();
+    /// Monotone per-topic split episode, stamped into every DelegateMsg
+    /// and echoed by acks/nacks: answers from any episode but the pending
+    /// one (duplicated or reordered on the wire) are ignored.
+    std::uint64_t split_episode = 0;
     /// Candidates that NACKed the current overload episode (skipped until
     /// the next periodic retry clears the list).
     std::vector<pastry::NodeId> split_declined;

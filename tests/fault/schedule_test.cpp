@@ -47,6 +47,101 @@ at 1.5s jitter 0.4
   EXPECT_EQ(actions[7].kind, ActionKind::Jitter);
 }
 
+TEST(FaultSchedule, ParsesEveryWeatherKind) {
+  const auto result = parse_schedule(R"(
+at 10ms weather Virginia Tokyo loss-burst 0.2 0.5 0.9
+at 20ms weather Virginia Tokyo duplicate 0.8
+at 30ms weather Virginia Tokyo reorder 0.5 25ms
+at 40ms weather Virginia Tokyo gray 4
+at 50ms weather Virginia Tokyo asym-partition
+at 60ms weather Virginia Tokyo clear
+at 70ms weather * * clear
+)");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& actions = result.value().actions;
+  ASSERT_EQ(actions.size(), 7u);
+  for (const auto& a : actions) EXPECT_EQ(a.kind, ActionKind::Weather);
+
+  EXPECT_EQ(actions[0].weather, WeatherKind::LossBurst);
+  EXPECT_DOUBLE_EQ(actions[0].value, 0.2);
+  EXPECT_DOUBLE_EQ(actions[0].value2, 0.5);
+  EXPECT_DOUBLE_EQ(actions[0].value3, 0.9);
+  EXPECT_EQ(actions[0].site_a, "Virginia");
+  EXPECT_EQ(actions[0].site_b, "Tokyo");
+
+  EXPECT_EQ(actions[1].weather, WeatherKind::Duplicate);
+  EXPECT_DOUBLE_EQ(actions[1].value, 0.8);
+
+  EXPECT_EQ(actions[2].weather, WeatherKind::Reorder);
+  EXPECT_DOUBLE_EQ(actions[2].value, 0.5);
+  EXPECT_EQ(actions[2].window, util::SimTime::millis(25));
+
+  EXPECT_EQ(actions[3].weather, WeatherKind::Gray);
+  EXPECT_DOUBLE_EQ(actions[3].value, 4.0);
+
+  EXPECT_EQ(actions[4].weather, WeatherKind::AsymPartition);
+  EXPECT_EQ(actions[5].weather, WeatherKind::Clear);
+  EXPECT_EQ(actions[6].weather, WeatherKind::Clear);
+  EXPECT_EQ(actions[6].site_a, "*");
+  EXPECT_EQ(actions[6].site_b, "*");
+}
+
+TEST(FaultSchedule, RejectsMalformedWeatherLines) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"at 1ms weather A B", "usage:"},
+      {"at 1ms weather A B hail 0.5", "unknown weather kind"},
+      {"at 1ms weather A B loss-burst 0.2 0.5", "usage:"},
+      {"at 1ms weather A B loss-burst 1.5 0.5 0.9", "p_enter must be in [0, 1]"},
+      {"at 1ms weather A B duplicate 2", "must be in [0, 1]"},
+      {"at 1ms weather A B reorder 0.5 0ms", "window must be positive"},
+      {"at 1ms weather A B gray 0.5", "gray factor must be >= 1"},
+      {"at 1ms weather A B asym-partition extra", "usage:"},
+      {"at 1ms weather A A clear", "itself"},
+      {"at 1ms weather * B clear", "wildcard"},
+      {"at 1ms weather * * gray 2", "only valid with 'clear'"},
+  };
+  for (const auto& c : cases) {
+    const auto result = parse_schedule(c.text);
+    ASSERT_FALSE(result.ok()) << "accepted: " << c.text;
+    EXPECT_NE(result.error().find(c.needle), std::string::npos)
+        << "error for '" << c.text << "' was: " << result.error();
+  }
+}
+
+TEST(FaultSchedule, WeatherDescribeRoundTripsKindAndArgs) {
+  const auto result = parse_schedule(
+      "at 10ms weather A B loss-burst 0.2 0.5 0.9\n"
+      "at 20ms weather A B reorder 0.5 25ms\n"
+      "at 30ms weather A B gray 4\n"
+      "at 40ms weather * * clear");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& actions = result.value().actions;
+  EXPECT_NE(describe(actions[0]).find("loss-burst 0.2 0.5 0.9"), std::string::npos)
+      << describe(actions[0]);
+  EXPECT_NE(describe(actions[1]).find("reorder 0.5 25ms"), std::string::npos)
+      << describe(actions[1]);
+  EXPECT_NE(describe(actions[2]).find("gray 4"), std::string::npos) << describe(actions[2]);
+  EXPECT_NE(describe(actions[3]).find("* * clear"), std::string::npos)
+      << describe(actions[3]);
+  // Re-parsing a described weather action must yield the same action — the
+  // harness exports the applied log back into .rbay counterexamples.
+  for (const auto& a : actions) {
+    const auto reparsed = parse_schedule(describe(a));
+    ASSERT_TRUE(reparsed.ok()) << describe(a) << ": " << reparsed.error();
+    ASSERT_EQ(reparsed.value().actions.size(), 1u);
+    const auto& b = reparsed.value().actions[0];
+    EXPECT_EQ(b.weather, a.weather);
+    EXPECT_DOUBLE_EQ(b.value, a.value);
+    EXPECT_DOUBLE_EQ(b.value2, a.value2);
+    EXPECT_DOUBLE_EQ(b.value3, a.value3);
+    EXPECT_EQ(b.window, a.window);
+  }
+}
+
 TEST(FaultSchedule, EmptyAndCommentOnlyTextsYieldEmptySchedule) {
   const auto result = parse_schedule("\n# nothing here\n   \n");
   ASSERT_TRUE(result.ok());

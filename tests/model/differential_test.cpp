@@ -38,5 +38,37 @@ TEST_P(DifferentialSeeds, SimMatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(SeedMatrix, DifferentialSeeds,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+/// Weather matrix: the same oracle with the adversarial link conditioner
+/// interleaved through every mutation round — burst loss, duplicate
+/// storms, reordering, gray links, asymmetric partitions — healed before
+/// each observation block.  The reference model ignores weather entirely,
+/// so any divergence is a protocol that failed to absorb duplication,
+/// loss, or reordering (docs/FAULT_INJECTION.md, "Network weather").
+class WeatherSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeatherSeeds, SimMatchesReferenceModelUnderWeather) {
+  WorkloadSpec spec;
+  spec.seed = GetParam();
+  spec.weather = true;
+  const auto workload = generate_workload(spec);
+  const auto result = run_differential(workload);
+  if (result.divergence.found) {
+    const auto shrunk = shrink_divergence(workload, 60);
+    const auto dir = artifact_dir_or(::testing::TempDir());
+    const auto artifacts =
+        write_artifacts(dir, "weather_seed" + std::to_string(spec.seed), workload,
+                        shrunk.ops, shrunk.divergence);
+    FAIL() << result.divergence.to_string() << "\nshrunk to " << shrunk.ops.size()
+           << " ops after " << shrunk.probes << " probes: "
+           << shrunk.divergence.to_string() << "\ncounterexample: "
+           << (artifacts.ok() ? artifacts.value().scenario : artifacts.error());
+  }
+  EXPECT_GT(result.queries, 0) << result.summary;
+  EXPECT_GT(result.ops_applied, 0) << result.summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(WeatherMatrix, WeatherSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 }  // namespace
 }  // namespace rbay::model

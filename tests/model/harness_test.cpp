@@ -64,6 +64,58 @@ TEST(ShrinkOps, RespectsProbeBudget) {
   EXPECT_LE(probes, 10);
 }
 
+TEST(Workload, WeatherSpecInterleavesAndHealsWeather) {
+  // The weather generator's contract: weather ops really appear, every
+  // one is healed by a WeatherClear before the next observation block
+  // (weather perturbs delivery, not truth), and admin multicasts — whose
+  // single copy a burst can legally kill — never run under live weather.
+  auto spec = small_spec(1);
+  spec.weather = true;
+  std::size_t weather_ops = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    spec.seed = seed;
+    const auto workload = generate_workload(spec);
+    bool active = false;
+    for (const auto& op : workload.ops) {
+      switch (op.kind) {
+        case OpKind::Weather:
+          ++weather_ops;
+          active = true;
+          break;
+        case OpKind::WeatherClear:
+          active = false;
+          break;
+        case OpKind::AdminHide:
+        case OpKind::AdminExpose:
+          EXPECT_FALSE(active) << "admin multicast emitted under live weather (seed "
+                               << seed << "): " << op.describe();
+          break;
+        case OpKind::Count:
+        case OpKind::CountStorm:
+        case OpKind::Select:
+          EXPECT_FALSE(active) << "observation emitted under live weather (seed "
+                               << seed << "): " << op.describe();
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_FALSE(active) << "workload ended with weather still armed (seed " << seed << ")";
+  }
+  EXPECT_GT(weather_ops, 0u) << "8 weather-enabled seeds emitted no weather at all";
+
+  // And the harness routes them through the real injector: the exported
+  // scenario replays the same storm the sim ran.
+  const auto workload = generate_workload(spec);
+  RunOptions options;
+  options.export_scenario = true;
+  const auto result = run_differential(workload, options);
+  EXPECT_FALSE(result.divergence.found)
+      << result.divergence.to_string() << "\n" << result.summary;
+  EXPECT_NE(result.scenario.find("weather"), std::string::npos)
+      << "exported scenario carries no weather schedule";
+}
+
 TEST(Harness, WorkloadRunsWithoutDivergence) {
   const auto workload = generate_workload(small_spec(1));
   const auto result = run_differential(workload);

@@ -22,7 +22,9 @@ namespace {
 
 /// The same federation run twice: `instrumented` adds the sampler, a
 /// never-firing alert rule, and the watchdog — nothing else differs.
-std::string matrix_scenario(std::uint64_t seed, bool instrumented) {
+/// With `weather`, both runs additionally ride the same link-conditioner
+/// storm (duplication, reordering, a gray link) through their queries.
+std::string matrix_scenario(std::uint64_t seed, bool instrumented, bool weather = false) {
   std::string s;
   s += "topology uniform 3 0.5 40\n";
   s += "seed " + std::to_string(seed) + "\n";
@@ -39,6 +41,14 @@ std::string matrix_scenario(std::uint64_t seed, bool instrumented) {
   s += "post * GPU true\n";
   s += "finalize\n";
   s += "run 2s\n";
+  if (weather) {
+    s += "fault-schedule <<EOF\n";
+    s += "at 0ms weather Site1 Site2 duplicate 1.0\n";
+    s += "at 10ms weather Site0 Site2 reorder 0.7 20ms\n";
+    s += "at 20ms weather Site0 Site1 gray 3\n";
+    s += "at 4500ms weather * * clear\n";
+    s += "EOF\n";
+  }
   if (instrumented) s += "watchdog 150 trees children aggregates\n";
   s += "query Site1 SELECT COUNT FROM * WHERE GPU = true\n";
   s += "expect satisfied\n";
@@ -82,6 +92,29 @@ TEST(HealthPlane, SamplerAndWatchdogDoNotPerturbTheRun) {
     // The instrumented run did actually sample.
     EXPECT_TRUE(plain.value().timeseries_json.empty());
     EXPECT_NE(watched.value().timeseries_json.find("\"windows\""), std::string::npos);
+  }
+}
+
+TEST(HealthPlane, WatchingAWeatherArmedRunDoesNotPerturbIt) {
+  // Acceptance contract for the link conditioner: arming weather must not
+  // break the observation-free-lunch property.  Both runs ride the same
+  // duplicate/reorder/gray storm; the watched one still produces a
+  // byte-identical registry snapshot and identical answers.
+  ScenarioOptions options;
+  options.metrics = true;
+  for (const std::uint64_t seed : {3ULL, 7ULL}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto plain = run_scenario(matrix_scenario(seed, false, true), options);
+    const auto watched = run_scenario(matrix_scenario(seed, true, true), options);
+    ASSERT_TRUE(plain.ok()) << plain.error();
+    ASSERT_TRUE(watched.ok()) << watched.error();
+
+    EXPECT_EQ(plain.value().queries, watched.value().queries);
+    EXPECT_EQ(plain.value().queries_satisfied, watched.value().queries_satisfied);
+    EXPECT_EQ(plain.value().metrics_json, watched.value().metrics_json);
+
+    // The storm was real in both: the conditioner duplicated traffic.
+    EXPECT_NE(plain.value().metrics_json.find("net.duplicates"), std::string::npos);
   }
 }
 

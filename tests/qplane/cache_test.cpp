@@ -78,6 +78,36 @@ TEST(AnswerCache, DegradedStoreInvalidatesInsteadOfCaching) {
   EXPECT_FALSE(cache.lookup(topic, SimTime::millis(60)).has_value());
 }
 
+TEST(AnswerCache, ReorderedStaleReplyCannotEvictFresherEntry) {
+  // Regression: under network reordering a degraded (stale) SizeReply from
+  // an older replication epoch can arrive AFTER a fresh answer from a newer
+  // round was cached.  It used to evict unconditionally; now the stale
+  // branch is epoch-gated, so only a same-or-newer-epoch degraded reply
+  // invalidates.
+  AnswerCache cache(SimTime::millis(300));
+  const auto topic = pastry::tree_id("GPU", "admin");
+  cache.store(topic, fresh_info(9.0, 5), SimTime::zero());
+
+  auto late_stale = fresh_info(7.0, 3);  // pre-failover epoch, reordered
+  late_stale.stale = true;
+  late_stale.age = SimTime::millis(40);
+  cache.store(topic, late_stale, SimTime::millis(10));
+  EXPECT_EQ(cache.epoch_rejects(), 1u);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  const auto hit = cache.lookup(topic, SimTime::millis(20));
+  ASSERT_TRUE(hit.has_value()) << "fresher entry must survive the stale straggler";
+  EXPECT_EQ(hit->value, 9.0);
+  EXPECT_EQ(hit->epoch, 5u);
+
+  // A degraded reply at the cached epoch (or newer) still invalidates.
+  auto current_stale = fresh_info(9.0, 5);
+  current_stale.stale = true;
+  cache.store(topic, current_stale, SimTime::millis(30));
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_FALSE(cache.lookup(topic, SimTime::millis(40)).has_value());
+}
+
 TEST(AnswerCache, LowerEpochStoreIsRejectedInsteadOfRollingBack) {
   // Regression: a late-arriving fresh answer from an older replication
   // epoch (slow probe overtaken by a newer round, or a pre-rotation answer

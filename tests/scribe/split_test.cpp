@@ -105,6 +105,51 @@ TEST(Split, DelegatedSubtreeSurvivesDelegateCrash) {
   EXPECT_DOUBLE_EQ(so.scribes[so.overlay.root_of(topic)]->aggregate_value(topic), 31.0);
 }
 
+TEST(Split, DuplicateStormCannotDoubleCountDelegations) {
+  // Regression: before the delegation protocol carried split episodes, a
+  // duplicated DelegateAck re-applied the whole ack path — re-erasing the
+  // accepted children, re-counting the delegation, and re-linking the
+  // delegate — and a duplicated ReparentMsg made the child decline its own
+  // live parent with a Leave.  Run the capped-split workload with the link
+  // conditioner delivering EVERY message twice (plus reordering) and check
+  // the dedup guards keep the tree and the books straight.
+  constexpr int kCap = 4;
+  ScribeOverlay so{32, net::Topology::single_site(), capped_config(kCap)};
+  obs::Registry reg;
+  so.engine.set_metrics(&reg);
+  auto& weather = so.overlay.network().conditioner();
+  weather.set_duplicate(0, 0, 1.0);
+  weather.set_reorder(0, 0, 0.5, SimTime::millis(5));
+
+  const TopicId topic = pastry::tree_id("GPU", "admin");
+  so.subscribe_all(topic);
+  so.engine.run_for(SimTime::seconds(4));
+
+  // The storm really exercised the guards: duplicates were delivered and
+  // at least one reached an idempotence check.
+  EXPECT_GT(so.overlay.network().stats().duplicated, 0u);
+  EXPECT_GT(reg.fed().counter("scribe.dup_suppressed").value(), 0u);
+
+  // Heal the weather and let repair settle, then the usual split
+  // invariants must hold exactly as in the clean-network test.
+  weather.clear_all();
+  so.engine.run_for(SimTime::seconds(2));
+
+  EXPECT_GT(total_splits(so), 0u);
+  EXPECT_GT(total_delegations(so), 0u);
+  // Every delegation the metric saw is one the per-node books saw: a
+  // double-applied ack would inflate the counter past the reconciled sum.
+  EXPECT_EQ(reg.fed().counter("scribe.delegations").value(), total_delegations(so));
+  for (std::size_t i = 0; i < so.overlay.size(); ++i) {
+    EXPECT_LE(so.scribes[i]->children_of(topic).size(), static_cast<std::size_t>(kCap))
+        << "node " << i << " over the fan-in cap after the storm";
+  }
+  EXPECT_TRUE(so.tree_is_consistent(topic));
+  const auto root = so.overlay.root_of(topic);
+  EXPECT_DOUBLE_EQ(so.scribes[root]->aggregate_value(topic), 32.0)
+      << "duplication must reshape delivery, never the aggregate";
+}
+
 TEST(Split, RootSetRotationServesProbesFromReplicaHolders) {
   ScribeOverlay so{24, net::Topology::single_site(), capped_config(0, /*root_set=*/2)};
   obs::Registry reg;

@@ -54,6 +54,25 @@ mkdir -p build-ci/artifacts
 RBAY_MODEL_ARTIFACTS="$PWD/build-ci/artifacts" \
   ctest --preset ci -L model --output-on-failure
 
+# Weather gate (docs/FAULT_INJECTION.md, "Network weather"): the same
+# oracle with the adversarial link conditioner armed — burst loss,
+# duplicate storms, reordering, gray links, asymmetric partitions —
+# interleaved through every mutation round.  The reference model ignores
+# weather, so a divergence here is a protocol that failed to absorb
+# duplication, loss, or reordering; its shrunken .rbay counterexample is
+# archived like any other model artifact.  The composed gray-WAN storm
+# scenario must also ride out the weather with exact answers and green
+# invariants, its transcript archived either way.
+RBAY_MODEL_ARTIFACTS="$PWD/build-ci/artifacts" \
+  ctest --preset ci -R 'WeatherMatrix' --output-on-failure
+if ! build-ci/tools/rbay_sim --metrics build-ci/artifacts/gray_wan_metrics.json \
+    scenarios/gray_wan.rbay \
+    > build-ci/artifacts/gray_wan.log 2>&1; then
+  echo "gray_wan scenario FAILED; transcript follows" >&2
+  cat build-ci/artifacts/gray_wan.log >&2
+  exit 1
+fi
+
 # Rendezvous-failover gate: crash a tree root mid-aggregation and storm
 # the federation; the run's transcript (degraded reads, invariant verdict,
 # and — on a trip — the flight-recorder failure dump the scenario embeds
