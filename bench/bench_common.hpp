@@ -23,6 +23,7 @@
 // BENCH_<id>.json).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -40,6 +41,7 @@ namespace rbay::bench {
 struct Args {
   std::uint64_t seed = 42;
   bool small = false;
+  int threads = 0;              // 0 = no parallel-engine sweep (fig8a)
   std::string metrics_path;     // empty = observability disabled
   std::string json_path;        // empty = no machine-readable summary
   std::string trace_path;       // empty = no Chrome trace export
@@ -52,6 +54,8 @@ struct Args {
         args.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(argv[i], "--small") == 0) {
         args.small = true;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        args.threads = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
         args.metrics_path = argv[++i];
       } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {

@@ -4,7 +4,7 @@ namespace rbay::core {
 
 RBayCluster::RBayCluster(ClusterConfig config)
     : config_(std::move(config)),
-      engine_(config_.seed),
+      engine_(config_.seed, config_.engine),
       overlay_(engine_, config_.topology, config_.pastry),
       tree_specs_(std::make_shared<std::vector<TreeSpec>>()),
       taxonomy_(std::make_shared<Taxonomy>()) {
@@ -42,6 +42,10 @@ void RBayCluster::on_node_crashed(std::size_t index) {
 
 RBayNode& RBayCluster::add_node(net::SiteId site, const std::string& admin) {
   RBAY_REQUIRE(!finalized_, "add_node after finalize");
+  // Pin construction-time timers (Scribe aggregation/heartbeat, Pastry
+  // maintenance) to the node's site shard; setup-time Rng draws still come
+  // from the control stream, so node identities match the serial engine.
+  sim::Engine::ShardScope scope(engine_, engine_.shard_for_site(site));
   nodes_.push_back(std::make_unique<RBayNode>(overlay_, site, admin, config_.node));
   return *nodes_.back();
 }

@@ -92,9 +92,14 @@ const std::vector<TreeSpec>& RBayNode::tree_specs() const {
 
 void RBayNode::enable_monitor(std::vector<monitor::MetricSpec> metrics,
                               util::SimTime interval) {
+  // The fork draws from the calling context's Rng (setup: the control
+  // stream, matching the serial engine); ticks then use the monitor's own
+  // stream, so pinning the tick timer to this node's site shard below does
+  // not perturb any other draw sequence.
   monitor_ = std::make_unique<monitor::ResourceMonitor>(store_, engine().rng().fork());
   for (auto& m : metrics) monitor_->add_metric(std::move(m));
   monitor_->on_tick = [this]() { reevaluate_subscriptions(); };
+  sim::Engine::ShardScope scope(engine(), engine().shard_for_site(site()));
   monitor_->start(engine(), interval);
 }
 

@@ -113,6 +113,7 @@ class Execution {
     core::ClusterConfig config;
     config.topology = net::Topology::uniform(spec_.sites, spec_.intra_ms, spec_.cross_ms);
     config.seed = spec_.seed;
+    config.engine = spec_.engine;
     config.metrics = options_.metrics;
     config.node.scribe.aggregation_interval = spec_.aggregation;
     config.node.scribe.heartbeat_interval = spec_.heartbeat;

@@ -23,6 +23,7 @@
 #include "core/naming.hpp"
 #include "fault/schedule.hpp"
 #include "query/sql.hpp"
+#include "sim/engine.hpp"
 #include "store/attribute.hpp"
 #include "util/sim_time.hpp"
 
@@ -120,6 +121,11 @@ struct WorkloadSpec {
   // multicasts are suppressed while weather is active (a dropped one-shot
   // multicast is a real divergence, not a protocol bug).
   bool weather = false;
+  // Simulation execution mode (docs/PARALLEL_ENGINE.md).  The default is
+  // the serial engine; the model-par matrix sets threads=4 to run the
+  // oracle on the sharded schedule, proving protocol correctness is
+  // independent of the execution mode.
+  sim::EngineConfig engine{};
 };
 
 struct Workload {

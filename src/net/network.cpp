@@ -1,8 +1,71 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace rbay::net {
+
+Network::Network(sim::Engine& engine, Topology topology)
+    : engine_(engine), topology_(std::move(topology)) {
+  if (engine_.sharded()) {
+    const auto sites = static_cast<std::uint32_t>(topology_.site_count());
+    engine_.configure_shards(sites);
+    slot_stats_.assign(sites + 1, NetworkStats{});
+    slot_seq_.assign(sites + 1, 0);
+    update_lookahead();
+    engine_.on_run_start([this] {
+      // Neither the metric-cache refresh nor a flight-ring grow may happen
+      // mid-window (both move memory other shards read), so both are done
+      // here, with the workers guaranteed parked.
+      if (metrics_.registry != engine_.metrics()) refresh_metrics();
+      if (metrics_.causal != nullptr) metrics_.causal->reserve_rings(endpoints_.size());
+    });
+  }
+}
+
+void Network::update_lookahead() {
+  if (!engine_.sharded()) return;
+  std::int64_t min_us = std::numeric_limits<std::int64_t>::max();
+  for (SiteId a = 0; a < topology_.site_count(); ++a) {
+    for (SiteId b = 0; b < topology_.site_count(); ++b) {
+      if (a != b) min_us = std::min(min_us, topology_.one_way(a, b).as_micros());
+    }
+  }
+  if (min_us == std::numeric_limits<std::int64_t>::max()) return;  // single site
+  // The worst case send() can produce is the jitter floor of the shortest
+  // cross-site link: factor = 1 - jitter at u = -1 (weather only lengthens
+  // delays).  Truncation rounds the bound down — the safe direction.
+  const auto floor_us = static_cast<std::int64_t>(static_cast<double>(min_us) * (1.0 - jitter_));
+  RBAY_REQUIRE(floor_us >= 1,
+               "Network: sharded engine needs a positive cross-site delay floor "
+               "(jitter too large for the shortest link)");
+  engine_.set_cross_shard_lookahead(util::SimTime::micros(floor_us));
+}
+
+const NetworkStats& Network::stats() const {
+  if (slot_stats_.size() == 1) return slot_stats_[0];
+  merged_stats_ = NetworkStats{};
+  for (const NetworkStats& cell : slot_stats_) {
+    merged_stats_.messages_sent += cell.messages_sent;
+    merged_stats_.messages_delivered += cell.messages_delivered;
+    merged_stats_.messages_dropped += cell.messages_dropped;
+    merged_stats_.bytes_sent += cell.bytes_sent;
+    merged_stats_.weather_dropped += cell.weather_dropped;
+    merged_stats_.duplicated += cell.duplicated;
+    merged_stats_.reordered += cell.reordered;
+  }
+  return merged_stats_;
+}
+
+std::uint64_t Network::next_send_seq() {
+  if (!engine_.sharded()) return send_seq_++;
+  // Per-slot counters, disambiguated in the low byte (kMaxExecSlots < 256):
+  // unique without cross-shard coordination, and a pure function of the
+  // minting shard's deterministic event sequence.
+  const std::uint32_t slot = obs::exec_slot().index;
+  const std::uint32_t index = slot < slot_seq_.size() ? slot : 0;
+  return (slot_seq_[index]++ << 8) | index;
+}
 
 EndpointId Network::add_endpoint(SiteId site, Handler handler) {
   RBAY_REQUIRE(site < topology_.site_count(), "Network::add_endpoint: unknown site");
@@ -57,11 +120,12 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   if (metrics_.registry != engine_.metrics()) refresh_metrics();
 
   auto& src = endpoints_[from];
+  NetworkStats& stats = live_stats();
   const SiteId sa = src.site;
   if (src.down) {
     // A dead node does not speak: its timers may still fire in the
     // simulation, but nothing leaves the machine.
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     if (metrics_.dropped != nullptr) metrics_.dropped->inc();
     if (metrics_.causal != nullptr) {
       metrics_.causal->on_drop(metrics_.causal->current(), sa, from, payload->type_name(),
@@ -70,8 +134,8 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     return;
   }
   const std::size_t size = payload->wire_size();
-  ++stats_.messages_sent;
-  stats_.bytes_sent += size;
+  ++stats.messages_sent;
+  stats.bytes_sent += size;
   ++src.stats.sent;
   src.stats.bytes_sent += size;
 
@@ -89,7 +153,7 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     trace = metrics_.causal->on_send(sa, from, payload->type_name(), engine_.now());
   }
   if (partitioned(sa, sb) || (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
-    ++stats_.messages_dropped;
+    ++stats.messages_dropped;
     if (metrics_.dropped != nullptr) metrics_.dropped->inc();
     if (metrics_.causal != nullptr) {
       metrics_.causal->on_drop(trace, sa, from, payload->type_name(), engine_.now());
@@ -104,8 +168,8 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   if (conditioner_.armed()) {
     weather = conditioner_.decide(sa, sb, engine_.rng());
     if (weather.drop) {
-      ++stats_.messages_dropped;
-      ++stats_.weather_dropped;
+      ++stats.messages_dropped;
+      ++stats.weather_dropped;
       if (metrics_.dropped != nullptr) metrics_.dropped->inc();
       if (metrics_.registry != nullptr) {
         lazy_counter(metrics_.weather_drops, "net.weather_drops").inc();
@@ -136,7 +200,7 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
   };
   const util::SimTime delay = jittered(base) + weather.hold;
   if (weather.hold > util::SimTime::zero()) {
-    ++stats_.reordered;
+    ++stats.reordered;
     if (metrics_.registry != nullptr) {
       lazy_counter(metrics_.reordered, "net.reordered").inc();
     }
@@ -152,8 +216,8 @@ void Network::send(EndpointId from, EndpointId to, std::unique_ptr<Payload> payl
     // the dup chance was already drawn, so the RNG stream is unaffected.
     if (auto copy = (*box)->clone_payload()) {
       const util::SimTime dup_delay = jittered(base) + weather.dup_hold;
-      ++stats_.duplicated;
-      if (weather.dup_hold > util::SimTime::zero()) ++stats_.reordered;
+      ++stats.duplicated;
+      if (weather.dup_hold > util::SimTime::zero()) ++stats.reordered;
       if (metrics_.registry != nullptr) {
         lazy_counter(metrics_.duplicates, "net.duplicates").inc();
         if (weather.dup_hold > util::SimTime::zero()) {
@@ -171,18 +235,22 @@ void Network::schedule_delivery(EndpointId from, EndpointId to,
                                 std::shared_ptr<std::unique_ptr<Payload>> box,
                                 std::size_t size, util::SimTime delay,
                                 obs::TraceContext trace) {
-  const std::uint64_t seq = send_seq_++;
-  engine_.schedule(delay, [this, from, to, box, size, delay, trace, seq]() {
+  const std::uint64_t seq = next_send_seq();
+  // The delivery runs on the receiver's site shard (serial engine: shard 0
+  // is everything).  Cross-site sends satisfy the lookahead contract by
+  // construction — see update_lookahead().
+  engine_.schedule_on(engine_.shard_for_site(endpoints_[to].site), delay,
+                      [this, from, to, box, size, delay, trace, seq]() {
     auto& dst = endpoints_[to];
     if (dst.down) {
-      ++stats_.messages_dropped;
+      ++live_stats().messages_dropped;
       if (metrics_.dropped != nullptr) metrics_.dropped->inc();
       if (metrics_.causal != nullptr) {
         metrics_.causal->on_drop(trace, dst.site, to, (*box)->type_name(), engine_.now());
       }
       return;
     }
-    ++stats_.messages_delivered;
+    ++live_stats().messages_delivered;
     ++dst.stats.received;
     dst.stats.bytes_received += size;
     if (metrics_.delivered != nullptr) {
@@ -207,7 +275,7 @@ obs::Counter& Network::lazy_counter(obs::Counter*& slot, const char* name) {
 }
 
 void Network::reset_stats() {
-  stats_ = {};
+  for (auto& cell : slot_stats_) cell = NetworkStats{};
   for (auto& ep : endpoints_) ep.stats = {};
 }
 

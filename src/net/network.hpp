@@ -15,6 +15,7 @@
 
 #include "net/conditioner.hpp"
 #include "net/topology.hpp"
+#include "obs/exec_slot.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/contract.hpp"
@@ -76,8 +77,12 @@ class Network {
  public:
   using Handler = std::function<void(Envelope)>;
 
-  Network(sim::Engine& engine, Topology topology)
-      : engine_(engine), topology_(std::move(topology)) {}
+  /// On a sharded engine, construction also fixes the shard topology (one
+  /// shard per site), computes the conservative cross-shard lookahead from
+  /// the minimum cross-site one-way delay, and registers a run-start hook
+  /// that refreshes metric caches and pre-sizes the causal flight rings —
+  /// none of which may happen mid-window.
+  Network(sim::Engine& engine, Topology topology);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -121,9 +126,12 @@ class Network {
   void set_jitter(double jitter) {
     RBAY_REQUIRE(jitter >= 0.0, "jitter must be non-negative");
     jitter_ = jitter;
+    update_lookahead();  // jitter shrinks the guaranteed minimum delay
   }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Aggregate traffic counters.  Sharded engine: merged across the
+  /// per-shard cells at call time — snapshot/barrier use only.
+  [[nodiscard]] const NetworkStats& stats() const;
   [[nodiscard]] const EndpointStats& endpoint_stats(EndpointId ep) const {
     return endpoints_.at(ep).stats;
   }
@@ -163,10 +171,22 @@ class Network {
   void refresh_metrics();
   obs::Counter& lazy_counter(obs::Counter*& slot, const char* name);
 
-  /// Stamps a fresh Envelope::seq and schedules one delivery after `delay`.
+  /// Stamps a fresh Envelope::seq and schedules one delivery after `delay`
+  /// onto the destination endpoint's site shard.
   void schedule_delivery(EndpointId from, EndpointId to,
                          std::shared_ptr<std::unique_ptr<Payload>> box, std::size_t size,
                          util::SimTime delay, obs::TraceContext trace);
+
+  /// The NetworkStats cell of the calling execution slot.  Serial engine:
+  /// always the single cell — the historical counters, unchanged.
+  [[nodiscard]] NetworkStats& live_stats() {
+    const std::uint32_t slot = obs::exec_slot().index;
+    return slot_stats_[slot < slot_stats_.size() ? slot : 0];
+  }
+  [[nodiscard]] std::uint64_t next_send_seq();
+  /// Derives the sharded engine's lookahead: the minimum cross-site one-way
+  /// delay shrunk by the jitter floor.  No-op on a serial engine.
+  void update_lookahead();
 
   sim::Engine& engine_;
   Topology topology_;
@@ -175,8 +195,10 @@ class Network {
   double drop_probability_ = 0.0;
   double jitter_ = 0.1;
   LinkConditioner conditioner_;
-  std::uint64_t send_seq_ = 0;
-  NetworkStats stats_;
+  std::uint64_t send_seq_ = 0;            // serial: the historical counter
+  std::vector<std::uint64_t> slot_seq_;   // sharded: per-slot counters
+  std::vector<NetworkStats> slot_stats_{1};
+  mutable NetworkStats merged_stats_;
   MetricsCache metrics_;
 };
 

@@ -1,9 +1,11 @@
 #include "obs/causal.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/contract.hpp"
 
 namespace rbay::obs {
 
@@ -24,11 +26,26 @@ const char* phase_label(std::uint8_t phase) {
   return "none";
 }
 
+void CausalLog::set_slots(std::uint32_t slots) {
+  RBAY_REQUIRE(slots >= 1 && slots <= kMaxExecSlots,
+               "CausalLog::set_slots: slot count out of range (raise kMaxExecSlots)");
+  if (slots == slots_.size()) return;
+  RBAY_REQUIRE(slots_.size() == 1, "CausalLog::set_slots: slot count already fixed");
+  RBAY_REQUIRE(slots_[0].next_trace == 0 && slots_[0].next_span == 0,
+               "CausalLog::set_slots: ids already minted under stride 1");
+  slots_.resize(slots);
+  stride_ = slots;
+}
+
+void CausalLog::reserve_rings(std::size_t endpoint_count) {
+  if (rings_.size() < endpoint_count) rings_.resize(endpoint_count);
+}
+
 TraceContext CausalLog::begin_trace(const std::string& query_id, std::uint32_t site,
                                     std::uint32_t endpoint, util::SimTime at) {
-  if (traces_.size() >= kMaxTraces) return TraceContext{};
+  if (trace_count_.load(std::memory_order_relaxed) >= kMaxTraces) return TraceContext{};
   TraceContext ctx;
-  ctx.trace_id = ++next_trace_;
+  ctx.trace_id = mint_trace();
   ctx.span_id = mint_span();
   ctx.parent_span_id = 0;
 
@@ -36,8 +53,9 @@ TraceContext CausalLog::begin_trace(const std::string& query_id, std::uint32_t s
   meta.query_id = query_id;
   meta.root_span = ctx.span_id;
   meta.started = at;
-  traces_.emplace(ctx.trace_id, std::move(meta));
-  by_query_[query_id] = ctx.trace_id;
+  traces_.get_or_create(ctx.trace_id).ref = std::move(meta);
+  by_query_.get_or_create(query_id).ref = ctx.trace_id;
+  trace_count_.fetch_add(1, std::memory_order_relaxed);
 
   CausalEvent ev;
   ev.kind = CausalKind::kLocal;
@@ -54,8 +72,9 @@ TraceContext CausalLog::begin_trace(const std::string& query_id, std::uint32_t s
 
 void CausalLog::finish_trace(const TraceContext& fallback, std::uint32_t site,
                              std::uint32_t endpoint, util::SimTime at) {
+  const TraceContext& ambient = current();
   const TraceContext& parent =
-      (current_.active() && current_.trace_id == fallback.trace_id) ? current_ : fallback;
+      (ambient.active() && ambient.trace_id == fallback.trace_id) ? ambient : fallback;
   if (!parent.active()) return;
 
   CausalEvent ev;
@@ -70,30 +89,28 @@ void CausalLog::finish_trace(const TraceContext& fallback, std::uint32_t site,
   ev.at = at;
   ev.what = "query.finish";
 
-  auto it = traces_.find(parent.trace_id);
-  if (it != traces_.end()) {
-    it->second.terminus_span = ev.span_id;
-    it->second.finished = at;
-    it->second.done = true;
-  }
+  traces_.with(parent.trace_id, [&](TraceMeta& meta) {
+    meta.terminus_span = ev.span_id;
+    meta.finished = at;
+    meta.done = true;
+  });
   record(std::move(ev));
 }
 
 const TraceMeta* CausalLog::find_trace(std::uint64_t trace_id) const {
-  auto it = traces_.find(trace_id);
-  return it == traces_.end() ? nullptr : &it->second;
+  return traces_.find(trace_id);
 }
 
 std::uint64_t CausalLog::trace_id_for(const std::string& query_id) const {
-  auto it = by_query_.find(query_id);
-  return it == by_query_.end() ? 0 : it->second;
+  const std::uint64_t* id = by_query_.find(query_id);
+  return id == nullptr ? 0 : *id;
 }
 
 TraceContext CausalLog::on_send(std::uint32_t site, std::uint32_t endpoint, const char* what,
                                 util::SimTime at) {
-  TraceContext ctx = current_;
+  TraceContext ctx = current();
   if (ctx.active()) {
-    ctx.parent_span_id = current_.span_id;
+    ctx.parent_span_id = ctx.span_id;
     ctx.span_id = mint_span();
   }
   CausalEvent ev;
@@ -145,9 +162,9 @@ void CausalLog::on_drop(const TraceContext& ctx, std::uint32_t site, std::uint32
 
 TraceContext CausalLog::local(std::uint32_t site, std::uint32_t endpoint, const char* what,
                               util::SimTime at, int phase_override) {
-  TraceContext ctx = current_;
+  TraceContext ctx = current();
   if (ctx.active()) {
-    ctx.parent_span_id = current_.span_id;
+    ctx.parent_span_id = ctx.span_id;
     ctx.span_id = mint_span();
   }
   if (phase_override >= 0) ctx.phase = static_cast<std::uint8_t>(phase_override);
@@ -169,7 +186,8 @@ TraceContext CausalLog::local(std::uint32_t site, std::uint32_t endpoint, const 
 void CausalLog::set_flight_capacity(std::size_t capacity) {
   flight_capacity_ = capacity == 0 ? 1 : capacity;
   // Existing rings keep their contents up to the new capacity; simplest
-  // deterministic behavior is to restart them.
+  // deterministic behavior is to restart them.  (A sharded engine's
+  // run-start hook re-reserves the ring vector afterwards.)
   rings_.clear();
 }
 
@@ -201,12 +219,37 @@ std::string CausalLog::dump_flight(std::uint32_t endpoint) const {
   return out;
 }
 
+const std::vector<CausalEvent>& CausalLog::events() const {
+  if (stride_ == 1) return slots_[0].events;
+  std::size_t total = 0;
+  for (const SlotState& s : slots_) total += s.events.size();
+  if (total != merged_from_) {
+    merged_.clear();
+    merged_.reserve(total);
+    for (const SlotState& s : slots_) {
+      merged_.insert(merged_.end(), s.events.begin(), s.events.end());
+    }
+    // Appending in slot order then stable-sorting by time yields the
+    // canonical (at, slot, intra-slot index) order.
+    std::stable_sort(merged_.begin(), merged_.end(),
+                     [](const CausalEvent& a, const CausalEvent& b) { return a.at < b.at; });
+    merged_from_ = total;
+  }
+  return merged_;
+}
+
 std::vector<const CausalEvent*> CausalLog::trace_events(std::uint64_t trace_id) const {
   std::vector<const CausalEvent*> out;
-  for (const CausalEvent& ev : events_) {
+  for (const CausalEvent& ev : events()) {
     if (ev.trace_id == trace_id) out.push_back(&ev);
   }
   return out;
+}
+
+std::uint64_t CausalLog::dropped() const {
+  std::uint64_t n = 0;
+  for (const SlotState& s : slots_) n += s.dropped;
+  return n;
 }
 
 void CausalLog::bind_counters(Counter* events, Counter* dropped) {
@@ -215,28 +258,35 @@ void CausalLog::bind_counters(Counter* events, Counter* dropped) {
 }
 
 void CausalLog::record(CausalEvent ev) {
+  SlotState& s = slot();
   // Flight ring first: it sees every event, traced or not.
-  if (ev.endpoint >= rings_.size()) rings_.resize(ev.endpoint + 1);
-  FlightRing& ring = rings_[ev.endpoint];
-  ++ring.total;
-  const bool wrapped = ring.slots.size() >= flight_capacity_;
-  if (wrapped) {
-    ring.slots[ring.next] = ev;
-    ring.next = (ring.next + 1) % flight_capacity_;
-    ++dropped_;
-    if (dropped_counter_ != nullptr) dropped_counter_->inc();
-  } else {
-    ring.slots.push_back(ev);
-    ring.next = ring.slots.size() % flight_capacity_;
+  bool ring_ok = ev.endpoint < rings_.size();
+  if (!ring_ok && stride_ == 1) {
+    rings_.resize(ev.endpoint + 1);  // serial: grow on demand, as always
+    ring_ok = true;
+  }
+  if (ring_ok) {
+    FlightRing& ring = rings_[ev.endpoint];
+    ++ring.total;
+    const bool wrapped = ring.slots.size() >= flight_capacity_;
+    if (wrapped) {
+      ring.slots[ring.next] = ev;
+      ring.next = (ring.next + 1) % flight_capacity_;
+      ++s.dropped;
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
+    } else {
+      ring.slots.push_back(ev);
+      ring.next = ring.slots.size() % flight_capacity_;
+    }
   }
 
   if (ev.trace_id == 0) return;
-  if (events_.size() >= kMaxEvents) {
-    ++dropped_;
+  if (s.events.size() >= kMaxEvents / stride_) {
+    ++s.dropped;
     if (dropped_counter_ != nullptr) dropped_counter_->inc();
     return;
   }
-  events_.push_back(std::move(ev));
+  s.events.push_back(std::move(ev));
   if (events_counter_ != nullptr) events_counter_->inc();
 }
 

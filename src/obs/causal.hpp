@@ -5,33 +5,47 @@
 // The CausalLog lives inside the obs::Registry and is the single authority
 // for span identity.  Three cooperating mechanisms:
 //
-//   * Ambient context.  The simulator is single-threaded, so "the context
-//     of the code currently running" is one TraceContext slot.  The network
-//     sets it (via ContextScope) around every delivery handler; trace roots
-//     and timer continuations set it explicitly.  on_send()/local() mint
-//     child spans of whatever is ambient — that is the whole propagation
-//     rule.
+//   * Ambient context.  "The context of the code currently running" is one
+//     TraceContext slot per *execution slot* (obs/exec_slot.hpp): the
+//     serial engine only ever uses slot 0; the sharded engine gives every
+//     site shard its own ambient slot, since shards execute handlers
+//     concurrently.  The network sets it (via ContextScope) around every
+//     delivery handler; trace roots and timer continuations set it
+//     explicitly.  on_send()/local() mint child spans of whatever is
+//     ambient — that is the whole propagation rule.
 //   * Global causal log.  Every event that belongs to a trace
-//     (trace_id != 0) is appended to one bounded, append-only vector in
-//     simulation order.  The critical-path analyzer and the Chrome exporter
-//     read it.  Bounded by kMaxEvents; past that, traced events are counted
-//     in trace.dropped instead of recorded.
+//     (trace_id != 0) is appended to a per-slot, bounded, append-only
+//     vector in that shard's simulation order.  events() presents the
+//     merged view, ordered by (sim-time, slot, intra-slot order) — a pure
+//     function of the deterministic per-shard sequences, so the merged log
+//     (and the Chrome export built from it) is byte-identical at any
+//     worker-thread count.  Bounded by kMaxEvents split evenly across
+//     slots; past that, traced events are counted in trace.dropped.
 //   * Flight recorder.  Every event — traced or not — is also written into
 //     a small per-endpoint ring (set_flight_capacity), so when a chaos
 //     invariant fails the harness can dump the last N causal events of the
-//     nodes named in the report.  Ring overwrites count into trace.dropped.
+//     nodes named in the report.  Each endpoint's ring is written only by
+//     its site's shard (plus barrier-serialized control events), so rings
+//     need no locks — but under a sharded engine they must be pre-sized
+//     via reserve_rings() because growing the ring vector would move rings
+//     other shards are writing.  Ring overwrites count into trace.dropped.
 //
-// Determinism: timestamps are sim-time, ids are minted from sequential
-// counters, containers are ordered — same-seed runs produce byte-identical
-// logs (and therefore byte-identical Chrome exports; a replay test pins it).
+// Determinism: timestamps are sim-time; span/trace ids are minted from
+// per-slot counters strided by the slot count (slot k mints k+1, k+1+S,
+// ...), so ids are a pure function of (seed, shard) — the serial engine
+// has stride 1 and mints the exact historical sequence 1, 2, 3, ...
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/context.hpp"
+#include "obs/exec_slot.hpp"
 #include "util/sim_time.hpp"
+#include "util/striped_map.hpp"
 
 namespace rbay::obs {
 
@@ -72,18 +86,28 @@ struct TraceMeta {
 
 class CausalLog {
  public:
-  /// Global log bound: ~256k events.  Long bench runs saturate this; the
-  /// critical-path analyzer reports such traces as incomplete rather than
-  /// wrong.
+  /// Global log bound: ~256k events, split evenly across execution slots.
+  /// Long bench runs saturate this; the critical-path analyzer reports
+  /// such traces as incomplete rather than wrong.
   static constexpr std::size_t kMaxEvents = std::size_t{1} << 18;
   static constexpr std::size_t kMaxTraces = 4096;
   static constexpr std::size_t kDefaultFlightCapacity = 64;
 
+  // --- sharding ----------------------------------------------------------
+  /// Declares the execution-slot count (site shards + control).  Called by
+  /// a sharded engine before its first run, while only slot 0 has state.
+  /// The serial engine never calls it: one slot, stride 1, historical ids.
+  void set_slots(std::uint32_t slots);
+  /// Pre-sizes the flight-ring vector (sharded runs must not grow it from
+  /// inside a window; see the flight-recorder note above).
+  void reserve_rings(std::size_t endpoint_count);
+
   // --- ambient context ---------------------------------------------------
-  [[nodiscard]] const TraceContext& current() const { return current_; }
+  [[nodiscard]] const TraceContext& current() const { return slot().current; }
   TraceContext exchange(TraceContext ctx) {
-    TraceContext prev = current_;
-    current_ = ctx;
+    SlotState& s = slot();
+    TraceContext prev = s.current;
+    s.current = ctx;
     return prev;
   }
 
@@ -128,9 +152,13 @@ class CausalLog {
   [[nodiscard]] std::string dump_flight(std::uint32_t endpoint) const;
 
   // --- access ------------------------------------------------------------
-  [[nodiscard]] const std::vector<CausalEvent>& events() const { return events_; }
+  /// All traced events in canonical order.  Serial engine: the slot-0 log,
+  /// zero-copy.  Sharded: a snapshot-time merge of the per-slot logs,
+  /// ordered by (at, slot, intra-slot index) and cached until new events
+  /// arrive.  Snapshot-time only when sharded.
+  [[nodiscard]] const std::vector<CausalEvent>& events() const;
   [[nodiscard]] std::vector<const CausalEvent*> trace_events(std::uint64_t trace_id) const;
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped() const;
 
   /// Binds the trace.events / trace.dropped counters.  The Registry calls
   /// this lazily from its causal() accessor so a registry that never traces
@@ -144,20 +172,48 @@ class CausalLog {
     std::uint64_t total = 0;
   };
 
-  std::uint64_t mint_span() { return ++next_span_; }
+  /// Per-execution-slot state: ambient context, id counters, event log.
+  /// Each is touched only by its shard (or barrier-serialized control).
+  struct SlotState {
+    TraceContext current{};
+    std::uint64_t next_trace = 0;
+    std::uint64_t next_span = 0;
+    std::uint64_t dropped = 0;
+    std::vector<CausalEvent> events;
+  };
+
+  SlotState& slot() {
+    const std::uint32_t index = exec_slot().index;
+    return slots_[index < slots_.size() ? index : 0];
+  }
+  [[nodiscard]] const SlotState& slot() const {
+    const std::uint32_t index = exec_slot().index;
+    return slots_[index < slots_.size() ? index : 0];
+  }
+
+  std::uint64_t mint_span() {
+    SlotState& s = slot();
+    return (s.next_span++) * stride_ + (&s - slots_.data()) + 1;
+  }
+  std::uint64_t mint_trace() {
+    SlotState& s = slot();
+    return (s.next_trace++) * stride_ + (&s - slots_.data()) + 1;
+  }
   void record(CausalEvent ev);
 
-  TraceContext current_{};
-  std::uint64_t next_trace_ = 0;
-  std::uint64_t next_span_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::vector<CausalEvent> events_;
-  std::map<std::uint64_t, TraceMeta> traces_;
-  std::map<std::string, std::uint64_t> by_query_;
-  std::vector<FlightRing> rings_;  // indexed by endpoint, grown on demand
+  std::vector<SlotState> slots_{1};
+  std::uint64_t stride_ = 1;
+  util::StripedMap<std::uint64_t, TraceMeta> traces_;
+  util::StripedMap<std::string, std::uint64_t> by_query_;
+  std::atomic<std::size_t> trace_count_{0};
+  std::vector<FlightRing> rings_;  // indexed by endpoint; grown on demand
+                                   // (serial) or pre-sized (sharded)
   std::size_t flight_capacity_ = kDefaultFlightCapacity;
   Counter* events_counter_ = nullptr;
   Counter* dropped_counter_ = nullptr;
+  /// Merged-events cache, rebuilt when the per-slot totals change.
+  mutable std::vector<CausalEvent> merged_;
+  mutable std::size_t merged_from_ = 0;
 };
 
 /// RAII swap of the ambient context.  Null-log tolerant so instrumented

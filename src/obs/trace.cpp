@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/exec_slot.hpp"
 #include "obs/json.hpp"
 
 namespace rbay::obs {
@@ -39,78 +40,88 @@ bool QueryTrace::has_event(const std::string& what) const {
 
 // --- Tracer -----------------------------------------------------------------
 
-QueryTrace* Tracer::find_mut(const std::string& query_id) {
-  const auto it = traces_.find(query_id);
-  return it == traces_.end() ? nullptr : &it->second;
-}
-
 const QueryTrace* Tracer::find(const std::string& query_id) const {
-  const auto it = traces_.find(query_id);
-  return it == traces_.end() ? nullptr : &it->second;
+  return traces_.find(query_id);
 }
 
 void Tracer::begin_query(const std::string& query_id, util::SimTime now) {
-  if (traces_.size() >= kMaxTraces && traces_.find(query_id) == traces_.end()) {
-    ++dropped_;
+  if (count_.load(std::memory_order_relaxed) >= kMaxTraces &&
+      traces_.find(query_id) == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  auto& trace = traces_[query_id];
-  trace.query_id = query_id;
-  trace.started = now;
+  auto acc = traces_.get_or_create(query_id);
+  if (acc.ref.query_id.empty()) count_.fetch_add(1, std::memory_order_relaxed);
+  acc.ref.query_id = query_id;
+  acc.ref.started = now;
 }
 
 void Tracer::begin_span(const std::string& query_id, Phase phase, int attempt,
                         util::SimTime now) {
-  auto* trace = find_mut(query_id);
-  if (trace == nullptr) return;
-  trace->spans.push_back(Span{phase, attempt, now, kOpenEnd, 0});
+  const std::uint32_t slot = exec_slot().index;
+  traces_.with(query_id, [&](QueryTrace& trace) {
+    trace.spans.push_back(Span{phase, attempt, now, kOpenEnd, 0, slot});
+  });
 }
 
 void Tracer::end_span(const std::string& query_id, Phase phase, util::SimTime now, int hops) {
-  auto* trace = find_mut(query_id);
-  if (trace == nullptr) return;
-  for (auto it = trace->spans.rbegin(); it != trace->spans.rend(); ++it) {
-    if (it->phase == phase && it->end == kOpenEnd) {
-      it->end = now;
-      it->hops = hops;
-      return;
+  const std::uint32_t slot = exec_slot().index;
+  traces_.with(query_id, [&](QueryTrace& trace) {
+    // Pair with the calling slot's own open span: several site gateways
+    // trace into one query id concurrently, and "most recent" across slots
+    // would depend on append interleaving.  Serial engine: slot is always
+    // 0, so this is the historical most-recent-open rule.
+    for (auto it = trace.spans.rbegin(); it != trace.spans.rend(); ++it) {
+      if (it->phase == phase && it->end == kOpenEnd && it->slot == slot) {
+        it->end = now;
+        it->hops = hops;
+        return;
+      }
     }
-  }
+  });
 }
 
 void Tracer::add_span(const std::string& query_id, Phase phase, int attempt,
                       util::SimTime start, util::SimTime end, int hops) {
-  auto* trace = find_mut(query_id);
-  if (trace == nullptr) return;
-  trace->spans.push_back(Span{phase, attempt, start, end, hops});
+  const std::uint32_t slot = exec_slot().index;
+  traces_.with(query_id, [&](QueryTrace& trace) {
+    trace.spans.push_back(Span{phase, attempt, start, end, hops, slot});
+  });
 }
 
 void Tracer::event(const std::string& query_id, std::string what, int attempt,
                    util::SimTime now) {
-  auto* trace = find_mut(query_id);
-  if (trace == nullptr) return;
-  trace->events.push_back(TraceEvent{now, attempt, std::move(what)});
+  const std::uint32_t slot = exec_slot().index;
+  traces_.with(query_id, [&](QueryTrace& trace) {
+    trace.events.push_back(TraceEvent{now, attempt, std::move(what), slot});
+  });
 }
 
 void Tracer::finish_query(const std::string& query_id, util::SimTime now, bool satisfied,
                           int attempts) {
-  auto* trace = find_mut(query_id);
-  if (trace == nullptr) return;
-  trace->finished = now;
-  trace->done = true;
-  trace->satisfied = satisfied;
-  trace->attempts = attempts;
-  // Close any span the query abandoned (e.g. a site that timed out while
-  // its probes were still in flight).
-  for (auto& span : trace->spans) {
-    if (span.end == kOpenEnd) span.end = now;
-  }
+  const std::uint32_t slot = exec_slot().index;
+  traces_.with(query_id, [&](QueryTrace& trace) {
+    trace.finished = now;
+    trace.done = true;
+    trace.satisfied = satisfied;
+    trace.attempts = attempts;
+    // Close any span the query abandoned (e.g. a site that timed out while
+    // its probes were still in flight) — but only the finishing slot's own
+    // spans.  A remote slot may still be running its abandoned anycast in
+    // this very window; whether its end_span or this force-close "won"
+    // would be a wall-clock race, so remote spans keep their owner as the
+    // single writer and render zero-length if never closed.  Serial
+    // engine: everything is slot 0, the historical close-all behavior.
+    for (auto& span : trace.spans) {
+      if (span.end == kOpenEnd && span.slot == slot) span.end = now;
+    }
+  });
 }
 
 void Tracer::write_json(std::string& out) const {
   out += '[';
   json::Comma trace_comma;
-  for (const auto& [id, trace] : traces_) {
+  traces_.for_each_ordered([&](const std::string& /*id*/, const QueryTrace& trace) {
     trace_comma.next(out);
     out += '{';
     json::append_key(out, "query_id");
@@ -133,8 +144,20 @@ void Tracer::write_json(std::string& out) const {
     out += ',';
     json::append_key(out, "spans");
     out += '[';
+    // Sharded runs append from several shards, so the vector's order is
+    // worker-interleaving-dependent; (start, slot) with a stable sort —
+    // which keeps each slot's own appends in order — is a pure function of
+    // the schedule.  Serial runs skip the sort: plain append order,
+    // byte-identical to the classic tracer.
+    std::vector<Span> spans = trace.spans;
+    if (sharded_) {
+      std::stable_sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+        if (a.start != b.start) return a.start < b.start;
+        return a.slot < b.slot;
+      });
+    }
     json::Comma span_comma;
-    for (const auto& span : trace.spans) {
+    for (const auto& span : spans) {
       span_comma.next(out);
       out += '{';
       json::append_key(out, "phase");
@@ -157,8 +180,16 @@ void Tracer::write_json(std::string& out) const {
     out += ',';
     json::append_key(out, "events");
     out += '[';
+    std::vector<TraceEvent> events = trace.events;
+    if (sharded_) {
+      std::stable_sort(events.begin(), events.end(),
+                       [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.at != b.at) return a.at < b.at;
+                         return a.slot < b.slot;
+                       });
+    }
     json::Comma event_comma;
-    for (const auto& event : trace.events) {
+    for (const auto& event : events) {
       event_comma.next(out);
       out += '{';
       json::append_key(out, "at_us");
@@ -173,7 +204,7 @@ void Tracer::write_json(std::string& out) const {
     }
     out += ']';
     out += '}';
-  }
+  });
   out += ']';
 }
 

@@ -19,12 +19,14 @@
 // every container is ordered, so two same-seed runs serialize to identical
 // JSON (the replay test pins this).
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "util/sim_time.hpp"
+#include "util/striped_map.hpp"
 
 namespace rbay::obs {
 
@@ -48,6 +50,11 @@ struct Span {
   /// Network legs / member visits attributed to the phase: trees probed,
   /// anycast dispatches, members visited, slots filled, nodes committed.
   int hops = 0;
+  /// Execution slot that recorded the span (obs/exec_slot.hpp).  Serial
+  /// engine: always 0.  Sharded: begin/end pair per slot, and the snapshot
+  /// orders spans by (start, slot) so the JSON is a pure function of the
+  /// schedule, never of worker interleaving.
+  std::uint32_t slot = 0;
 
   [[nodiscard]] util::SimTime latency() const { return end - start; }
 };
@@ -56,6 +63,7 @@ struct TraceEvent {
   util::SimTime at = util::SimTime::zero();
   int attempt = 1;
   std::string what;
+  std::uint32_t slot = 0;  ///< recording execution slot (see Span::slot)
 };
 
 struct QueryTrace {
@@ -65,8 +73,8 @@ struct QueryTrace {
   bool done = false;
   bool satisfied = false;
   int attempts = 0;
-  std::vector<Span> spans;    // in protocol order (append order)
-  std::vector<TraceEvent> events;
+  std::vector<Span> spans;    // append order; sharded snapshots re-order
+  std::vector<TraceEvent> events;  //   by (start/at, slot) — see Tracer doc
 
   [[nodiscard]] bool has_phase(Phase phase) const;
   [[nodiscard]] const Span* first_span(Phase phase) const;
@@ -76,9 +84,30 @@ struct QueryTrace {
 /// Collects QueryTraces by query id.  Bounded: past kMaxTraces, new queries
 /// are counted in dropped() instead of recorded, so long bench runs cannot
 /// grow memory without bound.
+///
+/// Sharded engine: a cross-site query's trace is written from *several*
+/// shards — the origin gateway records probe/commit spans while every
+/// remote gateway's site query records its anycast/member-search spans
+/// into the same id — so every mutation runs under the stripe lock of the
+/// lock-striped table (util/striped_map.hpp).  Determinism is restored at
+/// the edges rather than by locking order (which is interleaving-
+/// dependent): spans/events are tagged with their execution slot,
+/// begin/end pairing and finish-time closing are per-slot, and
+/// write_json() orders each trace's spans by (start, slot, per-slot
+/// append order) whenever set_slots() declared a sharded run.  The serial
+/// engine never calls set_slots(): single-slot traces serialize in plain
+/// append order, byte-identical to the classic tracer.  One visible
+/// sharded-only difference: a span abandoned on a *remote* slot (site
+/// timed out mid-anycast) stays open and renders zero-length instead of
+/// being force-closed at finish time — closing it from the origin shard
+/// would be a cross-slot last-writer race.
 class Tracer {
  public:
   static constexpr std::size_t kMaxTraces = 4096;
+
+  /// Declares the execution-slot count of a sharded run (site shards +
+  /// control).  Serial engines never call it.
+  void set_slots(std::uint32_t slots) { sharded_ = slots > 1; }
 
   void begin_query(const std::string& query_id, util::SimTime now);
   void begin_span(const std::string& query_id, Phase phase, int attempt, util::SimTime now);
@@ -92,16 +121,17 @@ class Tracer {
                     int attempts);
 
   [[nodiscard]] const QueryTrace* find(const std::string& query_id) const;
-  [[nodiscard]] std::size_t size() const { return traces_.size(); }
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t size() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  /// Snapshot-time only (merges the stripes in key order).
   void write_json(std::string& out) const;
 
  private:
-  QueryTrace* find_mut(const std::string& query_id);
-
-  std::map<std::string, QueryTrace> traces_;
-  std::uint64_t dropped_ = 0;
+  util::StripedMap<std::string, QueryTrace> traces_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  bool sharded_ = false;
 };
 
 }  // namespace rbay::obs

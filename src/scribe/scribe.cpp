@@ -111,6 +111,13 @@ bool Scribe::subscribed(const TopicId& topic) const {
   return st != nullptr && st->member;
 }
 
+std::vector<TopicId> Scribe::known_topics() const {
+  std::vector<TopicId> topics;
+  topics.reserve(topics_.size());
+  for (const auto& [topic, st] : topics_) topics.push_back(topic);
+  return topics;
+}
+
 void Scribe::add_child(const TopicId& topic, TopicState& st, const NodeRef& child) {
   const auto now = node_.network().engine().now();
   for (auto& c : st.children) {

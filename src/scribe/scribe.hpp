@@ -15,6 +15,7 @@
 // misses beats re-joins through Pastry, converging on the new root.
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -93,6 +94,13 @@ class Scribe final : public pastry::PastryApp {
   void unsubscribe(const TopicId& topic);
 
   [[nodiscard]] bool subscribed(const TopicId& topic) const;
+
+  /// The topics this node holds state for, in the order the periodic
+  /// rounds walk them.  Contract: sorted by TopicId — a pure function of
+  /// the topic set, independent of subscription/teardown history — so
+  /// per-round message order (and the jitter draws / seq tie-breaks that
+  /// hang off it) is deterministic.
+  [[nodiscard]] std::vector<TopicId> known_topics() const;
 
   /// Multicasts `data` to all members via the rendezvous root.
   void multicast(const TopicId& topic, std::string data,
@@ -328,12 +336,20 @@ class Scribe final : public pastry::PastryApp {
 
   pastry::PastryNode& node_;
   ScribeConfig config_;
-  std::unordered_map<TopicId, TopicState, util::U128Hash> topics_;
+  /// Ordered by TopicId, NOT hashed: the periodic rounds (aggregation,
+  /// heartbeats, parent checks, replica promotion) iterate these maps and
+  /// send one message per entry, so iteration order decides per-message
+  /// jitter draws and Envelope::seq tie-breaks.  A hash map's order is a
+  /// function of its insertion/erase history — two nodes with the same
+  /// topic set but different subscription histories would schedule
+  /// differently.  Sorted order is a pure function of the key set
+  /// (pinned by scribe/determinism_test.cpp).
+  std::map<TopicId, TopicState> topics_;
   /// Replication epochs of torn-down topics we were root of: a rebuilt
   /// tree resumes from here instead of restarting at 0, which would make
   /// successors (whose replicas never regress) reject every new snapshot.
   std::unordered_map<TopicId, std::uint64_t, util::U128Hash> retired_epochs_;
-  std::unordered_map<TopicId, ReplicaState, util::U128Hash> replicas_;
+  std::map<TopicId, ReplicaState> replicas_;
   std::unordered_map<TopicId, RootSetEntry, util::U128Hash> root_sets_;
   std::unordered_map<std::uint64_t, AnycastWaiter> anycast_waiters_;
   std::unordered_map<std::uint64_t, SizeWaiter> size_waiters_;

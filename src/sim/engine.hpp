@@ -6,12 +6,52 @@
 // every RBAY node is an in-process actor, every message delivery and timer
 // is an event on one virtual clock.  Determinism rules:
 //   * events at equal timestamps fire in schedule order (monotonic seq);
-//   * all randomness flows through the engine-owned seeded Rng.
+//   * all randomness flows through engine-owned seeded Rngs.
+//
+// Two execution modes (docs/PARALLEL_ENGINE.md):
+//
+//   * Serial (EngineConfig{} — the default).  One queue, one clock, one
+//     Rng: byte-for-byte the classic engine.  Every pre-existing test and
+//     scenario runs on this path unchanged.
+//
+//   * Sharded (threads > 1, or shard_by_site for the serial reference
+//     execution of the same schedule).  The event queue is split into one
+//     *control* shard (shard 0: setup, benches, churn, fault injection,
+//     observers — anything that may touch cross-site god-view state) and
+//     one shard per site, each with its own queue, clock, seq counter, and
+//     Rng stream (util::Rng::stream(seed, shard)).  Site shards advance in
+//     parallel through conservative-lookahead windows:
+//
+//       window = [t_min, min(t_min + stride, t_ctl, deadline + 1us))
+//
+//     where stride is the lookahead — the minimum cross-site one-way delay
+//     (set by the Network) — or a fixed 100ms quantum when no lookahead is
+//     set (single-site topologies have no cross-site links).  A message
+//     sent from inside the window can only land at or after the window's
+//     end, so shards never see each other mid-window.
+//     Cross-shard schedules are staged in per-shard outboxes and
+//     integrated at the barrier in (time, source shard, source order) —
+//     a pure function of queue state, never of thread interleaving.
+//     Control events act as barriers: whenever the control queue's head is
+//     due, all workers are parked and control events drain serially, so
+//     churn, fault injection, and observers may touch anything, exactly
+//     like the serial engine.
+//
+//     The same seed therefore produces the same schedule — and the same
+//     metrics/trace/query bytes — at any worker-thread count; the
+//     parallel-equivalence matrix test pins this.  Sharded output differs
+//     from *serial* output (per-shard Rng streams replace the single
+//     global draw order), which is why the serial engine is preserved
+//     verbatim behind the default config.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "util/contract.hpp"
@@ -37,11 +77,32 @@ using util::SimTime;
 
 class Engine;
 
+/// Execution-mode configuration, fixed at engine construction.
+struct EngineConfig {
+  /// Worker threads for the sharded scheduler.  1 (the default) keeps the
+  /// classic serial engine byte-for-byte unless shard_by_site is set.
+  unsigned threads = 1;
+  /// Forces the sharded scheduler even at threads == 1: the serial
+  /// reference execution the parallel-equivalence matrix compares
+  /// against.  Implied by threads > 1.
+  bool shard_by_site = false;
+
+  [[nodiscard]] bool sharded() const { return shard_by_site || threads > 1; }
+
+  /// Reads RBAY_SIM_THREADS (worker count; >= 2 implies sharding) and
+  /// RBAY_SIM_SHARDED (=1 forces shard_by_site) — how the ThreadSanitizer
+  /// CI lane pushes the whole cluster test suite onto the sharded engine.
+  static EngineConfig from_env();
+};
+
 namespace detail {
 /// Shared liveness record between a Timer and its queued event(s).
 struct EventFlag {
-  bool alive = true;
+  std::atomic<bool> alive{true};
   bool counts_foreground = false;
+  /// Owning shard (sharded mode): which shard's foreground count this
+  /// flag's claim lives in.  0 covers both serial mode and control.
+  std::uint32_t shard = 0;
   Engine* engine = nullptr;
 };
 }  // namespace detail
@@ -49,12 +110,20 @@ struct EventFlag {
 /// Cancellation token for a scheduled event.  The queue entry stays put,
 /// but cancellation immediately releases the event's foreground claim, so
 /// run() never waits out a dead timer's deadline.
+///
+/// Sharded mode: a shard may cancel its own timers, and any context may
+/// cancel control-owned timers (control events only fire at barriers, so
+/// the cancellation is always observed before the event could run).
+/// Cancelling another *site* shard's timer mid-window would be a
+/// nondeterministic race and is forbidden by contract.
 class Timer {
  public:
   Timer() = default;
 
   void cancel();
-  [[nodiscard]] bool active() const { return flag_ && flag_->alive; }
+  [[nodiscard]] bool active() const {
+    return flag_ && flag_->alive.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Engine;
@@ -64,13 +133,53 @@ class Timer {
 
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 0x5EED) : rng_(seed) {}
+  explicit Engine(std::uint64_t seed = 0x5EED, EngineConfig config = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] bool sharded() const { return sharded_; }
+
+  /// Current time of the calling context's shard (serial: the one clock).
+  [[nodiscard]] SimTime now() const;
+  /// Rng stream of the calling context's shard (serial: the one Rng).
+  [[nodiscard]] util::Rng& rng();
+
+  // --- sharded-mode topology (no-ops / trivial on the serial engine) -----
+
+  /// Declares the site count; creates one shard per site (plus the control
+  /// shard the engine is born with).  Called by the Network from its
+  /// constructor; idempotent for the same count, a contract violation for
+  /// a different one.  Serial engine: no-op.
+  void configure_shards(std::uint32_t site_count);
+  /// Total shards including control (serial: 1).
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return sharded_ ? static_cast<std::uint32_t>(shards_.size()) : 1;
+  }
+  /// The shard that owns site `site` (serial: 0 — everything is shard 0).
+  [[nodiscard]] std::uint32_t shard_for_site(std::uint32_t site) const {
+    return sharded_ ? site + 1 : 0;
+  }
+  /// The shard of the currently executing context (0 outside any event).
+  [[nodiscard]] std::uint32_t current_shard() const;
+
+  /// Conservative lookahead: the minimum sim-time by which any cross-shard
+  /// event must trail its sender's clock.  The Network sets it to the
+  /// minimum cross-site one-way delay net of jitter shrink; must be
+  /// positive.  Unset (the default) means "no cross-shard traffic";
+  /// windows then advance by a fixed 100ms quantum, because quiescence
+  /// and deadlines are only checked at barriers and a single-site
+  /// federation's periodic timers would otherwise keep an unbounded
+  /// window spinning forever.
+  void set_cross_shard_lookahead(SimTime lookahead);
+  [[nodiscard]] SimTime cross_shard_lookahead() const { return lookahead_; }
+
+  /// Registers a hook run (in control context) at the top of every
+  /// run()/run_until() — how the Network refreshes caches and pre-sizes
+  /// flight rings before workers exist.
+  void on_run_start(std::function<void()> hook) { run_hooks_.push_back(std::move(hook)); }
 
   /// Attaches an observability registry (nullptr detaches).  Detached is
   /// the default and costs one pointer check per event; attach *before*
@@ -80,8 +189,15 @@ class Engine {
   [[nodiscard]] obs::Registry* metrics() const { return metrics_; }
 
   /// Schedules `fn` to run `delay` after the current time.  The event is
-  /// foreground unless scheduled from within a background event.
+  /// foreground unless scheduled from within a background event.  Sharded:
+  /// targets the calling context's shard (or the ShardScope-pinned shard
+  /// when scheduling from setup code).
   Timer schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` onto a specific shard (sharded mode; serial engines
+  /// have only shard 0).  From a worker, a cross-shard target must satisfy
+  /// the lookahead contract: now() + delay >= the current window end.
+  Timer schedule_on(std::uint32_t shard, SimTime delay, std::function<void()> fn);
 
   /// Schedules `fn` every `period`, starting one period from now, until the
   /// returned Timer is cancelled.  Periodic events are background.
@@ -109,14 +225,34 @@ class Engine {
   std::size_t run_until(SimTime deadline);
 
   /// Runs for `duration` of virtual time from now.
-  std::size_t run_for(SimTime duration) { return run_until(now_ + duration); }
+  std::size_t run_for(SimTime duration) { return run_until(now() + duration); }
 
   /// Executes at most one pending event.  Returns false if queue empty.
+  /// Serial engine only (a sharded schedule has no single "next event").
   bool step();
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
-  [[nodiscard]] std::size_t foreground_pending() const { return foreground_pending_; }
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t foreground_pending() const;
+  [[nodiscard]] std::uint64_t executed() const;
+
+  /// Pins the scheduling target for code running *outside* any event (node
+  /// construction, setup): while alive, schedule()/schedule_periodic()/...
+  /// from the control context enqueue onto `shard` instead of the control
+  /// queue.  This is how per-node periodic timers (aggregation, heartbeat,
+  /// maintenance, monitors) land on their node's site shard.  Does not
+  /// affect now()/rng() — setup draws stay on the control stream.  No-op
+  /// on the serial engine.  Not for use inside worker events.
+  class ShardScope {
+   public:
+    ShardScope(Engine& engine, std::uint32_t shard);
+    ~ShardScope();
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    Engine& engine_;
+    std::uint32_t saved_;
+  };
 
  private:
   struct Entry {
@@ -133,21 +269,89 @@ class Engine {
     }
   };
 
+  /// A cross-shard event parked in its source shard's outbox until the
+  /// barrier integrates it in (at, src shard, src order) order.
+  struct Staged {
+    std::uint32_t dst = 0;
+    std::uint32_t src = 0;
+    std::uint64_t src_order = 0;
+    SimTime at = SimTime::zero();
+    bool background = false;
+    bool observer = false;
+    std::shared_ptr<detail::EventFlag> flag;
+    std::function<void()> fn;
+  };
+
+  /// One site (or control) shard: queue, clock, seq, Rng, outbox.  All
+  /// plain fields are touched only by the shard's worker inside a window
+  /// or by the coordinator at barriers; `foreground` is atomic because
+  /// staging and cross-shard cancels adjust it from other contexts.
+  struct Shard {
+    std::uint32_t id = 0;
+    SimTime now = SimTime::zero();
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t popped = 0;  // dequeued entries, cancelled/observer included
+    std::size_t observer_pending = 0;
+    bool in_background = false;
+    std::atomic<std::int64_t> foreground{0};
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    util::Rng rng{0};
+    std::vector<Staged> outbox;
+    std::uint64_t outbox_order = 0;
+
+    explicit Shard(std::uint32_t shard_id, util::Rng shard_rng)
+        : id(shard_id), rng(shard_rng) {}
+  };
+
   friend class Timer;
 
+  // --- serial path (unchanged from the classic engine) -------------------
   void dispatch(Entry e);
-
   void push(SimTime at, bool background, std::shared_ptr<detail::EventFlag> flag,
             std::function<void()> fn, bool observer = false);
-
   /// One firing of a periodic timer: runs `fn`, then re-pushes itself.
   void push_periodic(SimTime period, std::shared_ptr<detail::EventFlag> flag,
                      std::function<void()> fn, bool observer = false);
+
+  // --- sharded path -------------------------------------------------------
+  [[nodiscard]] std::uint32_t exec_shard() const;    // executing context's shard
+  [[nodiscard]] std::uint32_t target_shard() const;  // default scheduling target
+  void push_sharded(std::uint32_t dst, SimTime at, bool background, bool observer,
+                    std::shared_ptr<detail::EventFlag> flag, std::function<void()> fn);
+  void enqueue_direct(Shard& dst, SimTime at, bool background, bool observer,
+                      const std::shared_ptr<detail::EventFlag>& flag, std::function<void()> fn,
+                      bool claim_foreground);
+  Timer schedule_impl(std::uint32_t dst, SimTime delay, bool background, bool observer,
+                      std::function<void()> fn);
+  void push_periodic_sharded(SimTime period, std::shared_ptr<detail::EventFlag> flag,
+                             std::function<void()> fn, bool observer);
+  void dispatch_sharded(Shard& shard, Entry e);
+  void process_shard(Shard& shard, SimTime window_end);
+  void run_window(SimTime window_end);
+  void integrate_staged();
+  void release_foreground(detail::EventFlag& flag);
+  std::size_t run_windows(bool until_quiescent, SimTime deadline);
+  void run_control_batch(SimTime at);
+  [[nodiscard]] std::int64_t total_foreground() const;
+  [[nodiscard]] std::uint64_t total_executed() const;
+  [[nodiscard]] std::uint64_t total_popped() const;
+  void update_queue_gauge();
+  void ensure_pool();
+  void stop_pool();
+  void worker_main();
+  void set_exec_context(std::uint32_t shard);
+  void clear_exec_context();
+
+  const std::uint64_t seed_;
+  const EngineConfig config_;
+  const bool sharded_;
 
   obs::Registry* metrics_ = nullptr;
   obs::Counter* events_counter_ = nullptr;
   obs::Gauge* queue_gauge_ = nullptr;
 
+  // Serial engine state (untouched in sharded mode).
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -158,6 +362,26 @@ class Engine {
   bool in_background_ = false;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   util::Rng rng_;
+
+  // Sharded engine state.
+  std::vector<std::unique_ptr<Shard>> shards_;  // [0] = control, [s+1] = site s
+  SimTime lookahead_ = SimTime::micros(0);      // 0 = unset (no cross-shard traffic)
+  SimTime window_end_ = SimTime::zero();        // current window bound (workers read)
+  bool in_parallel_window_ = false;
+  std::uint32_t ambient_shard_ = 0;  // ShardScope pin for setup-time scheduling
+  std::vector<std::function<void()>> run_hooks_;
+  std::vector<Staged> staged_scratch_;
+
+  // Worker pool (created lazily on the first sharded run with threads > 1).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable cv_workers_;
+  std::condition_variable cv_done_;
+  std::uint64_t window_gen_ = 0;
+  std::size_t pool_size_ = 0;
+  std::size_t done_workers_ = 0;
+  std::atomic<std::uint32_t> next_shard_claim_{1};
+  bool stop_pool_ = false;
 };
 
 }  // namespace rbay::sim

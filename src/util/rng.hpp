@@ -115,6 +115,20 @@ class Rng {
   /// Derives an independent child generator (for per-node streams).
   Rng fork() { return Rng{next_u64()}; }
 
+  /// Derives the `stream_id`-th independent stream of `seed` *without*
+  /// consuming state from any live generator.  The sharded engine seeds
+  /// shard s's generator with stream(seed, s), so the draw sequence each
+  /// shard sees is a pure function of (seed, shard) — independent of how
+  /// many worker threads execute the shards or in what order.
+  /// stream(seed, 0) is deliberately distinct from Rng(seed): the control
+  /// shard keeps the legacy Rng(seed) stream so setup draws match the
+  /// serial engine exactly.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    SplitMix64 a{seed};
+    SplitMix64 b{stream_id ^ 0xD1B54A32D192ED03ULL};
+    return Rng{a.next() ^ (b.next() + 0x9E3779B97F4A7C15ULL)};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

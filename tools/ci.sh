@@ -116,6 +116,16 @@ build-ci/bench/bench_fig10_latency_sites --small --json build-ci/artifacts/BENCH
 # batching, answer-cache TTL/invalidation, and the open-loop driver.
 ctest --preset ci -L qplane --output-on-failure
 
+# TSan lane (docs/PARALLEL_ENGINE.md): a separate thread-sanitizer build
+# runs the sharded engine for real — RBAY_SIM_THREADS=4 in the test
+# preset's environment makes every directly-constructed cluster execute
+# on four worker threads — over the engine/determinism, chaos, and
+# query-plane labels.  Suppressions live in .tsan-suppressions.txt
+# (expected empty; each entry must be documented there).
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
+ctest --preset tsan -L 'sim|chaos|qplane' --output-on-failure
+
 # Flash-crowd scenario: 100x demand spike on one attribute — admission
 # sheds deterministically, the cache absorbs the warm wave.  Transcript
 # and metrics snapshot are archived either way.
@@ -130,7 +140,7 @@ fi
 # Fresh clones have no cached artifact dir: seed the trend gates below
 # from the committed baselines so a regression fails the very first CI
 # run too, not just the second.
-for f in BENCH_throughput.json BENCH_fig8b.json; do
+for f in BENCH_throughput.json BENCH_fig8b.json BENCH_fig8a.json; do
   if [ ! -f "build-ci/artifacts/$f" ] && [ -f "artifacts/$f" ]; then
     cp "artifacts/$f" "build-ci/artifacts/$f"
   fi
@@ -190,3 +200,33 @@ if [ -n "$PREV_HOT" ]; then
   fi
 fi
 echo "hot-tree balance ok: hottest share ${CAPPED_HOT}bp capped vs ${UNCAPPED_HOT}bp uncapped${PREV_HOT:+ (previous ${PREV_HOT}bp)}"
+
+# Parallel-engine trend gate (docs/PARALLEL_ENGINE.md): the fig8a threads
+# sweep on the sharded engine — the bench itself fails on any schedule
+# divergence across thread counts, and this gate fails if events/sec at
+# the peak thread count regressed more than 10% against the previously
+# archived copy.  Uses the sanitizer-free default build: ASan timings are
+# not comparable to the committed baseline.
+PREV_EPS=""
+if [ -f build-ci/artifacts/BENCH_fig8a.json ]; then
+  PREV_EPS="$(sed -n 's/.*"peak_events_per_sec":\([0-9][0-9]*\).*/\1/p' \
+      build-ci/artifacts/BENCH_fig8a.json | head -n 1)"
+fi
+cmake --preset default
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" --target bench_fig8a_scale_nodes
+build/bench/bench_fig8a_scale_nodes --small --threads 8 \
+  --json build-ci/artifacts/BENCH_fig8a.json
+NEW_EPS="$(sed -n 's/.*"peak_events_per_sec":\([0-9][0-9]*\).*/\1/p' \
+    build-ci/artifacts/BENCH_fig8a.json | head -n 1)"
+if [ -z "$NEW_EPS" ]; then
+  echo "parallel-engine gate: BENCH_fig8a.json missing peak_events_per_sec" >&2
+  exit 1
+fi
+if [ -n "$PREV_EPS" ]; then
+  FLOOR=$((PREV_EPS * 90 / 100))
+  if [ "$NEW_EPS" -lt "$FLOOR" ]; then
+    echo "parallel-engine regression: ${NEW_EPS} events/sec < 90% of previous ${PREV_EPS}" >&2
+    exit 1
+  fi
+fi
+echo "parallel engine ok: ${NEW_EPS} events/sec at peak threads${PREV_EPS:+ (previous ${PREV_EPS})}"

@@ -13,6 +13,7 @@
 // executable integration tests.  See scenarios/*.rbay for examples.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -23,7 +24,8 @@ namespace {
 
 constexpr const char* kHelp = R"(rbay_sim — scenario-driven RBAY federation simulator
 
-usage: rbay_sim [--metrics <path>] [--trace <path>] [--timeseries <path>] <scenario-file>
+usage: rbay_sim [--metrics <path>] [--trace <path>] [--timeseries <path>]
+                [--threads N] <scenario-file>
 
   --metrics <path>   attach the observability registry and write its JSON
                      snapshot (counters, latency histograms, query traces)
@@ -42,9 +44,14 @@ usage: rbay_sim [--metrics <path>] [--trace <path>] [--timeseries <path>] <scena
                      in the scenario.  Deterministic: same scenario + seed
                      => byte-identical file.  See docs/HEALTH.md; render
                      with tools/rbay_top.
+  --threads N        run on the sharded engine with N worker threads
+                     (docs/PARALLEL_ENGINE.md).  N=1 keeps the serial
+                     engine.  A scenario-level `threads` directive takes
+                     precedence over this flag.
 
 directives (one per line; '#' comments; see tools/scenario.hpp for details):
   topology ec2 | single | uniform <sites> <intra_ms> <cross_ms>
+  threads N (sharded engine; 1 = serial)
   seed N | aggregation MS | heartbeat MS | max-attempts N
   tree <attr> <op> <literal>       tree-exists <attr>
   taxonomy-major <attr>            taxonomy-link <attr> <parent>
@@ -74,10 +81,22 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string timeseries_path;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help") return usage(0);
-    if (arg == "--metrics") {
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rbay_sim: --threads requires a count\n");
+        return 2;
+      }
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "rbay_sim: --threads requires a positive count\n");
+        return 2;
+      }
+      threads = static_cast<unsigned>(n);
+    } else if (arg == "--metrics") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "rbay_sim: --metrics requires a path\n");
         return 2;
@@ -114,6 +133,8 @@ int main(int argc, char** argv) {
   rbay::tools::ScenarioOptions options;
   options.metrics = !metrics_path.empty();
   options.trace = !trace_path.empty();
+  options.engine.threads = threads;
+  options.engine.shard_by_site = threads > 1;
   const auto result = rbay::tools::run_scenario(text.str(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "rbay_sim: %s: %s\n", scenario_path.c_str(),

@@ -187,6 +187,7 @@ class Runner {
     core::ClusterConfig config;
     config.topology = topology_;
     config.seed = seed_;
+    config.engine = engine_override_ ? *engine_override_ : options_.engine;
     config.node.scribe.aggregation_interval = aggregation_;
     config.node.scribe.heartbeat_interval = heartbeat_;
     config.node.scribe.anycast_timeout = anycast_timeout_;
@@ -233,6 +234,7 @@ class Runner {
   util::Result<void> apply_inner(const Directive& d) {
     const auto& kw = d.keyword;
     if (kw == "topology") return do_topology(d);
+    if (kw == "threads") return do_threads(d);
     if (kw == "seed") return set_u64(d, seed_);
     if (kw == "aggregation") return set_ms(d, aggregation_);
     if (kw == "heartbeat") return set_ms(d, heartbeat_);
@@ -302,6 +304,22 @@ class Runner {
       return {};
     }
     return error_at(d.line, "topology: expected 'ec2', 'single', or 'uniform K intra cross'");
+  }
+
+  /// threads <N> — run the scenario on the sharded engine with N worker
+  /// threads (docs/PARALLEL_ENGINE.md).  `threads 1` keeps the serial
+  /// engine (shipped scenarios pin serial transcripts); N > 1 shards the
+  /// schedule by site, which legitimately re-seeds per-shard Rng streams.
+  util::Result<void> do_threads(const Directive& d) {
+    if (cluster_ != nullptr) return error_at(d.line, "threads must precede 'nodes'");
+    if (d.args.size() != 1) return error_at(d.line, "threads needs a worker count");
+    const int n = std::stoi(d.args[0]);
+    if (n < 1) return error_at(d.line, "threads needs a positive worker count");
+    sim::EngineConfig config;
+    config.threads = static_cast<unsigned>(n);
+    config.shard_by_site = n > 1;
+    engine_override_ = config;
+    return {};
   }
 
   util::Result<void> set_u64(const Directive& d, std::uint64_t& target) {
@@ -1081,6 +1099,7 @@ class Runner {
   ScenarioOptions options_;
   net::Topology topology_ = net::Topology::single_site();
   std::uint64_t seed_ = 42;
+  std::optional<sim::EngineConfig> engine_override_;  // `threads` directive
   util::SimTime aggregation_ = util::SimTime::millis(250);
   util::SimTime heartbeat_ = util::SimTime::zero();
   util::SimTime anycast_timeout_ = util::SimTime::zero();
